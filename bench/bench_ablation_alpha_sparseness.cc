@@ -1,0 +1,175 @@
+/**
+ * @file
+ * Experiment E9 — ablations of the DVP design knobs the paper calls
+ * out but does not plot:
+ *
+ *  (a) Equation 9's alpha (CPC-vs-RAC weight): sweep alpha and report
+ *      the resulting layout shape and measured workload time;
+ *  (b) data sparseness 1% vs 5% (§V-A: "our scheme will benefit more
+ *      from higher sparseness degrees compared to schemes that do not
+ *      consider sparseness"): compare DVP and Hyrise totals at both
+ *      sparseness levels;
+ *  (c) the sparse co-presence clustering of the initial partitioning
+ *      (DESIGN.md §3b) on vs off;
+ *  (d) workload mix: uniform vs skewed query frequencies (§V-A: "we
+ *      have also experimented with ... other query distributions ...
+ *      the results for all configurations are similar").
+ */
+
+#include "harness.hh"
+
+namespace dvp::bench
+{
+namespace
+{
+
+double
+workloadSeconds(engine::Database &db,
+                const std::vector<engine::Query> &log)
+{
+    engine::Executor exec(db);
+    Timer t;
+    for (const auto &q : log)
+        exec.run(q);
+    return t.seconds();
+}
+
+int
+run(int argc, char **argv)
+{
+    Options opt = Options::parse(argc, argv, /*default_docs=*/10000);
+
+    // --- (a) alpha sweep -------------------------------------------
+    {
+        nobench::Config cfg = opt.nobenchConfig();
+        engine::DataSet data = nobench::generateDataSet(cfg);
+        nobench::QuerySet qs(data, cfg);
+        Rng rng(opt.seed + 10);
+        auto reps = nobench::representatives(
+            qs, nobench::Mix::uniform(), rng);
+        auto log = nobench::makeLog(qs, nobench::Mix::uniform(), rng,
+                                    std::min<size_t>(opt.logSize, 220));
+
+        TablePrinter t({"alpha", "partitions", "cost", "workload [s]"});
+        for (double alpha : {0.0, 0.25, 0.5, 0.75, 1.0}) {
+            core::SearchParams prm;
+            prm.cost.alpha = alpha;
+            core::Partitioner p(data, reps, prm);
+            core::SearchResult res = p.run();
+            engine::Database db(data, res.layout, "alpha");
+            double sec = workloadSeconds(db, log);
+            t.addRow({fmt(alpha, 2),
+                      std::to_string(res.layout.partitionCount()),
+                      fmt(res.finalCost, 4), fmt(sec, 2)});
+            inform("  alpha=%.2f -> %zu partitions, %.2f s", alpha,
+                   res.layout.partitionCount(), sec);
+        }
+        emit(t, "E9a: alpha sweep (Eq. 9 CPC/RAC weight)", opt.csv);
+    }
+
+    // --- (b) sparseness 1% vs 5% ------------------------------------
+    {
+        TablePrinter t({"sparseness", "engine", "size [MB]",
+                        "workload [s]"});
+        for (int groups : {1, 5}) {
+            nobench::Config cfg = opt.nobenchConfig();
+            cfg.groupsPerDoc = groups;
+            engine::DataSet data = nobench::generateDataSet(cfg);
+            nobench::QuerySet qs(data, cfg);
+            Rng rng(opt.seed + 11);
+            auto reps = nobench::representatives(
+                qs, nobench::Mix::uniform(), rng);
+            auto log = nobench::makeLog(
+                qs, nobench::Mix::uniform(), rng,
+                std::min<size_t>(opt.logSize, 220));
+
+            core::Partitioner p(data, reps);
+            engine::Database dvp(data, p.run().layout, "DVP");
+            hyrise::HyriseLayouter hl(data.catalog, reps,
+                                      data.docs.size());
+            engine::Database hyr(data, *hl.run().layout, "Hyrise");
+
+            std::string label = std::to_string(groups) + "%";
+            t.addRow({label, "DVP", fmtMB(dvp.storageBytes()),
+                      fmt(workloadSeconds(dvp, log), 2)});
+            t.addRow({label, "Hyrise", fmtMB(hyr.storageBytes()),
+                      fmt(workloadSeconds(hyr, log), 2)});
+            inform("  sparseness %d%% done", groups);
+        }
+        emit(t, "E9b: sparseness 1% vs 5% — DVP vs the sparse-blind "
+                "Hyrise layout (paper: DVP benefits more)",
+             opt.csv);
+    }
+
+    // --- (c) co-presence clustering on/off --------------------------
+    {
+        nobench::Config cfg = opt.nobenchConfig();
+        engine::DataSet data = nobench::generateDataSet(cfg);
+        nobench::QuerySet qs(data, cfg);
+        Rng rng(opt.seed + 12);
+        auto reps = nobench::representatives(
+            qs, nobench::Mix::uniform(), rng);
+        auto log = nobench::makeLog(qs, nobench::Mix::uniform(), rng,
+                                    std::min<size_t>(opt.logSize, 220));
+
+        TablePrinter t({"initial partitioning", "partitions",
+                        "size [MB]", "NULL [MB]", "workload [s]"});
+        for (bool cluster : {true, false}) {
+            core::SearchParams prm;
+            prm.initial.clusterUnaccessed = cluster;
+            core::Partitioner p(data, reps, prm);
+            core::SearchResult res = p.run();
+            engine::Database db(data, res.layout, "DVP");
+            t.addRow({cluster ? "co-presence clustering"
+                              : "columnar fallback",
+                      std::to_string(res.layout.partitionCount()),
+                      fmtMB(db.storageBytes()), fmtMB(db.nullBytes()),
+                      fmt(workloadSeconds(db, log), 2)});
+        }
+        emit(t, "E9c: sparse co-presence clustering ablation "
+                "(DESIGN.md 3b)",
+             opt.csv);
+    }
+    // --- (d) uniform vs skewed query mix ----------------------------
+    {
+        nobench::Config cfg = opt.nobenchConfig();
+        engine::DataSet data = nobench::generateDataSet(cfg);
+        nobench::QuerySet qs(data, cfg);
+
+        TablePrinter t({"mix", "partitions", "DVP [s]", "row [s]",
+                        "DVP/row"});
+        auto attrs = data.catalog.allAttrs();
+        engine::Database row(data, layout::Layout::rowBased(attrs),
+                             "row");
+        for (bool skewed : {false, true}) {
+            nobench::Mix mix = skewed ? nobench::Mix::skewed(1.0)
+                                      : nobench::Mix::uniform();
+            Rng rng(opt.seed + (skewed ? 14 : 13));
+            auto reps = nobench::representatives(qs, mix, rng);
+            auto log = nobench::makeLog(
+                qs, mix, rng, std::min<size_t>(opt.logSize, 220));
+
+            core::Partitioner p(data, reps);
+            engine::Database dvp(data, p.run().layout, "DVP");
+            double dvp_s = workloadSeconds(dvp, log);
+            double row_s = workloadSeconds(row, log);
+            t.addRow({skewed ? "skewed (zipf-1)" : "uniform",
+                      std::to_string(dvp.tableCount()), fmt(dvp_s, 2),
+                      fmt(row_s, 2), fmt(dvp_s / row_s, 2)});
+            inform("  %s mix done", skewed ? "skewed" : "uniform");
+        }
+        emit(t, "E9d: query-frequency mix (paper: results similar "
+                "across distributions)",
+             opt.csv);
+    }
+    return 0;
+}
+
+} // namespace
+} // namespace dvp::bench
+
+int
+main(int argc, char **argv)
+{
+    return dvp::bench::run(argc, argv);
+}

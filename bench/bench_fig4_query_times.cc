@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Experiment E3 — paper Figure 4: average per-query execution time for
+ * Q1..Q11 across all six engines.
+ *
+ * Shape targets from §VI-B: Argo layouts 4x-6x slower than everything
+ * on projections (Q1-Q4) and better on SELECT *; the row layout poor
+ * on projections and Q5; Hybrid(DVP) fastest or tied everywhere except
+ * Q8 where the column layout wins by ~28%; Argo total 15x-30x slower
+ * than Hybrid on average.
+ */
+
+#include "harness.hh"
+
+namespace dvp::bench
+{
+namespace
+{
+
+int
+run(int argc, char **argv)
+{
+    Options opt = Options::parse(argc, argv);
+    EngineSet engines(opt);
+
+    // One instance per template, shared by every engine so the
+    // comparison is parameter-for-parameter identical.
+    Rng rng(opt.seed + 1);
+    std::vector<engine::Query> queries;
+    for (int t = 0; t < nobench::kNumTemplates; ++t)
+        queries.push_back(engines.querySet().instantiate(t, rng));
+
+    std::vector<std::string> header{"Query"};
+    for (EngineKind kind : allEngines())
+        header.push_back(engineName(kind));
+    TablePrinter t(std::move(header));
+
+    // engine -> per-query medians (ms).
+    std::vector<std::vector<double>> ms(allEngines().size());
+    for (size_t qi = 0; qi < queries.size(); ++qi) {
+        std::vector<std::string> row{queries[qi].name};
+        for (size_t e = 0; e < allEngines().size(); ++e) {
+            EngineKind kind = allEngines()[e];
+            double sec = timeMedian(opt.repeats, [&] {
+                engine::ResultSet rs = engines.run(kind, queries[qi]);
+                (void)rs;
+            });
+            ms[e].push_back(sec * 1e3);
+            row.push_back(fmt(sec * 1e3, 3));
+        }
+        t.addRow(std::move(row));
+    }
+    emit(t, "Figure 4: average query execution time [ms] (docs=" +
+                std::to_string(opt.docs) + ")",
+         opt.csv);
+
+    // Shape summary: per-engine average vs Hybrid.
+    auto avg = [&](size_t e) {
+        double s = 0;
+        for (double v : ms[e])
+            s += v;
+        return s / ms[e].size();
+    };
+    double hybrid = avg(0);
+    TablePrinter s({"Engine", "avg [ms]", "x Hybrid", "paper shape"});
+    const char *paper[] = {"1.0",  "15x-30x", "15x-30x",
+                           "~1x",  "~1x",     "~2.4x avg query"};
+    for (size_t e = 0; e < allEngines().size(); ++e) {
+        s.addRow({engineName(allEngines()[e]), fmt(avg(e), 3),
+                  fmt(avg(e) / hybrid, 2), paper[e]});
+    }
+    emit(s, "Figure 4 shape summary", opt.csv);
+    return 0;
+}
+
+} // namespace
+} // namespace dvp::bench
+
+int
+main(int argc, char **argv)
+{
+    return dvp::bench::run(argc, argv);
+}

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Experiment E4 — paper Figure 5: total execution time of a uniform
+ * 1000-query NoBench log on each engine.
+ *
+ * Shape targets: Hybrid(DVP) lowest; Hyrise ~24% above Hybrid; row and
+ * column similar to each other and above Hyrise; Argo1/Argo3 an order
+ * of magnitude above everything.
+ */
+
+#include "harness.hh"
+
+namespace dvp::bench
+{
+namespace
+{
+
+int
+run(int argc, char **argv)
+{
+    Options opt = Options::parse(argc, argv);
+    EngineSet engines(opt);
+
+    // One shared query log (identical instances for every engine).
+    Rng rng(opt.seed + 2);
+    std::vector<engine::Query> log = nobench::makeLog(
+        engines.querySet(), nobench::Mix::uniform(), rng, opt.logSize);
+    inform("replaying a %zu-query uniform log per engine...",
+           log.size());
+
+    std::vector<double> total(allEngines().size(), 0.0);
+    for (size_t e = 0; e < allEngines().size(); ++e) {
+        EngineKind kind = allEngines()[e];
+        // Unmeasured warm-up lap: result-buffer pages and allocator
+        // pools must be hot, or the first engine measured would absorb
+        // every first-touch page fault of the shared result sizes.
+        for (size_t i = 0; i < log.size(); i += 4)
+            engines.run(kind, log[i]);
+        Timer t;
+        for (const auto &q : log)
+            engines.run(kind, q);
+        total[e] = t.seconds();
+        inform("  %-12s %.2f s", engineName(kind), total[e]);
+    }
+
+    TablePrinter t({"Engine", "total [s]", "x Hybrid", "paper shape"});
+    const char *paper[] = {"1.0 (lowest)", ">10x", ">10x",
+                           "~row",         "~col", "1.24x"};
+    for (size_t e = 0; e < allEngines().size(); ++e) {
+        t.addRow({engineName(allEngines()[e]), fmt(total[e], 2),
+                  fmt(total[e] / total[0], 2), paper[e]});
+    }
+    emit(t, "Figure 5: total execution time of the query log (docs=" +
+                std::to_string(opt.docs) + ", log=" +
+                std::to_string(log.size()) + ")",
+         opt.csv);
+    return 0;
+}
+
+} // namespace
+} // namespace dvp::bench
+
+int
+main(int argc, char **argv)
+{
+    return dvp::bench::run(argc, argv);
+}

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Experiment E6 — paper Figure 7: simulated data-TLB misses for all
+ * queries across all engines (64-entry 4-way DTLB, 4 KB pages,
+ * stride-stream prefetch).
+ *
+ * Shape targets (§VI-C2): column worst by far (1019 tables touched per
+ * SELECT * match); Argo1/Argo3 second worst; row best (single
+ * continuous array, prefetchable pattern); Hyrise ~35% above
+ * Hybrid(DVP).
+ */
+
+#include "harness.hh"
+
+namespace dvp::bench
+{
+namespace
+{
+
+int
+run(int argc, char **argv)
+{
+    Options opt = Options::parse(argc, argv, /*default_docs=*/20000);
+    EngineSet engines(opt);
+
+    Rng rng(opt.seed + 5);
+    std::vector<engine::Query> queries;
+    for (int t = 0; t < nobench::kNumTemplates; ++t)
+        queries.push_back(engines.querySet().instantiate(t, rng));
+
+    TablePrinter per_query({"Query", "Engine", "TLB misses"});
+    std::vector<uint64_t> total(allEngines().size(), 0);
+    for (size_t e = 0; e < allEngines().size(); ++e) {
+        EngineKind kind = allEngines()[e];
+        for (const auto &q : queries) {
+            perf::MemoryHierarchy mh;
+            engines.run(kind, q, mh);
+            uint64_t misses = mh.counters().tlbMisses;
+            total[e] += misses;
+            per_query.addRow({q.name, engineName(kind),
+                              fmtCount(misses)});
+        }
+        inform("  %-12s simulated (%llu TLB misses)",
+               engineName(kind),
+               static_cast<unsigned long long>(total[e]));
+    }
+
+    TablePrinter t({"Engine", "TLB misses", "x Hybrid"});
+    for (size_t e = 0; e < allEngines().size(); ++e) {
+        t.addRow({engineName(allEngines()[e]), fmtCount(total[e]),
+                  fmt(static_cast<double>(total[e]) /
+                          static_cast<double>(total[0]),
+                      2)});
+    }
+    emit(t, "Figure 7: total TLB misses, all queries (docs=" +
+                std::to_string(opt.docs) + ")",
+         opt.csv);
+    emit(per_query, "Figure 7 detail: per-query TLB misses", opt.csv);
+
+    TablePrinter s({"Shape check", "value", "paper"});
+    auto ratio = [&](size_t a, size_t b) {
+        return fmt(static_cast<double>(total[a]) /
+                       static_cast<double>(total[b]),
+                   2);
+    };
+    s.addRow({"col / DVP", ratio(3, 0), "worst of all (>> 1)"});
+    s.addRow({"Hyrise / DVP", ratio(5, 0), "~1.35"});
+    s.addRow({"row / DVP", ratio(4, 0), "< 1 (row best)"});
+    s.addRow({"argo1 / DVP", ratio(1, 0), "> 1 (second worst)"});
+    emit(s, "Figure 7 shape checks", opt.csv);
+    return 0;
+}
+
+} // namespace
+} // namespace dvp::bench
+
+int
+main(int argc, char **argv)
+{
+    return dvp::bench::run(argc, argv);
+}

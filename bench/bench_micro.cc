@@ -1,0 +1,173 @@
+/**
+ * @file
+ * Experiment E10 — google-benchmark micro-benchmarks of the building
+ * blocks: partition-table scan kernels at different widths, oid index
+ * seeks, dictionary interning, cost-model evaluation, and the cache
+ * simulator's throughput.  These quantify the constants behind the
+ * table/figure benches.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "dvp/cost_model.hh"
+#include "dvp/partitioner.hh"
+#include "engine/database.hh"
+#include "engine/executor.hh"
+#include "nobench/generator.hh"
+#include "nobench/queries.hh"
+#include "nobench/workload.hh"
+#include "perf/memory_hierarchy.hh"
+#include "storage/dictionary.hh"
+
+namespace dvp
+{
+namespace
+{
+
+engine::DataSet &
+sharedData()
+{
+    static engine::DataSet data = [] {
+        nobench::Config cfg;
+        cfg.numDocs = 10000;
+        cfg.seed = 7;
+        return nobench::generateDataSet(cfg);
+    }();
+    return data;
+}
+
+nobench::Config
+sharedConfig()
+{
+    nobench::Config cfg;
+    cfg.numDocs = 10000;
+    cfg.seed = 7;
+    return cfg;
+}
+
+/** Column scan over a table of the given partition width. */
+void
+BM_ColumnScan(benchmark::State &state)
+{
+    auto width = static_cast<size_t>(state.range(0));
+    engine::DataSet &data = sharedData();
+    engine::Database db(
+        data,
+        layout::Layout::fixedSize(data.catalog.allAttrs(), width),
+        "bm");
+    const storage::Table &t = db.table(0);
+    for (auto _ : state) {
+        storage::Slot acc = 0;
+        for (size_t r = 0; r < t.rows(); ++r)
+            acc ^= t.cell(r, 0);
+        benchmark::DoNotOptimize(acc);
+    }
+    state.SetItemsProcessed(
+        static_cast<int64_t>(state.iterations() * t.rows()));
+}
+BENCHMARK(BM_ColumnScan)->Arg(1)->Arg(8)->Arg(64)->Arg(1019);
+
+/** Primary-key (sorted oid) point lookups. */
+void
+BM_OidLookup(benchmark::State &state)
+{
+    engine::DataSet &data = sharedData();
+    engine::Database db(
+        data, layout::Layout::fixedSize(data.catalog.allAttrs(), 8),
+        "bm");
+    const storage::Table &t = db.table(0);
+    Rng rng(1);
+    for (auto _ : state) {
+        auto oid = static_cast<int64_t>(rng.below(data.docs.size()));
+        benchmark::DoNotOptimize(t.rowOf(oid));
+    }
+}
+BENCHMARK(BM_OidLookup);
+
+/** Dictionary interning of fresh vs repeated strings. */
+void
+BM_DictionaryIntern(benchmark::State &state)
+{
+    storage::Dictionary dict;
+    Rng rng(2);
+    uint64_t pool = static_cast<uint64_t>(state.range(0));
+    for (auto _ : state) {
+        std::string s = "key_" + std::to_string(rng.below(pool));
+        benchmark::DoNotOptimize(dict.intern(s));
+    }
+}
+BENCHMARK(BM_DictionaryIntern)->Arg(100)->Arg(100000);
+
+/** Full cost-model evaluation of the NoBench DVP layout. */
+void
+BM_CostModelEvaluate(benchmark::State &state)
+{
+    engine::DataSet &data = sharedData();
+    nobench::QuerySet qs(data, sharedConfig());
+    Rng rng(3);
+    auto reps = nobench::representatives(qs, nobench::Mix::uniform(),
+                                         rng);
+    core::Partitioner p(data, reps);
+    layout::Layout layout = p.run().layout;
+    core::CostModel model(data.catalog, reps);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(model.cost(layout));
+}
+BENCHMARK(BM_CostModelEvaluate);
+
+/** One full DVP partitioner run on NoBench (the few-seconds claim). */
+void
+BM_PartitionerRun(benchmark::State &state)
+{
+    engine::DataSet &data = sharedData();
+    nobench::QuerySet qs(data, sharedConfig());
+    Rng rng(4);
+    auto reps = nobench::representatives(qs, nobench::Mix::uniform(),
+                                         rng);
+    for (auto _ : state) {
+        core::Partitioner p(data, reps);
+        benchmark::DoNotOptimize(p.run().layout.partitionCount());
+    }
+}
+BENCHMARK(BM_PartitionerRun)->Unit(benchmark::kMillisecond);
+
+/** Cache+TLB simulator throughput on a sequential stream. */
+void
+BM_SimulatorTouch(benchmark::State &state)
+{
+    perf::MemoryHierarchy mh;
+    uint64_t addr = 0;
+    for (auto _ : state) {
+        mh.touch(reinterpret_cast<const void *>(addr), 8);
+        addr += 64;
+    }
+    state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_SimulatorTouch);
+
+/** End-to-end Q1 on the DVP layout (timing path). */
+void
+BM_Q1OnDvp(benchmark::State &state)
+{
+    engine::DataSet &data = sharedData();
+    nobench::QuerySet qs(data, sharedConfig());
+    Rng rng(5);
+    auto reps = nobench::representatives(qs, nobench::Mix::uniform(),
+                                         rng);
+    core::Partitioner p(data, reps);
+    engine::Database db(data, p.run().layout, "DVP");
+    engine::Executor exec(db);
+    engine::Query q1 = qs.instantiate(nobench::kQ1, rng);
+    for (auto _ : state) {
+        engine::ResultSet rs = exec.run(q1);
+        benchmark::DoNotOptimize(rs.rowCount());
+    }
+    state.SetItemsProcessed(
+        static_cast<int64_t>(state.iterations() * data.docs.size()));
+}
+BENCHMARK(BM_Q1OnDvp)->Unit(benchmark::kMillisecond);
+
+} // namespace
+} // namespace dvp
+
+BENCHMARK_MAIN();

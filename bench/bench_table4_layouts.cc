@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Experiment E1 — paper Table IV: "Comparison of the characteristics of
+ * memory consumption across all layouts": table count, storage size,
+ * NULL volume, and build time for row, col, Argo1, Argo3, Hyrise, DVP.
+ *
+ * Paper reference values (1M-document scale): Row 1 table / 4100 MB /
+ * 4000 MB NULLs / 86 s; Col 1019 / 168 / 0 / 98; Argo1 1 / 4500 / 1800
+ * / 297; Argo3 3 / 2700 / 0 / 292; Hyrise 11 / 4000 / 3900 / 85; DVP
+ * 109 / 138 / 10 / 81.  Absolute sizes scale with --docs; the shape to
+ * check is the ordering and the ratios.
+ */
+
+#include "harness.hh"
+
+namespace dvp::bench
+{
+namespace
+{
+
+int
+run(int argc, char **argv)
+{
+    Options opt = Options::parse(argc, argv);
+    EngineSet engines(opt);
+
+    TablePrinter t({"Layout", "Tables", "Size [MB]",
+                    "Amount of NULLs [MB]", "Build Time [s]"});
+    // Paper row order: Row, Col, Argo1, Argo3, Hyrise, DVP.
+    const EngineKind order[] = {EngineKind::Row, EngineKind::Column,
+                                EngineKind::Argo1, EngineKind::Argo3,
+                                EngineKind::Hyrise, EngineKind::Dvp};
+    for (EngineKind kind : order) {
+        t.addRow({engineName(kind),
+                  std::to_string(engines.tableCount(kind)),
+                  fmtMB(engines.storageBytes(kind)),
+                  fmtMB(engines.nullBytes(kind)),
+                  fmt(engines.buildSeconds(kind), 2)});
+    }
+    emit(t, "Table IV: memory-consumption characteristics (docs=" +
+                std::to_string(opt.docs) + ")",
+         opt.csv);
+
+    // The shape checks the paper draws from this table.
+    auto mb = [&](EngineKind k) {
+        return static_cast<double>(engines.storageBytes(k)) / 1048576.0;
+    };
+    TablePrinter s({"Shape check", "value", "paper"});
+    s.addRow({"DVP tables", std::to_string(
+                  engines.tableCount(EngineKind::Dvp)), "109"});
+    s.addRow({"Hyrise tables", std::to_string(
+                  engines.tableCount(EngineKind::Hyrise)), "11"});
+    s.addRow({"DVP size / col size",
+              fmt(mb(EngineKind::Dvp) / mb(EngineKind::Column), 2),
+              "0.82 (138/168)"});
+    s.addRow({"DVP size / Argo3 size",
+              fmt(mb(EngineKind::Dvp) / mb(EngineKind::Argo3), 3),
+              "0.05"});
+    s.addRow({"DVP size / Argo1 size",
+              fmt(mb(EngineKind::Dvp) / mb(EngineKind::Argo1), 3),
+              "0.03"});
+    s.addRow({"DVP size / Hyrise size",
+              fmt(mb(EngineKind::Dvp) / mb(EngineKind::Hyrise), 3),
+              "0.035"});
+    s.addRow({"row NULLs / row size",
+              fmt(static_cast<double>(
+                      engines.nullBytes(EngineKind::Row)) /
+                      engines.storageBytes(EngineKind::Row),
+                  2),
+              "0.98 (4000/4100)"});
+    emit(s, "Table IV shape checks", opt.csv);
+    return 0;
+}
+
+} // namespace
+} // namespace dvp::bench
+
+int
+main(int argc, char **argv)
+{
+    return dvp::bench::run(argc, argv);
+}

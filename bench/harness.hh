@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Shared bench harness: CLI options, construction of the paper's six
+ * engines over one NoBench DataSet, and timing helpers.  Every bench
+ * binary reproducing a table/figure links this so scales and seeds are
+ * consistent and overridable (--docs, --seed, --log, --csv).
+ */
+
+#ifndef DVP_BENCH_HARNESS_HH
+#define DVP_BENCH_HARNESS_HH
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "argo/argo_executor.hh"
+#include "argo/argo_store.hh"
+#include "dvp/partitioner.hh"
+#include "engine/database.hh"
+#include "engine/executor.hh"
+#include "hyrise/hyrise_layouter.hh"
+#include "nobench/generator.hh"
+#include "nobench/queries.hh"
+#include "nobench/workload.hh"
+#include "perf/memory_hierarchy.hh"
+#include "util/printer.hh"
+#include "util/timer.hh"
+
+namespace dvp::bench
+{
+
+/** Command-line options common to all bench binaries. */
+struct Options
+{
+    uint64_t docs = 50000;   ///< NoBench documents
+    uint64_t seed = 42;      ///< generator seed
+    size_t logSize = 1000;   ///< queries in a workload log
+    int repeats = 3;         ///< timing repetitions per query
+    int sparseGroups = 1;    ///< groups per doc (1 => 1% sparseness)
+    bool csv = false;        ///< also emit CSV after each table
+
+    /**
+     * Parse argv; exits with usage on error.  @p default_docs and
+     * @p default_log let simulation-heavy or adaptation benches pick
+     * their own default scales.
+     */
+    static Options parse(int argc, char **argv,
+                         uint64_t default_docs = 50000,
+                         size_t default_log = 1000);
+
+    nobench::Config nobenchConfig() const;
+};
+
+/** Engine identifiers in the paper's plotting order. */
+enum class EngineKind { Dvp, Argo1, Argo3, Column, Row, Hyrise };
+
+/** Display name ("Hybrid" is the paper's label for DVP's layout). */
+const char *engineName(EngineKind kind);
+
+/** All six, in the paper's Figure 4 order. */
+const std::vector<EngineKind> &allEngines();
+
+/** The six materialized engines over one shared DataSet. */
+class EngineSet
+{
+  public:
+    /**
+     * Generate the data set and build every engine, reporting build
+     * times (Table IV) along the way.
+     */
+    explicit EngineSet(const Options &opt);
+
+    engine::DataSet &data() { return data_; }
+    const nobench::Config &config() const { return cfg; }
+    nobench::QuerySet &querySet() { return *qs; }
+
+    /** Timing-path execution. */
+    engine::ResultSet run(EngineKind kind, const engine::Query &q);
+
+    /** Simulation-path execution. */
+    engine::ResultSet run(EngineKind kind, const engine::Query &q,
+                          perf::MemoryHierarchy &mh);
+
+    /** Partitioned database for kind (null for Argo kinds). */
+    const engine::Database *database(EngineKind kind) const;
+
+    /** Argo store for kind (null otherwise). */
+    const argo::ArgoStore *argoStore(EngineKind kind) const;
+
+    /** Seconds spent building + populating each engine's tables. */
+    double buildSeconds(EngineKind kind) const;
+
+    /** Table count / storage / null accounting per engine. */
+    size_t tableCount(EngineKind kind) const;
+    size_t storageBytes(EngineKind kind) const;
+    size_t nullBytes(EngineKind kind) const;
+
+    /** Partitioner run metadata (DVP). */
+    const core::SearchResult &dvpSearch() const { return dvp_search; }
+
+  private:
+    nobench::Config cfg;
+    engine::DataSet data_;
+    std::unique_ptr<nobench::QuerySet> qs;
+    std::unique_ptr<engine::Database> row_, col_, dvp_, hyrise_;
+    std::unique_ptr<argo::ArgoStore> argo1_, argo3_;
+    core::SearchResult dvp_search;
+};
+
+/**
+ * Median wall-clock seconds of @p repeats runs of @p fn (the paper
+ * reports averages of 5 runs with <1% variance; the median of a few is
+ * the robust equivalent on a shared machine).
+ */
+double timeMedian(int repeats, const std::function<void()> &fn);
+
+/** Emit a table, optionally followed by CSV (per Options::csv). */
+void emit(const TablePrinter &t, const std::string &title, bool csv);
+
+} // namespace dvp::bench
+
+#endif // DVP_BENCH_HARNESS_HH

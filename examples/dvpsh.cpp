@@ -1,0 +1,423 @@
+/**
+ * @file
+ * dvpsh — a tiny interactive shell over the adaptive engine.
+ *
+ * Loads newline-delimited JSON, accepts the Table III SQL dialect, and
+ * exposes the layout machinery through backslash commands:
+ *
+ *   \load <file>     ingest a JSON-lines file
+ *   \gen <n>         ingest n synthetic NoBench documents
+ *   \layout          show the current partitions
+ *   \stats           show workload statistics
+ *   \repartition     force a repartition from observed statistics
+ *   \explain <sql>   show which tables/columns a query would touch
+ *   \save <file>     snapshot data + layout to a binary image
+ *   \open <file>     replace the session with a saved snapshot
+ *   \quit
+ *
+ * Anything else is parsed as SQL and executed; results print as a
+ * table (strings decoded through the dictionary).
+ *
+ * Usage: dvpsh [file.jsonl]        (also reads statements from stdin)
+ */
+
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "adaptive/adaptive_engine.hh"
+#include "json/parser.hh"
+#include "nobench/generator.hh"
+#include "persist/snapshot.hh"
+#include "sql/parser.hh"
+#include "util/printer.hh"
+#include "util/timer.hh"
+
+using namespace dvp;
+
+namespace
+{
+
+/** Shell state: one DataSet + one adaptive engine over it. */
+class Shell
+{
+  public:
+    Shell()
+    {
+        // Start with an empty catalog and a trivial layout; the first
+        // \load or \gen triggers a real partitioning.
+        data.catalog.ensure("$empty");
+        rebuild();
+    }
+
+    /**
+     * Rebuild the engine when ingest introduced attributes the current
+     * layout has never seen (schema-less data: new attribute paths can
+     * appear at any time; the adaptive engine folds them in at the
+     * next repartition, and the shell forces one eagerly).
+     */
+    void
+    ensureFresh()
+    {
+        if (data.catalog.attrCount() == built_attrs)
+            return;
+        rebuild();
+    }
+
+    void
+    rebuild()
+    {
+        std::vector<dvp::engine::Query> reps;
+        if (engine)
+            reps = engine->workloadStats().representatives();
+        engine = std::make_unique<adaptive::AdaptiveEngine>(
+            data, reps, params());
+        built_attrs = data.catalog.attrCount();
+    }
+
+    void
+    loadFile(const std::string &path)
+    {
+        std::ifstream in(path);
+        if (!in) {
+            std::printf("cannot open '%s'\n", path.c_str());
+            return;
+        }
+        std::stringstream buf;
+        buf << in.rdbuf();
+        std::string err;
+        auto docs = json::parseLines(buf.str(), &err);
+        if (!err.empty())
+            std::printf("parse error: %s (loaded %zu docs before it)\n",
+                        err.c_str(), docs.size());
+        Timer t;
+        for (const auto &doc : docs)
+            engine->ingest(doc);
+        std::printf("ingested %zu documents in %.1f ms (%zu attributes "
+                    "known)\n",
+                    docs.size(), t.milliseconds(),
+                    data.catalog.attrCount());
+    }
+
+    void
+    generate(uint64_t n)
+    {
+        nobench::Config cfg;
+        cfg.numDocs = data.docs.size() + n;
+        Timer t;
+        for (uint64_t i = 0; i < n; ++i)
+            engine->ingest(nobench::generateDoc(
+                cfg, gen_rng, static_cast<int64_t>(data.docs.size())));
+        std::printf("generated %llu NoBench documents in %.1f ms\n",
+                    static_cast<unsigned long long>(n),
+                    t.milliseconds());
+    }
+
+    void
+    showLayout()
+    {
+        ensureFresh();
+        auto db = engine->snapshot();
+        const layout::Layout &l = db->layout();
+        std::printf("%zu partitions over %zu attributes, %zu docs, "
+                    "%.2f MB (%.2f MB NULLs)\n",
+                    l.partitionCount(), l.attrCount(), db->docCount(),
+                    db->storageBytes() / 1048576.0,
+                    db->nullBytes() / 1048576.0);
+        for (size_t p = 0; p < l.partitionCount() && p < 20; ++p) {
+            const auto &attrs =
+                l.partition(static_cast<layout::PartIdx>(p));
+            std::printf("  p%-3zu (%4zu rows)", p,
+                        db->table(p).rows());
+            for (size_t i = 0; i < attrs.size() && i < 6; ++i)
+                std::printf(" %s", data.catalog.name(attrs[i]).c_str());
+            if (attrs.size() > 6)
+                std::printf(" ... (+%zu)", attrs.size() - 6);
+            std::printf("\n");
+        }
+        if (l.partitionCount() > 20)
+            std::printf("  ... (+%zu more partitions)\n",
+                        l.partitionCount() - 20);
+    }
+
+    void
+    showStats()
+    {
+        const auto &ws = engine->workloadStats();
+        std::printf("%llu queries since the last repartition; %llu "
+                    "repartitions so far\n",
+                    static_cast<unsigned long long>(ws.executions()),
+                    static_cast<unsigned long long>(
+                        engine->adaptation().repartitions));
+        for (const auto &[name, t] : ws.templates())
+            std::printf("  %-10s x%-6llu avg %.3f ms  sel %.4f\n",
+                        name.c_str(),
+                        static_cast<unsigned long long>(t.executions),
+                        t.meanSeconds() * 1e3, t.meanSelectivity());
+    }
+
+    void
+    explain(const std::string &text)
+    {
+        ensureFresh();
+        sql::ParseResult r = sql::parse(text, data);
+        if (!r.ok) {
+            std::printf("error: %s\n", r.error.c_str());
+            return;
+        }
+        auto db = engine->snapshot();
+        std::printf("plan for: %s\n", text.c_str());
+        std::printf("  kind: %d, selectAll: %d, est. selectivity "
+                    "%.4f\n",
+                    static_cast<int>(r.query.kind),
+                    r.query.selectAll ? 1 : 0, r.query.selectivity);
+        auto show_loc = [&](const char *role, storage::AttrId a) {
+            if (a == storage::kNoAttr)
+                return;
+            dvp::engine::AttrLoc loc = db->locate(a);
+            if (loc.table < 0)
+                std::printf("  %s %s: not materialized (all NULL)\n",
+                            role, data.catalog.name(a).c_str());
+            else
+                std::printf("  %s %s -> table %d (%zu attrs, %zu "
+                            "rows)\n",
+                            role, data.catalog.name(a).c_str(),
+                            loc.table,
+                            db->table(loc.table).attrCount(),
+                            db->table(loc.table).rows());
+        };
+        for (storage::AttrId a : r.query.projected)
+            show_loc("project", a);
+        for (storage::AttrId a : r.query.conditionPart())
+            show_loc("condition", a);
+        if (r.query.selectAll)
+            std::printf("  SELECT *: retrieves across all %zu tables "
+                        "via the oid index\n",
+                        db->tableCount());
+    }
+
+    void
+    execute(const std::string &text)
+    {
+        ensureFresh();
+        sql::ParseResult r = sql::parse(text, data);
+        if (!r.ok) {
+            std::printf("error: %s\n", r.error.c_str());
+            return;
+        }
+        if (r.kind == sql::StatementKind::Load) {
+            loadFile(r.loadFile);
+            return;
+        }
+        if (r.kind == sql::StatementKind::Explain) {
+            explain(text.substr(text.find_first_not_of(" \t") + 7));
+            return;
+        }
+        Timer t;
+        dvp::engine::ResultSet rs = engine->execute(r.query);
+        double ms = t.milliseconds();
+        printResult(r.query, rs);
+        std::printf("%zu row(s) in %.3f ms\n", rs.rowCount(), ms);
+    }
+
+    void
+    repartition()
+    {
+        // Force a synchronous repartition from whatever statistics
+        // exist by rebuilding the engine parameters.
+        auto reps = engine->workloadStats().representatives();
+        if (reps.empty()) {
+            std::printf("no observed queries yet; run some SQL "
+                        "first\n");
+            return;
+        }
+        Timer t;
+        core::Partitioner partitioner(data, reps);
+        core::SearchResult res = partitioner.refine(
+            engine->snapshot()->layout());
+        std::printf("refined to %zu partitions in %.2f s "
+                    "(cost %.4f -> %.4f); rebuilding...\n",
+                    res.layout.partitionCount(), res.seconds,
+                    res.initialCost, res.finalCost);
+        engine = std::make_unique<adaptive::AdaptiveEngine>(
+            data, reps, params());
+        std::printf("done in %.2f s total\n", t.seconds());
+    }
+
+    void
+    saveSnapshot(const std::string &path)
+    {
+        ensureFresh();
+        layout::Layout l = engine->snapshot()->layout();
+        std::string err = persist::save(path, data, &l);
+        if (!err.empty())
+            std::printf("error: %s\n", err.c_str());
+        else
+            std::printf("saved %zu docs + layout to '%s'\n",
+                        data.docs.size(), path.c_str());
+    }
+
+    void
+    openSnapshot(const std::string &path)
+    {
+        persist::LoadResult r = persist::load(path);
+        if (!r.ok) {
+            std::printf("error: %s\n", r.error.c_str());
+            return;
+        }
+        engine.reset(); // drop tables referencing the old DataSet
+        data = std::move(r.data);
+        rebuild();
+        if (r.layout)
+            std::printf("loaded %zu docs (snapshot carried a %zu-"
+                        "partition layout; re-partitioned fresh)\n",
+                        data.docs.size(), r.layout->partitionCount());
+        else
+            std::printf("loaded %zu docs\n", data.docs.size());
+    }
+
+  private:
+    static adaptive::Params
+    params()
+    {
+        adaptive::Params p;
+        p.background = false;
+        return p;
+    }
+
+    void
+    printResult(const dvp::engine::Query &q,
+                const dvp::engine::ResultSet &rs)
+    {
+        // Column headers.
+        std::vector<std::string> header;
+        if (q.kind == dvp::engine::QueryKind::Aggregate) {
+            header = {"group", "count"};
+        } else if (q.kind == dvp::engine::QueryKind::Join) {
+            header = {"left oid", "right oid"};
+        } else if (q.selectAll) {
+            header = {"oid", "non-null attrs"};
+        } else {
+            for (storage::AttrId a : q.projected)
+                header.push_back(a == storage::kNoAttr
+                                     ? "?"
+                                     : data.catalog.name(a));
+        }
+        TablePrinter out(header);
+
+        auto cell = [&](storage::Slot s) -> std::string {
+            if (storage::isNull(s))
+                return "NULL";
+            if (storage::isStringSlot(s))
+                return data.dict.text(storage::decodeString(s));
+            return std::to_string(s);
+        };
+
+        size_t limit = 20;
+        for (size_t r = 0; r < rs.rowCount() && r < limit; ++r) {
+            std::vector<std::string> row;
+            if (q.selectAll &&
+                q.kind != dvp::engine::QueryKind::Join &&
+                q.kind != dvp::engine::QueryKind::Aggregate) {
+                row.push_back(std::to_string(rs.oids[r]));
+                std::string attrs;
+                int shown = 0;
+                for (size_t c = 0;
+                     c < rs.rows[r].size() && shown < 6; ++c) {
+                    if (storage::isNull(rs.rows[r][c]))
+                        continue;
+                    attrs += data.catalog.name(
+                                 static_cast<storage::AttrId>(c)) +
+                             "=" + cell(rs.rows[r][c]) + " ";
+                    ++shown;
+                }
+                row.push_back(attrs + "...");
+            } else {
+                for (storage::Slot s : rs.rows[r])
+                    row.push_back(cell(s));
+            }
+            out.addRow(std::move(row));
+        }
+        if (rs.rowCount() > 0)
+            std::printf("%s", out.ascii().c_str());
+        if (rs.rowCount() > limit)
+            std::printf("  ... (+%zu more rows)\n",
+                        rs.rowCount() - limit);
+    }
+
+    dvp::engine::DataSet data;
+    std::unique_ptr<adaptive::AdaptiveEngine> engine;
+    size_t built_attrs = 0;
+    Rng gen_rng{20260707};
+};
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    Shell shell;
+    if (argc > 1)
+        shell.loadFile(argv[1]);
+
+    std::printf("dvpsh — type SQL, or \\help\n");
+    std::string line;
+    while (true) {
+        std::printf("dvp> ");
+        std::fflush(stdout);
+        if (!std::getline(std::cin, line))
+            break;
+        // Trim.
+        size_t b = line.find_first_not_of(" \t");
+        if (b == std::string::npos)
+            continue;
+        line = line.substr(b);
+
+        if (line[0] == '\\') {
+            std::istringstream cmd(line.substr(1));
+            std::string verb;
+            cmd >> verb;
+            if (verb == "quit" || verb == "q")
+                break;
+            if (verb == "help") {
+                std::printf(
+                    "  \\load <file>   \\gen <n>   \\layout   \\stats\n"
+                    "  \\repartition   \\explain <sql>\n"
+                    "  \\save <file>   \\open <file>   \\quit\n");
+            } else if (verb == "load") {
+                std::string path;
+                cmd >> path;
+                shell.loadFile(path);
+            } else if (verb == "gen") {
+                uint64_t n = 1000;
+                cmd >> n;
+                shell.generate(n);
+            } else if (verb == "layout") {
+                shell.showLayout();
+            } else if (verb == "stats") {
+                shell.showStats();
+            } else if (verb == "repartition") {
+                shell.repartition();
+            } else if (verb == "save") {
+                std::string path;
+                cmd >> path;
+                shell.saveSnapshot(path);
+            } else if (verb == "open") {
+                std::string path;
+                cmd >> path;
+                shell.openSnapshot(path);
+            } else if (verb == "explain") {
+                std::string rest;
+                std::getline(cmd, rest);
+                shell.explain(rest);
+            } else {
+                std::printf("unknown command; try \\help\n");
+            }
+            continue;
+        }
+        shell.execute(line);
+    }
+    return 0;
+}

@@ -1,0 +1,137 @@
+#include "adaptive/adaptive_engine.hh"
+
+#include "util/logging.hh"
+#include "util/timer.hh"
+
+namespace dvp::adaptive
+{
+
+AdaptiveEngine::AdaptiveEngine(engine::DataSet &data,
+                               const std::vector<engine::Query> &initial,
+                               Params params)
+    : data(&data), prm(params),
+      detector(params.window, params.changeThreshold)
+{
+    core::Partitioner partitioner(data, initial, prm.search);
+    core::SearchResult res = partitioner.run();
+    adapt_stats.lastPartitionerSeconds = res.seconds;
+    adapt_stats.lastLayoutTables = res.layout.partitionCount();
+    db = std::make_shared<engine::Database>(data, res.layout, "DVP");
+}
+
+AdaptiveEngine::~AdaptiveEngine()
+{
+    quiesce();
+}
+
+std::shared_ptr<engine::Database>
+AdaptiveEngine::snapshot() const
+{
+    std::lock_guard<std::mutex> lock(db_mutex);
+    return db;
+}
+
+void
+AdaptiveEngine::quiesce()
+{
+    if (worker.joinable())
+        worker.join();
+}
+
+engine::ResultSet
+AdaptiveEngine::execute(const engine::Query &q)
+{
+    std::shared_ptr<engine::Database> current = snapshot();
+    Timer timer;
+    engine::Executor exec(*current);
+    engine::ResultSet rs = exec.run(q);
+    double seconds = timer.seconds();
+
+    uint64_t scanned = data->docs.size();
+    wstats.record(q, seconds, rs.rowCount(), scanned);
+    if (prm.adapt && detector.observe(q)) {
+        ++adapt_stats.changesDetected;
+        maybeRepartition();
+    }
+    return rs;
+}
+
+int64_t
+AdaptiveEngine::ingest(const json::JsonValue &doc)
+{
+    std::lock_guard<std::mutex> lock(db_mutex);
+    int64_t oid = data->addObject(doc);
+    db->insert(data->docs.back());
+    return oid;
+}
+
+void
+AdaptiveEngine::maybeRepartition()
+{
+    if (repartitioning.exchange(true))
+        return; // one repartition in flight is enough
+
+    std::vector<engine::Query> workload = wstats.representatives();
+    if (workload.empty()) {
+        repartitioning.store(false);
+        return;
+    }
+
+    if (!prm.background) {
+        repartitionNow(std::move(workload));
+        return;
+    }
+    quiesce(); // reap the previous worker, if any
+    worker = std::thread([this, w = std::move(workload)]() mutable {
+        repartitionNow(std::move(w));
+    });
+}
+
+void
+AdaptiveEngine::repartitionNow(std::vector<engine::Query> workload)
+{
+    Timer total;
+
+    // All shared state the rebuild needs is snapshotted up front: the
+    // cost model copies the catalog statistics, and the documents are
+    // copied under the lock so ingest can proceed concurrently.  The
+    // expensive work below (search + bulk table build) then runs on
+    // stable private data.
+    layout::Layout current_layout;
+    std::vector<storage::Document> doc_snapshot;
+    std::unique_ptr<core::Partitioner> partitioner;
+    {
+        std::lock_guard<std::mutex> lock(db_mutex);
+        current_layout = db->layout();
+        doc_snapshot = data->docs;
+        // The partitioner's cost model copies the catalog statistics,
+        // so construct it under the lock too.
+        partitioner = std::make_unique<core::Partitioner>(
+            *data, std::move(workload), prm.search);
+    }
+
+    core::SearchResult res = partitioner->refine(current_layout);
+    adapt_stats.lastPartitionerSeconds = res.seconds;
+
+    // Bulk-build the new tables from the snapshot.
+    auto fresh = std::make_shared<engine::Database>(
+        *data, res.layout, "DVP", /*allow_pad=*/true, &doc_snapshot);
+
+    // Catch up with documents ingested during the build, then switch
+    // through an atomic pointer swap (readers hold shared_ptrs, so a
+    // query in flight keeps its tables alive).
+    {
+        std::lock_guard<std::mutex> lock(db_mutex);
+        for (size_t i = fresh->docCount(); i < data->docs.size(); ++i)
+            fresh->insert(data->docs[i]);
+        db = std::move(fresh);
+        adapt_stats.lastLayoutTables = res.layout.partitionCount();
+        ++adapt_stats.repartitions;
+    }
+    wstats.reset();
+    detector.reset();
+    adapt_stats.lastRepartitionSeconds = total.seconds();
+    repartitioning.store(false);
+}
+
+} // namespace dvp::adaptive

@@ -1,0 +1,120 @@
+/**
+ * @file
+ * The adaptive engine: DVP's dynamic side (paper §IV, §VI-D).
+ *
+ * Wraps a DataSet, the statistics collector, the change detector and
+ * the partitioner.  Queries execute against the current Database; every
+ * execution feeds the statistics.  When the change detector flags a
+ * workload shift, the engine repartitions: the DVP partitioner refines
+ * the *current* layout under the recently observed workload, new tables
+ * are built and bulk-populated on a background thread (bound away from
+ * the query path), documents ingested meanwhile are batched and caught
+ * up, and the engine switches to the new tables through an atomic
+ * swap — queries never observe a partial layout and no downtime occurs.
+ *
+ * A synchronous mode (Params::background = false) performs the same
+ * repartition inline, for deterministic tests.
+ */
+
+#ifndef DVP_ADAPTIVE_ADAPTIVE_ENGINE_HH
+#define DVP_ADAPTIVE_ADAPTIVE_ENGINE_HH
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "dvp/partitioner.hh"
+#include "engine/database.hh"
+#include "engine/executor.hh"
+#include "engine/query.hh"
+#include "stats/change_detector.hh"
+#include "stats/workload_stats.hh"
+
+namespace dvp::adaptive
+{
+
+/** Adaptive-engine configuration. */
+struct Params
+{
+    core::SearchParams search;
+
+    /** Change-detector window (queries) and L1 threshold. */
+    size_t window = 100;
+    double changeThreshold = 0.5;
+
+    /** Repartition on a background thread (paper behaviour). */
+    bool background = true;
+
+    /** Master switch; off = run the initial layout forever. */
+    bool adapt = true;
+};
+
+/** Repartition bookkeeping for reports and tests. */
+struct AdaptationStats
+{
+    uint64_t repartitions = 0;
+    uint64_t changesDetected = 0;
+    double lastRepartitionSeconds = 0;
+    double lastPartitionerSeconds = 0;
+    size_t lastLayoutTables = 0;
+};
+
+/** The engine. */
+class AdaptiveEngine
+{
+  public:
+    /**
+     * @param data     the (mutable, owned-elsewhere) data set
+     * @param initial  workload description used for the first layout
+     */
+    AdaptiveEngine(engine::DataSet &data,
+                   const std::vector<engine::Query> &initial,
+                   Params params = {});
+
+    ~AdaptiveEngine();
+
+    AdaptiveEngine(const AdaptiveEngine &) = delete;
+    AdaptiveEngine &operator=(const AdaptiveEngine &) = delete;
+
+    /**
+     * Execute one query, record its statistics, and possibly trigger a
+     * repartition.  Thread-compatible with one in-flight background
+     * repartition; queries themselves run on the caller's thread.
+     */
+    engine::ResultSet execute(const engine::Query &q);
+
+    /** Ingest one new document (encode + store + catch-up queue). */
+    int64_t ingest(const json::JsonValue &doc);
+
+    /** Current database snapshot (shared; stays valid across swaps). */
+    std::shared_ptr<engine::Database> snapshot() const;
+
+    /** Wait for any in-flight background repartition to finish. */
+    void quiesce();
+
+    const AdaptationStats &adaptation() const { return adapt_stats; }
+    const stats::WorkloadStats &workloadStats() const { return wstats; }
+
+  private:
+    void maybeRepartition();
+    void repartitionNow(std::vector<engine::Query> workload);
+
+    engine::DataSet *data;
+    Params prm;
+
+    mutable std::mutex db_mutex;   ///< guards db swaps and doc appends
+    std::shared_ptr<engine::Database> db;
+
+    stats::WorkloadStats wstats;
+    stats::ChangeDetector detector;
+    AdaptationStats adapt_stats;
+
+    std::thread worker;
+    std::atomic<bool> repartitioning{false};
+};
+
+} // namespace dvp::adaptive
+
+#endif // DVP_ADAPTIVE_ADAPTIVE_ENGINE_HH

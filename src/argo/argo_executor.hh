@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Query executor over the Argo mappings (paper §VI-B).
+ *
+ * Argo has no per-attribute columns: every query scans the key column
+ * of its table(s).  The executor implements the behaviours the paper
+ * describes:
+ *  - projections scan entire tables matching the key column against the
+ *    projected attribute set (tables are 20x+ taller than the
+ *    partitioned layouts', hence Argo's poor projection performance);
+ *  - SELECT * selections scan each object's records only until the
+ *    condition attribute is found; when the condition is false (99.9%
+ *    of the time) the engine jumps to the next object through the
+ *    primary-key index without touching the remaining records;
+ *  - Argo3 routes predicates to the table of the predicate's value type
+ *    and reconstructs selected objects from all three tables.
+ *
+ * Result sets are identical to the partitioned engine's for every
+ * query, which tests assert.
+ */
+
+#ifndef DVP_ARGO_ARGO_EXECUTOR_HH
+#define DVP_ARGO_ARGO_EXECUTOR_HH
+
+#include "argo/argo_store.hh"
+#include "engine/query.hh"
+#include "engine/tracer.hh"
+
+namespace dvp::argo
+{
+
+/** Executes NoBench queries against one ArgoStore. */
+class ArgoExecutor
+{
+  public:
+    explicit ArgoExecutor(ArgoStore &store) : store(&store) {}
+
+    /** Timing path. */
+    engine::ResultSet run(const engine::Query &q);
+
+    /** Simulation path: every table access goes through @p mh. */
+    engine::ResultSet run(const engine::Query &q,
+                          perf::MemoryHierarchy &mh);
+
+  private:
+    ArgoStore *store;
+};
+
+} // namespace dvp::argo
+
+#endif // DVP_ARGO_ARGO_EXECUTOR_HH

@@ -1,0 +1,117 @@
+#include "argo/argo_store.hh"
+
+#include <algorithm>
+#include <cstring>
+
+#include "util/logging.hh"
+#include "util/timer.hh"
+
+namespace dvp::argo
+{
+
+ArgoTable::ArgoTable(std::string name, size_t width, Arena &arena)
+    : name_(std::move(name)), width_(width), arena(&arena)
+{
+    invariant(width >= 3, "Argo records need oid, key and a value");
+}
+
+void
+ArgoTable::reserve(size_t want)
+{
+    if (want <= capacity)
+        return;
+    size_t new_cap = std::max<size_t>(capacity * 2, 4096);
+    new_cap = std::max(new_cap, want);
+    AlignedBuffer bigger = arena->allocate(new_cap * strideBytes());
+    if (nrows > 0)
+        std::memcpy(bigger.data(), buf.data(), nrows * strideBytes());
+    buf = std::move(bigger);
+    capacity = new_cap;
+}
+
+void
+ArgoTable::append(const Slot *rec)
+{
+    invariant(nrows == 0 || rec[0] >= oid(nrows - 1),
+              "Argo records must arrive in oid order");
+    reserve(nrows + 1);
+    Slot *dst = const_cast<Slot *>(record(nrows));
+    std::memcpy(dst, rec, strideBytes());
+    for (size_t c = 0; c < width_; ++c)
+        if (storage::isNull(rec[c]))
+            ++null_cells;
+    ++nrows;
+}
+
+size_t
+ArgoTable::lowerBound(int64_t target) const
+{
+    size_t lo = 0, hi = nrows;
+    while (lo < hi) {
+        size_t mid = lo + (hi - lo) / 2;
+        if (oid(mid) < target)
+            lo = mid + 1;
+        else
+            hi = mid;
+    }
+    return lo;
+}
+
+ArgoStore::ArgoStore(const engine::DataSet &data, Variant variant)
+    : data_(&data), variant_(variant),
+      name_(variant == Variant::Argo1 ? "Argo1" : "Argo3")
+{
+    Timer timer;
+    if (variant_ == Variant::Argo1) {
+        tables_.emplace_back("argo1.main", 5, arena_);
+    } else {
+        tables_.emplace_back("argo3.str", 3, arena_);
+        tables_.emplace_back("argo3.num", 3, arena_);
+        tables_.emplace_back("argo3.bool", 3, arena_);
+    }
+    for (const auto &doc : data.docs)
+        insert(doc);
+    build_seconds = timer.seconds();
+}
+
+void
+ArgoStore::insert(const storage::Document &doc)
+{
+    for (const auto &[attr, slot] : doc.attrs) {
+        Slot key = static_cast<Slot>(attr);
+        if (variant_ == Variant::Argo1) {
+            Slot rec[5] = {doc.oid, key, storage::kNullSlot,
+                           storage::kNullSlot, storage::kNullSlot};
+            if (storage::isStringSlot(slot))
+                rec[ArgoCols::kStr] = slot;
+            else
+                rec[ArgoCols::kNum] = slot;
+            tables_[0].append(rec);
+        } else {
+            Slot rec[3] = {doc.oid, key, slot};
+            // Booleans ride the numeric table (see file comment).
+            size_t t = storage::isStringSlot(slot) ? 0 : 1;
+            tables_[t].append(rec);
+        }
+    }
+}
+
+size_t
+ArgoStore::storageBytes() const
+{
+    size_t total = 0;
+    for (const auto &t : tables_)
+        total += t.storageBytes();
+    return total;
+}
+
+uint64_t
+ArgoStore::nullCells() const
+{
+    uint64_t total = 0;
+    for (const auto &t : tables_)
+        total += t.nullCells();
+    return total;
+}
+
+} // namespace dvp::argo

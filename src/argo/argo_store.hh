@@ -1,0 +1,142 @@
+/**
+ * @file
+ * The Argo mapping layer (paper §II-B, Tables I and II).
+ *
+ * Argo1 stores every flattened attribute of every object as one record
+ * in a single 5-column table:
+ *
+ *     [ object id | key | string | num | bool ]
+ *
+ * exactly one of the three value columns is non-null per record, so 40%
+ * of the stored values are NULLs.  Argo3 splits records into three
+ * 3-column tables (one per value type) and stores no NULLs, at the cost
+ * of replicating object ids and keys.
+ *
+ * Keys are the attribute identifiers of the shared catalog (the
+ * "hashed form of the attribute name" of §VI-A: our catalog id plays
+ * the role of the name hash).  Booleans travel through the numeric
+ * column because the engine's slot encoding unifies them; the bool
+ * column is kept for format fidelity (see DESIGN.md).
+ *
+ * Records are appended object by object, so the oid column is
+ * non-decreasing and the store supports the paper's skip-to-next-object
+ * optimization through a primary-key (oid) binary search.
+ */
+
+#ifndef DVP_ARGO_ARGO_STORE_HH
+#define DVP_ARGO_ARGO_STORE_HH
+
+#include <string>
+#include <vector>
+
+#include "engine/database.hh"
+#include "storage/value.hh"
+#include "util/arena.hh"
+
+namespace dvp::argo
+{
+
+using storage::AttrId;
+using storage::Slot;
+
+/** Which Argo mapping. */
+enum class Variant { Argo1, Argo3 };
+
+/**
+ * One Argo table: a growable matrix of fixed-width records with a
+ * non-decreasing oid in slot 0.  (storage::Table is not reusable here:
+ * it enforces strictly increasing oids and one record per object.)
+ */
+class ArgoTable
+{
+  public:
+    /**
+     * @param name   debugging name
+     * @param width  slots per record (5 for Argo1, 3 for Argo3)
+     * @param arena  shared allocator (cache-line shift policy)
+     */
+    ArgoTable(std::string name, size_t width, Arena &arena);
+
+    /** Append one record; rec[0] must be >= the last record's oid. */
+    void append(const Slot *rec);
+
+    size_t rows() const { return nrows; }
+    size_t width() const { return width_; }
+    size_t strideBytes() const { return width_ * 8; }
+
+    const Slot *
+    record(size_t row) const
+    {
+        return reinterpret_cast<const Slot *>(buf.data()) + row * width_;
+    }
+
+    int64_t oid(size_t row) const { return record(row)[0]; }
+
+    /** First row whose oid is >= @p oid (skip-to-next-object jumps). */
+    size_t lowerBound(int64_t oid) const;
+
+    size_t storageBytes() const { return nrows * strideBytes(); }
+
+    /** NULL cells physically stored. */
+    uint64_t nullCells() const { return null_cells; }
+
+    const std::string &name() const { return name_; }
+
+  private:
+    void reserve(size_t want);
+
+    std::string name_;
+    size_t width_;
+    Arena *arena;
+    AlignedBuffer buf;
+    size_t nrows = 0;
+    size_t capacity = 0;
+    uint64_t null_cells = 0;
+};
+
+/** Column indices within Argo records. */
+struct ArgoCols
+{
+    static constexpr size_t kOid = 0;
+    static constexpr size_t kKey = 1;
+    // Argo1 value columns:
+    static constexpr size_t kStr = 2;
+    static constexpr size_t kNum = 3;
+    static constexpr size_t kBool = 4;
+    // Argo3 tables have their single value in column 2.
+    static constexpr size_t kVal = 2;
+};
+
+/** An Argo1 or Argo3 materialization of a DataSet. */
+class ArgoStore
+{
+  public:
+    ArgoStore(const engine::DataSet &data, Variant variant);
+
+    /** Append one document's records. */
+    void insert(const storage::Document &doc);
+
+    Variant variant() const { return variant_; }
+    const engine::DataSet &data() const { return *data_; }
+
+    size_t tableCount() const { return tables_.size(); }
+    const ArgoTable &table(size_t i) const { return tables_[i]; }
+
+    size_t storageBytes() const;
+    uint64_t nullCells() const;
+    size_t nullBytes() const { return nullCells() * 8; }
+    double buildSeconds() const { return build_seconds; }
+    const std::string &name() const { return name_; }
+
+  private:
+    const engine::DataSet *data_;
+    Variant variant_;
+    std::string name_;
+    Arena arena_;
+    std::vector<ArgoTable> tables_;
+    double build_seconds = 0;
+};
+
+} // namespace dvp::argo
+
+#endif // DVP_ARGO_ARGO_STORE_HH

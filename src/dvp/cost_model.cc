@@ -1,0 +1,234 @@
+#include "dvp/cost_model.hh"
+
+#include <algorithm>
+#include <map>
+
+#include "util/logging.hh"
+
+namespace dvp::core
+{
+
+const std::vector<Edge> CostModel::kNoEdges{};
+
+CostModel::CostModel(const storage::Catalog &catalog,
+                     std::vector<Query> queries, CostParams params)
+    : workload(std::move(queries)), nattrs(catalog.attrCount()),
+      prm(params)
+{
+    invariant(prm.alpha >= 0 && prm.alpha <= 1,
+              "alpha must lie in [0, 1]");
+
+    spa_.resize(nattrs);
+    for (size_t a = 0; a < nattrs; ++a)
+        spa_[a] = catalog.sparseness(static_cast<AttrId>(a));
+
+    std::vector<std::vector<AttrId>> explicit_sets;
+    explicit_sets.reserve(workload.size());
+    views.reserve(workload.size());
+    for (const Query &q : workload) {
+        QueryView v;
+        v.freq = q.frequency;
+        v.selectAll = q.selectAll;
+        v.selQ = q.selectivity;
+        std::vector<AttrId> explicit_attrs;
+        if (!q.selectAll) {
+            for (AttrId a : q.projected) {
+                if (a >= nattrs)
+                    continue;
+                v.sel.emplace(a, v.selQ);
+                explicit_attrs.push_back(a);
+            }
+        }
+        // Condition-part attributes override with sel = 1 (Eq. 1).
+        for (AttrId a : q.conditionPart()) {
+            if (a >= nattrs)
+                continue;
+            v.sel[a] = 1.0;
+            explicit_attrs.push_back(a);
+        }
+        std::sort(explicit_attrs.begin(), explicit_attrs.end());
+        explicit_attrs.erase(
+            std::unique(explicit_attrs.begin(), explicit_attrs.end()),
+            explicit_attrs.end());
+        views.push_back(std::move(v));
+        explicit_sets.push_back(std::move(explicit_attrs));
+    }
+
+    buildEdges(explicit_sets);
+
+    // Normalizers (Eq. 9): RACmax is the row layout's RAC, CPCmax the
+    // column layout's CPC (every edge cut => the total edge weight).
+    std::vector<AttrId> all(nattrs);
+    for (size_t a = 0; a < nattrs; ++a)
+        all[a] = static_cast<AttrId>(a);
+    rac_max = racOfPartition(all);
+    cpc_max = 0;
+    for (size_t a = 0; a < nattrs; ++a)
+        for (const Edge &e : adj[a])
+            if (e.other > a)
+                cpc_max += e.weight;
+}
+
+void
+CostModel::buildEdges(
+    const std::vector<std::vector<AttrId>> &explicit_sets)
+{
+    // Accumulate Eq. 7's query sum per unordered pair, then apply the
+    // sparseness-ratio factor.
+    std::map<std::pair<AttrId, AttrId>, double> sums;
+    for (size_t qi = 0; qi < views.size(); ++qi) {
+        const QueryView &v = views[qi];
+        const auto &attrs = explicit_sets[qi];
+        for (size_t i = 0; i < attrs.size(); ++i) {
+            for (size_t j = i + 1; j < attrs.size(); ++j) {
+                AttrId a = attrs[i], b = attrs[j];
+                double sa = selQA(qi, a);
+                double sb = selQA(qi, b);
+                if (sa <= 0 || sb <= 0)
+                    continue;
+                double ratio = std::min(sa, sb) / std::max(sa, sb);
+                sums[{a, b}] += v.freq * ratio;
+            }
+        }
+    }
+
+    adj.assign(nattrs, {});
+    for (const auto &[pair, sum] : sums) {
+        auto [a, b] = pair;
+        double lo = std::min(spa_[a], spa_[b]);
+        double hi = std::max(spa_[a], spa_[b]);
+        double ratio = hi > 0 ? lo / hi : 0.0;
+        double w = ratio * sum;
+        if (w <= 0)
+            continue;
+        adj[a].push_back({b, w});
+        adj[b].push_back({a, w});
+    }
+}
+
+double
+CostModel::selQA(size_t query_idx, AttrId a) const
+{
+    const QueryView &v = views[query_idx];
+    auto it = v.sel.find(a);
+    if (it != v.sel.end())
+        return it->second;
+    return v.selectAll ? v.selQ : 0.0;
+}
+
+double
+CostModel::spa(AttrId a) const
+{
+    invariant(a < nattrs, "spa: attribute out of range");
+    return spa_[a];
+}
+
+double
+CostModel::racOfPartition(const std::vector<AttrId> &attrs,
+                          AttrId exclude, AttrId include) const
+{
+    // Virtual membership: iterate attrs skipping `exclude`, then visit
+    // `include` once more.  Count the effective size as we go.
+    size_t count = 0;
+    double spa_p = 0;
+    auto for_each_attr = [&](auto &&fn) {
+        for (AttrId a : attrs) {
+            if (a == exclude)
+                continue;
+            fn(a);
+        }
+        if (include != storage::kNoAttr)
+            fn(include);
+    };
+
+    for_each_attr([&](AttrId a) {
+        ++count;
+        spa_p = std::max(spa_p, spa_[a]);
+    });
+    if (count == 0)
+        return 0.0;
+
+    double total = 0;
+    for (size_t qi = 0; qi < views.size(); ++qi) {
+        const QueryView &v = views[qi];
+        double sel_p = 0;
+        double sum = 0;
+        bool has_attr = v.selectAll;
+        for_each_attr([&](AttrId a) {
+            double s = selQA(qi, a);
+            if (s > 0 && !v.selectAll)
+                has_attr = true;
+            sel_p = std::max(sel_p, s);
+            sum += spa_[a] * s;
+        });
+        if (!has_attr || sel_p <= 0)
+            continue;
+        total += v.freq *
+                 (static_cast<double>(count) * spa_p * sel_p - sum);
+    }
+    return total;
+}
+
+double
+CostModel::rac(const Layout &layout) const
+{
+    double total = 0;
+    for (const auto &part : layout.partitions())
+        total += racOfPartition(part);
+    return total;
+}
+
+double
+CostModel::cpc(const Layout &layout) const
+{
+    double total = 0;
+    for (size_t a = 0; a < nattrs; ++a) {
+        layout::PartIdx pa = layout.partitionOf(static_cast<AttrId>(a));
+        for (const Edge &e : adj[a]) {
+            if (e.other <= a)
+                continue; // count each unordered pair once
+            if (pa != layout.partitionOf(e.other))
+                total += e.weight;
+        }
+    }
+    return total;
+}
+
+double
+CostModel::combine(double rac_value, double cpc_value) const
+{
+    // Clamp away tiny negative drift from incremental bookkeeping;
+    // both components are non-negative by construction (Eq. 4/7).
+    rac_value = std::max(0.0, rac_value);
+    cpc_value = std::max(0.0, cpc_value);
+    double rterm = rac_max > 0 ? rac_value / rac_max : 0.0;
+    double cterm = cpc_max > 0 ? cpc_value / cpc_max : 0.0;
+    return prm.alpha * cterm + (1 - prm.alpha) * rterm;
+}
+
+double
+CostModel::cost(const Layout &layout) const
+{
+    return combine(rac(layout), cpc(layout));
+}
+
+double
+CostModel::edgeWeight(AttrId a, AttrId b) const
+{
+    if (a >= nattrs)
+        return 0;
+    for (const Edge &e : adj[a])
+        if (e.other == b)
+            return e.weight;
+    return 0;
+}
+
+const std::vector<Edge> &
+CostModel::edgesOf(AttrId a) const
+{
+    if (a >= adj.size())
+        return kNoEdges;
+    return adj[a];
+}
+
+} // namespace dvp::core

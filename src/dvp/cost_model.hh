@@ -1,0 +1,130 @@
+/**
+ * @file
+ * The DVP cost model — Equations 1-9 of the paper.
+ *
+ * Terminology (paper §III-C):
+ *  - sel(q,a): 1 for condition-part attributes, sel(q) for selection-
+ *    part attributes, 0 otherwise (Eq. 1);
+ *  - sel(q,p), spa(p): per-partition maxima (Eq. 2, 3);
+ *  - rac(q,p): redundant access cost (Eq. 4); RACP: its total (Eq. 5);
+ *  - w(a,b): the benefit of co-locating a and b (Eq. 7), built over Qab
+ *    (Eq. 6); CPCP: total cross-partition cost (Eq. 8);
+ *  - CP = alpha * CPC/CPCmax + (1-alpha) * RAC/RACmax (Eq. 9), where
+ *    CPCmax is attained by the column layout (every edge cut) and
+ *    RACmax by the row layout (one partition holding everything).
+ *
+ * SELECT * handling follows DESIGN.md §3b: RAC expands '*' over every
+ * attribute, while the affinity edges and Qab use explicitly named
+ * attributes only.
+ */
+
+#ifndef DVP_DVP_COST_MODEL_HH
+#define DVP_DVP_COST_MODEL_HH
+
+#include <unordered_map>
+#include <vector>
+
+#include "engine/query.hh"
+#include "layout/layout.hh"
+#include "storage/catalog.hh"
+
+namespace dvp::core
+{
+
+using engine::Query;
+using layout::Layout;
+using storage::AttrId;
+
+/** Cost-model parameters. */
+struct CostParams
+{
+    /** Eq. 9's workload-dependent weight of CPC vs RAC. */
+    double alpha = 0.5;
+};
+
+/** One undirected affinity edge. */
+struct Edge
+{
+    AttrId other;
+    double weight;
+};
+
+/**
+ * The cost model, bound to a catalog snapshot and a workload
+ * (queries with frequencies and selectivities).  Immutable once built;
+ * the partitioner layers incremental state on top of it.
+ */
+class CostModel
+{
+  public:
+    CostModel(const storage::Catalog &catalog,
+              std::vector<Query> queries, CostParams params = {});
+
+    /**
+     * Eq. 4 summed over queries for one partition, optionally with one
+     * attribute virtually excluded and/or one virtually included (the
+     * partitioner's delta evaluation; avoids building candidate
+     * partitions).  Pass storage::kNoAttr for the defaults.
+     */
+    double racOfPartition(const std::vector<AttrId> &attrs,
+                          AttrId exclude = storage::kNoAttr,
+                          AttrId include = storage::kNoAttr) const;
+
+    /** Eq. 5: total redundant access cost of a layout. */
+    double rac(const Layout &layout) const;
+
+    /** Eq. 8: total cross-partition cost of a layout. */
+    double cpc(const Layout &layout) const;
+
+    /** Eq. 9: normalized total cost. */
+    double cost(const Layout &layout) const;
+
+    /** Combine raw component values into Eq. 9. */
+    double combine(double rac_value, double cpc_value) const;
+
+    /** Eq. 7 weight between two attributes (0 when no query co-access). */
+    double edgeWeight(AttrId a, AttrId b) const;
+
+    /** Affinity adjacency of @p a (explicit co-access only). */
+    const std::vector<Edge> &edgesOf(AttrId a) const;
+
+    /** Normalizers of Eq. 9. */
+    double racMax() const { return rac_max; }
+    double cpcMax() const { return cpc_max; }
+
+    /** Eq. 1. */
+    double selQA(size_t query_idx, AttrId a) const;
+
+    /** Eq. 3 (attribute form). */
+    double spa(AttrId a) const;
+
+    const std::vector<Query> &queries() const { return workload; }
+    size_t attrCount() const { return nattrs; }
+    const CostParams &params() const { return prm; }
+
+  private:
+    struct QueryView
+    {
+        double freq;
+        bool selectAll;
+        double selQ; ///< sel(q) for selection-part attributes
+        /** Explicit sel(q,a) overrides (condition=1, projected=selQ). */
+        std::unordered_map<AttrId, double> sel;
+    };
+
+    void buildEdges(const std::vector<std::vector<AttrId>> &explicitSets);
+
+    std::vector<Query> workload;
+    std::vector<QueryView> views;
+    std::vector<double> spa_; ///< dense AttrId -> sparseness ratio
+    std::vector<std::vector<Edge>> adj;
+    size_t nattrs;
+    CostParams prm;
+    double rac_max = 0;
+    double cpc_max = 0;
+    static const std::vector<Edge> kNoEdges;
+};
+
+} // namespace dvp::core
+
+#endif // DVP_DVP_COST_MODEL_HH

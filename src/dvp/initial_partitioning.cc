@@ -1,0 +1,103 @@
+#include "dvp/initial_partitioning.hh"
+
+#include <algorithm>
+#include <map>
+
+#include "util/logging.hh"
+
+namespace dvp::core
+{
+
+using layout::Layout;
+using storage::AttrId;
+
+namespace
+{
+
+/** Explicitly accessed attributes of a query (DESIGN.md §3b). */
+std::vector<AttrId>
+explicitAttrs(const engine::Query &q)
+{
+    std::vector<AttrId> out;
+    if (!q.selectAll)
+        out = q.projected;
+    std::vector<AttrId> cond = q.conditionPart();
+    out.insert(out.end(), cond.begin(), cond.end());
+    std::sort(out.begin(), out.end());
+    out.erase(std::unique(out.begin(), out.end()), out.end());
+    return out;
+}
+
+} // namespace
+
+Layout
+initialPartitioning(const engine::DataSet &data,
+                    const std::vector<engine::Query> &queries,
+                    const InitialParams &params)
+{
+    const size_t nattrs = data.catalog.attrCount();
+    std::vector<bool> assigned(nattrs, false);
+    std::vector<std::vector<AttrId>> parts;
+
+    // Step 1: frequency-sorted query grouping.
+    std::vector<const engine::Query *> sorted;
+    sorted.reserve(queries.size());
+    for (const auto &q : queries)
+        sorted.push_back(&q);
+    std::stable_sort(sorted.begin(), sorted.end(),
+                     [](const engine::Query *a, const engine::Query *b) {
+                         return a->frequency > b->frequency;
+                     });
+
+    for (const engine::Query *q : sorted) {
+        std::vector<AttrId> group;
+        for (AttrId a : explicitAttrs(*q)) {
+            if (a < nattrs && !assigned[a]) {
+                assigned[a] = true;
+                group.push_back(a);
+            }
+        }
+        if (!group.empty())
+            parts.push_back(std::move(group));
+    }
+
+    // Step 2: co-presence signature clustering of unaccessed attrs.
+    std::vector<AttrId> leftovers;
+    for (size_t a = 0; a < nattrs; ++a)
+        if (!assigned[a])
+            leftovers.push_back(static_cast<AttrId>(a));
+
+    if (!leftovers.empty() && params.clusterUnaccessed &&
+        !data.docs.empty()) {
+        // Sample documents evenly across the data set.
+        size_t sample = std::min(params.signatureSample,
+                                 data.docs.size());
+        size_t stride = std::max<size_t>(1, data.docs.size() / sample);
+
+        // Signature: FNV over the sampled presence bit stream.
+        std::map<uint64_t, std::vector<AttrId>> clusters;
+        for (AttrId a : leftovers) {
+            uint64_t h = 0xcbf29ce484222325ULL;
+            for (size_t d = 0; d < data.docs.size(); d += stride) {
+                bool present =
+                    !storage::isNull(data.docs[d].slotOf(a));
+                h ^= present ? 0x9eu : 0x31u;
+                h *= 0x100000001b3ULL;
+            }
+            clusters[h].push_back(a);
+        }
+        for (auto &[sig, group] : clusters)
+            parts.push_back(std::move(group));
+    } else {
+        // Step 3 fallback: plain column format for leftovers.
+        for (AttrId a : leftovers)
+            parts.push_back({a});
+    }
+
+    Layout layout(std::move(parts));
+    invariant(layout.attrCount() == nattrs,
+              "initial partitioning must cover the whole catalog");
+    return layout;
+}
+
+} // namespace dvp::core

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Initial partitioning (paper §III-D), extended with the data-
+ * sparseness awareness of DESIGN.md §3b.
+ *
+ * 1. Queries are sorted by workload frequency (descending).  For each
+ *    query, all of its explicitly accessed attributes not yet assigned
+ *    are placed together in one new partition.
+ * 2. Attributes accessed by no query are grouped by their non-null
+ *    co-presence signature over a document sample: attributes that
+ *    appear in exactly the same documents (NoBench's sparse groups, or
+ *    the always-present dense attributes) share a partition.
+ * 3. Attributes with a unique signature fall back to the paper's
+ *    column-based format (one partition each), chosen so that a later
+ *    first access requires no layout change for the others.
+ */
+
+#ifndef DVP_DVP_INITIAL_PARTITIONING_HH
+#define DVP_DVP_INITIAL_PARTITIONING_HH
+
+#include <vector>
+
+#include "engine/database.hh"
+#include "engine/query.hh"
+#include "layout/layout.hh"
+
+namespace dvp::core
+{
+
+/** Knobs for the initial partitioner. */
+struct InitialParams
+{
+    /** Documents sampled for co-presence signatures. */
+    size_t signatureSample = 2048;
+
+    /** Enable step 2 (signature clustering) at all. */
+    bool clusterUnaccessed = true;
+};
+
+/**
+ * Compute the initial layout for @p data under @p queries.
+ * Covers every attribute currently in the catalog.
+ */
+layout::Layout initialPartitioning(const engine::DataSet &data,
+                                   const std::vector<engine::Query> &
+                                       queries,
+                                   const InitialParams &params = {});
+
+} // namespace dvp::core
+
+#endif // DVP_DVP_INITIAL_PARTITIONING_HH

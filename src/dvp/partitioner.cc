@@ -1,0 +1,173 @@
+#include "dvp/partitioner.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.hh"
+#include "util/timer.hh"
+
+namespace dvp::core
+{
+
+using layout::Layout;
+using layout::PartIdx;
+using storage::AttrId;
+
+Partitioner::Partitioner(const engine::DataSet &data,
+                         std::vector<engine::Query> queries,
+                         SearchParams params)
+    : data(&data), prm(params),
+      model_(std::make_unique<CostModel>(data.catalog,
+                                         std::move(queries),
+                                         params.cost))
+{
+}
+
+SearchResult
+Partitioner::run() const
+{
+    Timer timer;
+    Layout initial = initialPartitioning(*data, model_->queries(),
+                                         prm.initial);
+    SearchResult res = refine(std::move(initial));
+    res.seconds = timer.seconds(); // include initial-partitioning time
+    return res;
+}
+
+SearchResult
+Partitioner::refine(Layout current) const
+{
+    Timer timer;
+    const CostModel &m = *model_;
+    current.validate();
+
+    // Mutable working state.
+    std::vector<std::vector<AttrId>> parts = current.partitions();
+    size_t nattrs = current.attrCount();
+    std::vector<PartIdx> part_of(m.attrCount(), layout::kNoPart);
+    for (PartIdx p = 0; p < parts.size(); ++p)
+        for (AttrId a : parts[p])
+            part_of[a] = p;
+
+    // Cached per-partition RAC and global components.
+    std::vector<double> rac_p(parts.size());
+    double rac_total = 0;
+    for (size_t p = 0; p < parts.size(); ++p) {
+        rac_p[p] = m.racOfPartition(parts[p]);
+        rac_total += rac_p[p];
+    }
+    double cpc_total = m.cpc(current);
+
+    SearchResult res;
+    res.initialCost = m.combine(rac_total, cpc_total);
+
+    // Per-target CPC edge sums for the attribute under evaluation.
+    std::vector<double> edge_to_part(parts.size() + 1, 0.0);
+
+    while (res.iterations < prm.maxIterations) {
+        ++res.iterations;
+        double clc = m.combine(rac_total, cpc_total);
+
+        double max_gain = -1;
+        AttrId best_attr = storage::kNoAttr;
+        PartIdx best_target = layout::kNoPart;
+        double best_new_rac_src = 0, best_new_rac_dst = 0;
+        double best_cpc_delta = 0;
+
+        for (AttrId a = 0; a < nattrs; ++a) {
+            PartIdx src = part_of[a];
+            // Virtual removal from the source partition.
+            double rac_src_without =
+                m.racOfPartition(parts[src], a, storage::kNoAttr);
+
+            // CPC deltas: cutting a's intra-source edges, mending its
+            // edges into the target partition.
+            edge_to_part.assign(parts.size() + 1, 0.0);
+            for (const Edge &e : m.edgesOf(a)) {
+                PartIdx pe = part_of[e.other];
+                if (pe != layout::kNoPart)
+                    edge_to_part[pe] += e.weight;
+            }
+            double cut_src = edge_to_part[src];
+
+            // Candidate targets: every other partition plus one fresh
+            // empty partition at index parts.size().
+            for (PartIdx dst = 0; dst <= parts.size(); ++dst) {
+                if (dst == src)
+                    continue;
+                if (dst == parts.size() && parts[src].size() == 1)
+                    continue; // singleton to fresh partition: no-op
+                double rac_dst_with =
+                    dst == parts.size()
+                        ? m.racOfPartition({}, storage::kNoAttr, a)
+                        : m.racOfPartition(parts[dst],
+                                           storage::kNoAttr, a);
+                double old_rac_dst = dst == parts.size() ? 0
+                                                         : rac_p[dst];
+                double new_rac = rac_total - rac_p[src] +
+                                 rac_src_without - old_rac_dst +
+                                 rac_dst_with;
+                double new_cpc = cpc_total + cut_src -
+                                 edge_to_part[dst];
+                double gain = clc - m.combine(new_rac, new_cpc);
+                if (gain > max_gain) {
+                    max_gain = gain;
+                    best_attr = a;
+                    best_target = dst;
+                    best_new_rac_src = rac_src_without;
+                    best_new_rac_dst = rac_dst_with;
+                    best_cpc_delta = cut_src - edge_to_part[dst];
+                }
+            }
+        }
+
+        double floor = prm.minRelGain * std::max(std::abs(clc), 1e-12);
+        if (best_attr == storage::kNoAttr || max_gain <= floor)
+            break;
+
+        // Apply the best migration.
+        PartIdx src = part_of[best_attr];
+        PartIdx dst = best_target;
+        if (dst == parts.size()) {
+            parts.emplace_back();
+            rac_p.push_back(0.0);
+            edge_to_part.push_back(0.0);
+        }
+        auto &from = parts[src];
+        from.erase(std::find(from.begin(), from.end(), best_attr));
+        parts[dst].push_back(best_attr);
+        part_of[best_attr] = dst;
+
+        rac_total += (best_new_rac_src - rac_p[src]) +
+                     (best_new_rac_dst -
+                      (dst < rac_p.size() ? rac_p[dst] : 0.0));
+        rac_p[src] = best_new_rac_src;
+        rac_p[dst] = best_new_rac_dst;
+        cpc_total += best_cpc_delta;
+
+        if (from.empty()) {
+            // Swap-remove the emptied partition, fixing indices.
+            size_t last = parts.size() - 1;
+            if (src != last) {
+                parts[src] = std::move(parts[last]);
+                rac_p[src] = rac_p[last];
+                for (AttrId x : parts[src])
+                    part_of[x] = src;
+            }
+            parts.pop_back();
+            rac_p.pop_back();
+        }
+        ++res.moves;
+    }
+
+    res.layout = Layout(std::move(parts));
+    res.finalCost = m.combine(rac_total, cpc_total);
+    res.seconds = timer.seconds();
+
+    // Defensive: refinement must never worsen the cost.
+    invariant(res.finalCost <= res.initialCost + 1e-9,
+              "Algorithm 1 increased the layout cost");
+    return res;
+}
+
+} // namespace dvp::core

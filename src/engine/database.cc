@@ -1,0 +1,115 @@
+#include "engine/database.hh"
+
+#include "util/logging.hh"
+#include "util/timer.hh"
+
+namespace dvp::engine
+{
+
+int64_t
+DataSet::addObject(const json::JsonValue &doc)
+{
+    storage::Encoder enc(catalog, dict);
+    // Encoder oid assignment restarts per call; keep docs authoritative.
+    storage::Document d = enc.encodeObject(doc);
+    d.oid = static_cast<int64_t>(docs.size());
+    docs.push_back(std::move(d));
+    return docs.back().oid;
+}
+
+int64_t
+DataSet::addFlat(const std::vector<json::FlatAttr> &flat)
+{
+    storage::Encoder enc(catalog, dict);
+    storage::Document d = enc.encode(flat);
+    d.oid = static_cast<int64_t>(docs.size());
+    docs.push_back(std::move(d));
+    return docs.back().oid;
+}
+
+Database::Database(const DataSet &data, layout::Layout layout,
+                   std::string name, bool allow_pad,
+                   const std::vector<storage::Document> *docs_override)
+    : data_(&data), layout_(std::move(layout)), name_(std::move(name))
+{
+    Timer timer;
+    layout_.validate();
+
+    tables_.reserve(layout_.partitionCount());
+    size_t max_attr = 0;
+    for (const auto &part : layout_.partitions())
+        for (storage::AttrId a : part)
+            max_attr = std::max<size_t>(max_attr, a);
+    locs_.assign(max_attr + 1, AttrLoc{});
+
+    for (size_t p = 0; p < layout_.partitionCount(); ++p) {
+        const auto &attrs = layout_.partition(
+            static_cast<layout::PartIdx>(p));
+        tables_.emplace_back(name_ + ".p" + std::to_string(p), attrs,
+                             arena_, allow_pad);
+        for (size_t c = 0; c < attrs.size(); ++c)
+            locs_[attrs[c]] = AttrLoc{static_cast<int>(p),
+                                      static_cast<int>(c)};
+    }
+
+    const auto &docs = docs_override ? *docs_override : data.docs;
+    for (const auto &doc : docs)
+        insert(doc);
+
+    build_seconds = timer.seconds();
+}
+
+std::vector<storage::Slot>
+Database::denseSlots(const storage::Document &doc) const
+{
+    std::vector<storage::Slot> dense(locs_.size(), storage::kNullSlot);
+    for (const auto &[attr, slot] : doc.attrs) {
+        if (attr < dense.size())
+            dense[attr] = slot; // attrs outside the layout are dropped
+    }
+    return dense;
+}
+
+void
+Database::insert(const storage::Document &doc)
+{
+    std::vector<storage::Slot> dense = denseSlots(doc);
+    std::vector<storage::Slot> record;
+    for (size_t p = 0; p < tables_.size(); ++p) {
+        const auto &schema = tables_[p].schema();
+        record.clear();
+        record.reserve(schema.size());
+        for (storage::AttrId a : schema)
+            record.push_back(dense[a]);
+        tables_[p].append(doc.oid, record);
+    }
+    ++ndocs;
+}
+
+AttrLoc
+Database::locate(storage::AttrId a) const
+{
+    if (a >= locs_.size())
+        return AttrLoc{};
+    return locs_[a];
+}
+
+size_t
+Database::storageBytes() const
+{
+    size_t total = 0;
+    for (const auto &t : tables_)
+        total += t.storageBytes();
+    return total;
+}
+
+uint64_t
+Database::nullCells() const
+{
+    uint64_t total = 0;
+    for (const auto &t : tables_)
+        total += t.nullCells();
+    return total;
+}
+
+} // namespace dvp::engine

@@ -1,0 +1,112 @@
+/**
+ * @file
+ * DataSet and Database.
+ *
+ * A DataSet is the layout-independent part: the catalog, the string
+ * dictionary, and the encoded documents.  A Database materializes one
+ * DataSet under one Layout as a set of partition Tables, all allocated
+ * through an Arena so the cache-collision-prevention address policy of
+ * §IV applies.  Several Databases (row, column, DVP, ...) typically
+ * share one DataSet so their query results are directly comparable.
+ */
+
+#ifndef DVP_ENGINE_DATABASE_HH
+#define DVP_ENGINE_DATABASE_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "layout/layout.hh"
+#include "storage/catalog.hh"
+#include "storage/dictionary.hh"
+#include "storage/encoder.hh"
+#include "storage/table.hh"
+#include "util/arena.hh"
+
+namespace dvp::engine
+{
+
+/** Layout-independent data: catalog + dictionary + encoded documents. */
+struct DataSet
+{
+    storage::Catalog catalog;
+    storage::Dictionary dict;
+    std::vector<storage::Document> docs;
+
+    /** Encode and append one JSON object; returns its oid. */
+    int64_t addObject(const json::JsonValue &doc);
+
+    /** Encode and append pre-flattened attributes; returns the oid. */
+    int64_t addFlat(const std::vector<json::FlatAttr> &flat);
+};
+
+/** Location of an attribute inside a Database. */
+struct AttrLoc
+{
+    int table = -1; ///< table index, -1 when the attr is not stored
+    int col = -1;   ///< column within that table
+};
+
+/** One physical materialization of a DataSet under a Layout. */
+class Database
+{
+  public:
+    /**
+     * Build tables for @p layout and populate them from @p data.
+     * @param name engine name for reports ("DVP", "row", ...).
+     * @param allow_pad enable the §IV narrow-padding decision.
+     * @param docs_override populate from this snapshot instead of
+     *        data.docs (used by background repartitioning, which must
+     *        not race the live document vector).
+     */
+    Database(const DataSet &data, layout::Layout layout, std::string name,
+             bool allow_pad = true,
+             const std::vector<storage::Document> *docs_override =
+                 nullptr);
+
+    /** Number of documents inserted so far. */
+    size_t docCount() const { return ndocs; }
+
+    /** Append one more document to every partition table. */
+    void insert(const storage::Document &doc);
+
+    const layout::Layout &layout() const { return layout_; }
+    const DataSet &data() const { return *data_; }
+    const std::string &name() const { return name_; }
+
+    size_t tableCount() const { return tables_.size(); }
+    const storage::Table &table(size_t i) const { return tables_[i]; }
+
+    /** Where attribute @p a lives. */
+    AttrLoc locate(storage::AttrId a) const;
+
+    /** Total record-storage bytes across tables. */
+    size_t storageBytes() const;
+
+    /** Total NULL cells materialized across tables. */
+    uint64_t nullCells() const;
+
+    /** NULL bytes (cells x 8). */
+    size_t nullBytes() const { return nullCells() * 8; }
+
+    /** Seconds spent building + populating (Table IV's build time). */
+    double buildSeconds() const { return build_seconds; }
+
+  private:
+    std::vector<storage::Slot> denseSlots(const storage::Document &doc)
+        const;
+
+    const DataSet *data_;
+    layout::Layout layout_;
+    std::string name_;
+    Arena arena_;
+    std::vector<storage::Table> tables_;
+    std::vector<AttrLoc> locs_; ///< dense AttrId -> location
+    size_t ndocs = 0;
+    double build_seconds = 0;
+};
+
+} // namespace dvp::engine
+
+#endif // DVP_ENGINE_DATABASE_HH

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * The query executor for partitioned (row / column / hybrid / DVP /
+ * Hyrise) databases.
+ *
+ * Execution strategy (paper §IV "Indexing, Scanning, Insert"):
+ *  - projections merge-scan the involved partition tables simultaneously
+ *    by their sorted oid columns (no joins needed);
+ *  - selections scan the condition column inside its owning partition
+ *    and, for each match, retrieve the selected attributes from the
+ *    other partitions through the sorted-oid primary-key index;
+ *  - rows whose projected attributes are all NULL are not emitted, so
+ *    result sets are identical across layouts (sparse omission);
+ *  - aggregation runs the selection part first, then folds groups;
+ *  - the self-join hash-partitions matching left records and probes
+ *    with a scan of the right join column.
+ */
+
+#ifndef DVP_ENGINE_EXECUTOR_HH
+#define DVP_ENGINE_EXECUTOR_HH
+
+#include "engine/database.hh"
+#include "engine/query.hh"
+#include "engine/tracer.hh"
+
+namespace dvp::engine
+{
+
+/** Executes queries against one Database. */
+class Executor
+{
+  public:
+    explicit Executor(Database &db) : db(&db) {}
+
+    /** Execute on the timing path (no simulation overhead). */
+    ResultSet run(const Query &q);
+
+    /** Execute while feeding every table access into @p mh. */
+    ResultSet run(const Query &q, perf::MemoryHierarchy &mh);
+
+  private:
+    Database *db;
+};
+
+} // namespace dvp::engine
+
+#endif // DVP_ENGINE_EXECUTOR_HH

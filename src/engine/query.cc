@@ -1,0 +1,98 @@
+#include "engine/query.hh"
+
+#include <algorithm>
+#include <set>
+
+#include "util/logging.hh"
+
+namespace dvp::engine
+{
+
+std::vector<AttrId>
+Query::selectionPart(const storage::Catalog &catalog) const
+{
+    if (selectAll)
+        return catalog.allAttrs();
+    return projected;
+}
+
+std::vector<AttrId>
+Query::conditionPart() const
+{
+    std::vector<AttrId> out;
+    if (cond.op == CondOp::Eq || cond.op == CondOp::Between)
+        out.push_back(cond.attr);
+    for (AttrId a : cond.anyAttrs)
+        out.push_back(a);
+    if (joinLeftAttr != storage::kNoAttr)
+        out.push_back(joinLeftAttr);
+    if (joinRightAttr != storage::kNoAttr)
+        out.push_back(joinRightAttr);
+    if (groupBy != storage::kNoAttr)
+        out.push_back(groupBy);
+    std::sort(out.begin(), out.end());
+    out.erase(std::unique(out.begin(), out.end()), out.end());
+    return out;
+}
+
+std::vector<AttrId>
+Query::accessedAttrs(const storage::Catalog &catalog) const
+{
+    std::vector<AttrId> out = selectionPart(catalog);
+    std::vector<AttrId> cp = conditionPart();
+    out.insert(out.end(), cp.begin(), cp.end());
+    std::sort(out.begin(), out.end());
+    out.erase(std::unique(out.begin(), out.end()), out.end());
+    return out;
+}
+
+uint64_t
+resultCellDigest(AttrId attr, Slot s)
+{
+    uint64_t v = static_cast<uint64_t>(s) ^
+                 (static_cast<uint64_t>(attr) * 0x9e3779b97f4a7c15ULL);
+    v ^= v >> 33;
+    v *= 0xff51afd7ed558ccdULL;
+    v ^= v >> 33;
+    return v;
+}
+
+namespace
+{
+
+/** Canonical copy: rows sorted lexicographically. */
+std::vector<std::vector<Slot>>
+canonical(const ResultSet &rs)
+{
+    std::vector<std::vector<Slot>> rows = rs.rows;
+    std::sort(rows.begin(), rows.end());
+    return rows;
+}
+
+} // namespace
+
+bool
+ResultSet::equals(const ResultSet &other) const
+{
+    return canonical(*this) == canonical(other);
+}
+
+uint64_t
+ResultSet::digest() const
+{
+    uint64_t h = 0xcbf29ce484222325ULL;
+    auto mix = [&h](uint64_t v) {
+        for (int i = 0; i < 8; ++i) {
+            h ^= (v >> (i * 8)) & 0xff;
+            h *= 0x100000001b3ULL;
+        }
+    };
+    for (const auto &row : canonical(*this)) {
+        mix(0x9e3779b97f4a7c15ULL); // row separator
+        for (Slot s : row)
+            mix(static_cast<uint64_t>(s));
+    }
+    return h;
+}
+
+} // namespace dvp::engine

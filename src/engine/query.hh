@@ -1,0 +1,154 @@
+/**
+ * @file
+ * Query representation.
+ *
+ * The engine executes a small relational algebra sufficient for the
+ * NoBench query set (Table III): projections, selections with equality /
+ * range / array-membership predicates, COUNT-GROUP-BY aggregation, inner
+ * self-joins, and bulk inserts.  A Query also carries the workload
+ * statistics the DVP cost model consumes: frequency f(q) and estimated
+ * selectivity sel(q), plus its selection-part and condition-part
+ * attribute sets.
+ */
+
+#ifndef DVP_ENGINE_QUERY_HH
+#define DVP_ENGINE_QUERY_HH
+
+#include <string>
+#include <vector>
+
+#include "storage/catalog.hh"
+#include "storage/encoder.hh"
+#include "storage/value.hh"
+
+namespace dvp::engine
+{
+
+using storage::AttrId;
+using storage::Slot;
+
+/** Query classes of the NoBench workload. */
+enum class QueryKind
+{
+    Project,   ///< scan-all projection (Q1-Q4)
+    Select,    ///< predicate selection (Q5-Q9)
+    Aggregate, ///< COUNT(*) ... GROUP BY (Q10)
+    Join,      ///< inner self-join (Q11)
+    Insert     ///< bulk load (Q12)
+};
+
+/** Predicate operators. */
+enum class CondOp
+{
+    None,    ///< no WHERE clause
+    Eq,      ///< attr = value
+    Between, ///< attr BETWEEN lo AND hi (numeric slots only)
+    AnyEq    ///< value = ANY array-attr (matches any of several columns)
+};
+
+/** A WHERE clause over one attribute (or one flattened array). */
+struct Condition
+{
+    CondOp op = CondOp::None;
+    AttrId attr = storage::kNoAttr; ///< condition column (Eq/Between)
+    std::vector<AttrId> anyAttrs;   ///< flattened array columns (AnyEq)
+    Slot lo = 0;                    ///< Eq value, or Between lower bound
+    Slot hi = 0;                    ///< Between upper bound (inclusive)
+
+    /** True when a slot satisfies the predicate. */
+    bool
+    matches(Slot s) const
+    {
+        switch (op) {
+          case CondOp::None:
+            return true;
+          case CondOp::Eq:
+          case CondOp::AnyEq:
+            return !storage::isNull(s) && s == lo;
+          case CondOp::Between:
+            return storage::isNumericSlot(s) && s >= lo && s <= hi;
+        }
+        return false;
+    }
+};
+
+/** One query instance/template. */
+struct Query
+{
+    std::string name;     ///< "Q1" ... "Q12"
+    QueryKind kind = QueryKind::Project;
+
+    bool selectAll = false;          ///< SELECT *
+    std::vector<AttrId> projected;   ///< explicit projection list
+
+    Condition cond;
+
+    AttrId groupBy = storage::kNoAttr; ///< Aggregate: GROUP BY column
+
+    AttrId joinLeftAttr = storage::kNoAttr;  ///< Join: left ON column
+    AttrId joinRightAttr = storage::kNoAttr; ///< Join: right ON column
+
+    /** Insert payload (borrowed; alive for the query's execution). */
+    const std::vector<storage::Document> *insertDocs = nullptr;
+
+    /** Workload statistics consumed by the DVP cost model. */
+    double frequency = 1.0;     ///< f(q)
+    double selectivity = 1.0;   ///< sel(q): selected-record fraction
+
+    /**
+     * Attributes of the selection part (Equation 1's
+     * selection_part(q)); expands SELECT * against @p catalog.
+     */
+    std::vector<AttrId> selectionPart(const storage::Catalog &catalog)
+        const;
+
+    /** Attributes of the condition part (condition + join columns). */
+    std::vector<AttrId> conditionPart() const;
+
+    /** Union of selection and condition parts (deduplicated). */
+    std::vector<AttrId> accessedAttrs(const storage::Catalog &catalog)
+        const;
+};
+
+/**
+ * Result set of a query execution, independent of layout so results can
+ * be compared across engines.
+ *
+ * For Project/Select: one row per selected object, cells in the query's
+ * projection order (selectAll: catalog AttrId order).  For Aggregate:
+ * one row per group [group key, count].  For Join: rows of concatenated
+ * [left oid, right oid].  For Insert: empty.
+ */
+struct ResultSet
+{
+    std::vector<int64_t> oids;       ///< selected oid per row (scans)
+    std::vector<std::vector<Slot>> rows;
+
+    /**
+     * Order-independent XOR/multiply digest of every non-null cell the
+     * query physically retrieved (including cells not emitted into
+     * rows, e.g. full-record retrievals of the join).  Used by tests to
+     * assert that different layouts read the same logical data, and to
+     * keep retrieval loops observable to the optimizer.
+     */
+    uint64_t checksum = 0;
+
+    uint64_t rowCount() const { return rows.size(); }
+
+    /** Canonical ordering + equality for cross-layout comparison. */
+    bool equals(const ResultSet &other) const;
+
+    /** 64-bit FNV digest of the canonicalized result (for tests). */
+    uint64_t digest() const;
+};
+
+/**
+ * Order-independent digest of one retrieved cell; every engine
+ * (partitioned and Argo) XORs these into ResultSet::checksum so tests
+ * can assert that different layouts physically read the same data.
+ */
+uint64_t resultCellDigest(AttrId attr, Slot s);
+
+} // namespace dvp::engine
+
+#endif // DVP_ENGINE_QUERY_HH

@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Tracing policies for the executor's scan kernels.
+ *
+ * The executor is templated on a Tracer so the timing path compiles to
+ * plain loads (NullTracer inlines to nothing) while the perf-figure path
+ * (SimTracer) feeds every table access into the simulated memory
+ * hierarchy.  Only table storage is traced: query-local scratch (hash
+ * tables, result buffers) is identical across layouts and would only add
+ * identical offsets to every engine's counters.
+ */
+
+#ifndef DVP_ENGINE_TRACER_HH
+#define DVP_ENGINE_TRACER_HH
+
+#include <cstddef>
+
+#include "perf/memory_hierarchy.hh"
+
+namespace dvp::engine
+{
+
+/** No-op tracer for timing runs. */
+struct NullTracer
+{
+    void touch(const void *, size_t) const {}
+};
+
+/** Tracer feeding the simulated memory hierarchy. */
+struct SimTracer
+{
+    perf::MemoryHierarchy *mh;
+
+    void touch(const void *p, size_t n) const { mh->touch(p, n); }
+};
+
+} // namespace dvp::engine
+
+#endif // DVP_ENGINE_TRACER_HH

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Hyrise-style layout generator (paper §V-B).
+ *
+ * Stage 1 — candidate generation: attributes are grouped into *primary
+ * partitions* by their query-access signature (two attributes share a
+ * primary partition iff exactly the same queries access them; SELECT *
+ * counts as accessing everything, so *-only attributes form one big
+ * primary partition — Hyrise's sparse-blind wide table).
+ *
+ * Stage 2 — layout search: the candidate space is the set of all ways
+ * to merge primary partitions.  In exhaustive mode every set partition
+ * of the primaries is evaluated with the cache-miss cost model — this
+ * is the exponential search of the original system, and a work cap
+ * reproduces the paper's observation that it fails to terminate on the
+ * 1019-attribute NoBench catalog when signatures do not collapse the
+ * space.  The default mode falls back to greedy pairwise merging above
+ * a primary-partition threshold, mirroring Hyrise's published pruning.
+ */
+
+#ifndef DVP_HYRISE_HYRISE_LAYOUTER_HH
+#define DVP_HYRISE_HYRISE_LAYOUTER_HH
+
+#include <optional>
+#include <vector>
+
+#include "hyrise/hyrise_cost.hh"
+#include "layout/layout.hh"
+
+namespace dvp::hyrise
+{
+
+/** Layouter knobs. */
+struct HyriseParams
+{
+    /**
+     * Candidate evaluations allowed before the exhaustive search gives
+     * up (the "did not terminate / had to halt the program" budget).
+     */
+    uint64_t workCap = 2'000'000;
+
+    /** Exhaustive search only up to this many primary partitions. */
+    size_t exhaustiveLimit = 10;
+
+    /**
+     * When false, stage 1 is skipped and every attribute is its own
+     * search element — the configuration under which the exhaustive
+     * search blows up on 1000+ attributes (bench E8).
+     */
+    bool usePrimaryPartitions = true;
+
+    /** Force the exhaustive path regardless of exhaustiveLimit. */
+    bool forceExhaustive = false;
+};
+
+/** Outcome of a layouting run. */
+struct HyriseResult
+{
+    /** Chosen layout; empty when the search hit the work cap. */
+    std::optional<layout::Layout> layout;
+    size_t primaryPartitions = 0;
+    uint64_t evaluated = 0; ///< candidate layouts costed
+    bool capped = false;    ///< true when the work cap aborted the run
+    double estimatedMisses = 0;
+    double seconds = 0;
+};
+
+/** The layout generator. */
+class HyriseLayouter
+{
+  public:
+    HyriseLayouter(const storage::Catalog &catalog,
+                   std::vector<Query> queries, uint64_t rows,
+                   HyriseParams params = {});
+
+    HyriseResult run() const;
+
+    const HyriseCostModel &model() const { return cost; }
+
+    /** Stage 1 only (exposed for tests). */
+    std::vector<std::vector<AttrId>> primaryPartitions() const;
+
+  private:
+    const storage::Catalog *catalog;
+    HyriseParams prm;
+    HyriseCostModel cost;
+};
+
+} // namespace dvp::hyrise
+
+#endif // DVP_HYRISE_HYRISE_LAYOUTER_HH

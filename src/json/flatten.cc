@@ -1,0 +1,144 @@
+#include "json/flatten.hh"
+
+#include <cctype>
+
+#include "util/logging.hh"
+
+namespace dvp::json
+{
+
+namespace
+{
+
+void
+flattenInto(const JsonValue &v, const std::string &prefix,
+            std::vector<FlatAttr> &out)
+{
+    switch (v.type()) {
+      case Type::Object:
+        for (const auto &[key, member] : v.asObject()) {
+            std::string path = prefix.empty() ? key : prefix + "." + key;
+            flattenInto(member, path, out);
+        }
+        break;
+      case Type::Array: {
+        const auto &elems = v.asArray();
+        for (size_t i = 0; i < elems.size(); ++i)
+            flattenInto(elems[i], prefix + "[" + std::to_string(i) + "]",
+                        out);
+        break;
+      }
+      default:
+        out.push_back({prefix, v});
+        break;
+    }
+}
+
+} // namespace
+
+std::vector<FlatAttr>
+flatten(const JsonValue &doc)
+{
+    invariant(doc.isObject(), "flatten expects a JSON object");
+    std::vector<FlatAttr> out;
+    flattenInto(doc, "", out);
+    return out;
+}
+
+std::vector<PathStep>
+parsePath(const std::string &path)
+{
+    std::vector<PathStep> steps;
+    size_t i = 0;
+    while (i < path.size()) {
+        if (path[i] == '.') {
+            ++i;
+            continue;
+        }
+        if (path[i] == '[') {
+            size_t close = path.find(']', i);
+            invariant(close != std::string::npos,
+                      "unterminated [index] in attribute path");
+            int idx = 0;
+            for (size_t k = i + 1; k < close; ++k) {
+                invariant(std::isdigit(static_cast<unsigned char>(path[k])),
+                          "non-numeric array index in attribute path");
+                idx = idx * 10 + (path[k] - '0');
+            }
+            steps.push_back({"", idx});
+            i = close + 1;
+            continue;
+        }
+        size_t end = i;
+        while (end < path.size() && path[end] != '.' && path[end] != '[')
+            ++end;
+        steps.push_back({path.substr(i, end - i), -1});
+        i = end;
+    }
+    invariant(!steps.empty(), "empty attribute path");
+    return steps;
+}
+
+namespace
+{
+
+void
+insertAt(JsonValue &node, const std::vector<PathStep> &steps, size_t depth,
+         const JsonValue &leaf)
+{
+    const PathStep &step = steps[depth];
+    bool last = depth + 1 == steps.size();
+
+    if (step.index >= 0) {
+        invariant(node.isArray(), "path step expects an array");
+        auto &elems = node.asArray();
+        while (elems.size() <= static_cast<size_t>(step.index)) {
+            // Placeholder; a later step materializes the real shape.
+            elems.emplace_back(nullptr);
+        }
+        JsonValue &slot = elems[static_cast<size_t>(step.index)];
+        if (last) {
+            slot = leaf;
+            return;
+        }
+        const PathStep &next = steps[depth + 1];
+        if (slot.isNull())
+            slot = next.index >= 0 ? JsonValue::makeArray()
+                                   : JsonValue::makeObject();
+        insertAt(slot, steps, depth + 1, leaf);
+        return;
+    }
+
+    invariant(node.isObject(), "path step expects an object");
+    const JsonValue *existing = node.find(step.key);
+    if (last) {
+        node.set(step.key, leaf);
+        return;
+    }
+    const PathStep &next = steps[depth + 1];
+    if (!existing) {
+        node.set(step.key, next.index >= 0 ? JsonValue::makeArray()
+                                           : JsonValue::makeObject());
+    }
+    // Re-find: set() may have reallocated the member vector.
+    for (auto &[k, child] : node.asObject()) {
+        if (k == step.key) {
+            insertAt(child, steps, depth + 1, leaf);
+            return;
+        }
+    }
+    panic("unflatten lost a freshly inserted member");
+}
+
+} // namespace
+
+JsonValue
+unflatten(const std::vector<FlatAttr> &attrs)
+{
+    JsonValue root = JsonValue::makeObject();
+    for (const auto &attr : attrs)
+        insertAt(root, parsePath(attr.path), 0, attr.value);
+    return root;
+}
+
+} // namespace dvp::json

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * JSON flattener: turns a (possibly nested) JSON object into a list of
+ * (attribute path, scalar value) pairs using the Argo path convention —
+ * nested object members become dotted paths ("nested_obj.str") and array
+ * elements become indexed paths ("employees[2].name").  This is the
+ * representation the storage engine and both Argo layouts ingest.
+ */
+
+#ifndef DVP_JSON_FLATTEN_HH
+#define DVP_JSON_FLATTEN_HH
+
+#include <string>
+#include <vector>
+
+#include "json/value.hh"
+
+namespace dvp::json
+{
+
+/** One flattened attribute: a full path and its scalar value. */
+struct FlatAttr
+{
+    std::string path;
+    JsonValue value; ///< always a scalar (null/bool/int/double/string)
+
+    bool operator==(const FlatAttr &o) const = default;
+};
+
+/**
+ * Flatten @p doc.  Scalar members appear in document order; empty arrays
+ * and empty objects contribute no attributes (they carry no values).
+ * Explicit JSON nulls are preserved as null-valued attributes.
+ *
+ * @pre doc.isObject()
+ */
+std::vector<FlatAttr> flatten(const JsonValue &doc);
+
+/**
+ * Rebuild a nested JSON object from flattened attributes (inverse of
+ * flatten for documents without empty containers).  Used by tests and by
+ * object reconstruction in examples.
+ */
+JsonValue unflatten(const std::vector<FlatAttr> &attrs);
+
+/** Split "a.b[2].c" into path steps; exposed for unflatten's tests. */
+struct PathStep
+{
+    std::string key;  ///< member name; empty for pure index steps
+    int index = -1;   ///< array index, or -1 for member steps
+
+    bool operator==(const PathStep &o) const = default;
+};
+
+/** Parse an attribute path into steps. Panics on malformed paths. */
+std::vector<PathStep> parsePath(const std::string &path);
+
+} // namespace dvp::json
+
+#endif // DVP_JSON_FLATTEN_HH

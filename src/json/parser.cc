@@ -1,0 +1,396 @@
+#include "json/parser.hh"
+
+#include <cctype>
+#include <cerrno>
+#include <cmath>
+#include <cstdlib>
+#include <cstring>
+
+namespace dvp::json
+{
+
+namespace
+{
+
+/** Single-pass cursor over the input with line/column tracking. */
+class Cursor
+{
+  public:
+    Cursor(std::string_view text, int max_depth)
+        : text(text), maxDepth(max_depth)
+    {
+    }
+
+    bool
+    atEnd() const
+    {
+        return pos >= text.size();
+    }
+
+    char
+    peek() const
+    {
+        return atEnd() ? '\0' : text[pos];
+    }
+
+    char
+    take()
+    {
+        char c = peek();
+        ++pos;
+        if (c == '\n') {
+            ++line;
+            col = 1;
+        } else {
+            ++col;
+        }
+        return c;
+    }
+
+    void
+    skipWs()
+    {
+        while (!atEnd()) {
+            char c = peek();
+            if (c == ' ' || c == '\t' || c == '\n' || c == '\r')
+                take();
+            else
+                break;
+        }
+    }
+
+    bool
+    consume(char expect)
+    {
+        if (peek() != expect)
+            return false;
+        take();
+        return true;
+    }
+
+    bool
+    consumeWord(const char *word)
+    {
+        size_t len = std::strlen(word);
+        if (text.substr(pos, len) != word)
+            return false;
+        for (size_t i = 0; i < len; ++i)
+            take();
+        return true;
+    }
+
+    std::string
+    where() const
+    {
+        return "line " + std::to_string(line) + ", column " +
+               std::to_string(col);
+    }
+
+    bool
+    fail(const std::string &msg)
+    {
+        if (error.empty())
+            error = msg + " at " + where();
+        return false;
+    }
+
+    std::string_view text;
+    size_t pos = 0;
+    int line = 1;
+    int col = 1;
+    int maxDepth;
+    std::string error;
+};
+
+bool parseValue(Cursor &cur, JsonValue &out, int depth);
+
+void
+appendUtf8(std::string &s, uint32_t cp)
+{
+    if (cp < 0x80) {
+        s += static_cast<char>(cp);
+    } else if (cp < 0x800) {
+        s += static_cast<char>(0xc0 | (cp >> 6));
+        s += static_cast<char>(0x80 | (cp & 0x3f));
+    } else if (cp < 0x10000) {
+        s += static_cast<char>(0xe0 | (cp >> 12));
+        s += static_cast<char>(0x80 | ((cp >> 6) & 0x3f));
+        s += static_cast<char>(0x80 | (cp & 0x3f));
+    } else {
+        s += static_cast<char>(0xf0 | (cp >> 18));
+        s += static_cast<char>(0x80 | ((cp >> 12) & 0x3f));
+        s += static_cast<char>(0x80 | ((cp >> 6) & 0x3f));
+        s += static_cast<char>(0x80 | (cp & 0x3f));
+    }
+}
+
+bool
+parseHex4(Cursor &cur, uint32_t &out)
+{
+    out = 0;
+    for (int i = 0; i < 4; ++i) {
+        char c = cur.take();
+        out <<= 4;
+        if (c >= '0' && c <= '9')
+            out |= static_cast<uint32_t>(c - '0');
+        else if (c >= 'a' && c <= 'f')
+            out |= static_cast<uint32_t>(c - 'a' + 10);
+        else if (c >= 'A' && c <= 'F')
+            out |= static_cast<uint32_t>(c - 'A' + 10);
+        else
+            return cur.fail("invalid \\u escape");
+    }
+    return true;
+}
+
+bool
+parseString(Cursor &cur, std::string &out)
+{
+    if (!cur.consume('"'))
+        return cur.fail("expected string");
+    out.clear();
+    while (true) {
+        if (cur.atEnd())
+            return cur.fail("unterminated string");
+        char c = cur.take();
+        if (c == '"')
+            return true;
+        if (static_cast<unsigned char>(c) < 0x20)
+            return cur.fail("raw control character in string");
+        if (c != '\\') {
+            out += c;
+            continue;
+        }
+        char esc = cur.take();
+        switch (esc) {
+          case '"': out += '"'; break;
+          case '\\': out += '\\'; break;
+          case '/': out += '/'; break;
+          case 'b': out += '\b'; break;
+          case 'f': out += '\f'; break;
+          case 'n': out += '\n'; break;
+          case 'r': out += '\r'; break;
+          case 't': out += '\t'; break;
+          case 'u': {
+            uint32_t cp;
+            if (!parseHex4(cur, cp))
+                return false;
+            if (cp >= 0xd800 && cp <= 0xdbff) {
+                // High surrogate: a low surrogate must follow.
+                if (!cur.consume('\\') || !cur.consume('u'))
+                    return cur.fail("unpaired high surrogate");
+                uint32_t lo;
+                if (!parseHex4(cur, lo))
+                    return false;
+                if (lo < 0xdc00 || lo > 0xdfff)
+                    return cur.fail("invalid low surrogate");
+                cp = 0x10000 + ((cp - 0xd800) << 10) + (lo - 0xdc00);
+            } else if (cp >= 0xdc00 && cp <= 0xdfff) {
+                return cur.fail("unpaired low surrogate");
+            }
+            appendUtf8(out, cp);
+            break;
+          }
+          default:
+            return cur.fail("invalid escape character");
+        }
+    }
+}
+
+bool
+parseNumber(Cursor &cur, JsonValue &out)
+{
+    size_t start = cur.pos;
+    cur.consume('-');
+    if (!std::isdigit(static_cast<unsigned char>(cur.peek())))
+        return cur.fail("invalid number");
+    while (std::isdigit(static_cast<unsigned char>(cur.peek())))
+        cur.take();
+    bool is_double = false;
+    if (cur.peek() == '.') {
+        is_double = true;
+        cur.take();
+        if (!std::isdigit(static_cast<unsigned char>(cur.peek())))
+            return cur.fail("digit required after decimal point");
+        while (std::isdigit(static_cast<unsigned char>(cur.peek())))
+            cur.take();
+    }
+    if (cur.peek() == 'e' || cur.peek() == 'E') {
+        is_double = true;
+        cur.take();
+        if (cur.peek() == '+' || cur.peek() == '-')
+            cur.take();
+        if (!std::isdigit(static_cast<unsigned char>(cur.peek())))
+            return cur.fail("digit required in exponent");
+        while (std::isdigit(static_cast<unsigned char>(cur.peek())))
+            cur.take();
+    }
+    std::string token(cur.text.substr(start, cur.pos - start));
+    errno = 0;
+    if (!is_double) {
+        char *end = nullptr;
+        long long v = std::strtoll(token.c_str(), &end, 10);
+        if (errno != ERANGE && end && *end == '\0') {
+            out = JsonValue(static_cast<int64_t>(v));
+            return true;
+        }
+        // Integer overflow: fall back to double, as common parsers do.
+    }
+    errno = 0;
+    char *end = nullptr;
+    double d = std::strtod(token.c_str(), &end);
+    if (!end || *end != '\0' || !std::isfinite(d))
+        return cur.fail("number out of range");
+    out = JsonValue(d);
+    return true;
+}
+
+bool
+parseArray(Cursor &cur, JsonValue &out, int depth)
+{
+    cur.take(); // '['
+    out = JsonValue::makeArray();
+    cur.skipWs();
+    if (cur.consume(']'))
+        return true;
+    while (true) {
+        JsonValue elem;
+        if (!parseValue(cur, elem, depth + 1))
+            return false;
+        out.push(std::move(elem));
+        cur.skipWs();
+        if (cur.consume(']'))
+            return true;
+        if (!cur.consume(','))
+            return cur.fail("expected ',' or ']' in array");
+        cur.skipWs();
+    }
+}
+
+bool
+parseObject(Cursor &cur, JsonValue &out, int depth)
+{
+    cur.take(); // '{'
+    out = JsonValue::makeObject();
+    cur.skipWs();
+    if (cur.consume('}'))
+        return true;
+    while (true) {
+        cur.skipWs();
+        std::string key;
+        if (!parseString(cur, key))
+            return false;
+        cur.skipWs();
+        if (!cur.consume(':'))
+            return cur.fail("expected ':' after object key");
+        JsonValue member;
+        if (!parseValue(cur, member, depth + 1))
+            return false;
+        // Last-wins duplicate-key semantics, like common JSON libraries.
+        out.set(key, std::move(member));
+        cur.skipWs();
+        if (cur.consume('}'))
+            return true;
+        if (!cur.consume(','))
+            return cur.fail("expected ',' or '}' in object");
+    }
+}
+
+bool
+parseValue(Cursor &cur, JsonValue &out, int depth)
+{
+    if (depth > cur.maxDepth)
+        return cur.fail("nesting depth limit exceeded");
+    cur.skipWs();
+    char c = cur.peek();
+    switch (c) {
+      case '{':
+        return parseObject(cur, out, depth);
+      case '[':
+        return parseArray(cur, out, depth);
+      case '"': {
+        std::string s;
+        if (!parseString(cur, s))
+            return false;
+        out = JsonValue(std::move(s));
+        return true;
+      }
+      case 't':
+        if (!cur.consumeWord("true"))
+            return cur.fail("invalid literal");
+        out = JsonValue(true);
+        return true;
+      case 'f':
+        if (!cur.consumeWord("false"))
+            return cur.fail("invalid literal");
+        out = JsonValue(false);
+        return true;
+      case 'n':
+        if (!cur.consumeWord("null"))
+            return cur.fail("invalid literal");
+        out = JsonValue(nullptr);
+        return true;
+      default:
+        if (c == '-' || std::isdigit(static_cast<unsigned char>(c)))
+            return parseNumber(cur, out);
+        return cur.fail("unexpected character");
+    }
+}
+
+} // namespace
+
+ParseResult
+parse(std::string_view text, int max_depth)
+{
+    Cursor cur(text, max_depth);
+    ParseResult res;
+    if (!parseValue(cur, res.value, 0)) {
+        res.error = cur.error;
+        return res;
+    }
+    cur.skipWs();
+    if (!cur.atEnd()) {
+        cur.fail("trailing content after document");
+        res.error = cur.error;
+        return res;
+    }
+    res.ok = true;
+    return res;
+}
+
+std::vector<JsonValue>
+parseLines(std::string_view text, std::string *error)
+{
+    std::vector<JsonValue> docs;
+    size_t start = 0;
+    size_t lineno = 0;
+    while (start <= text.size()) {
+        size_t end = text.find('\n', start);
+        if (end == std::string_view::npos)
+            end = text.size();
+        std::string_view line = text.substr(start, end - start);
+        ++lineno;
+        start = end + 1;
+        bool blank = true;
+        for (char c : line)
+            if (!std::isspace(static_cast<unsigned char>(c)))
+                blank = false;
+        if (blank) {
+            if (end == text.size())
+                break;
+            continue;
+        }
+        ParseResult res = parse(line);
+        if (!res.ok) {
+            if (error)
+                *error = "line " + std::to_string(lineno) + ": " + res.error;
+            return docs;
+        }
+        docs.push_back(std::move(res.value));
+        if (end == text.size())
+            break;
+    }
+    return docs;
+}
+
+} // namespace dvp::json

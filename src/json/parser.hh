@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Recursive-descent JSON parser (RFC 8259 subset sufficient for data
+ * interchange: full escape handling incl. \uXXXX with surrogate pairs,
+ * integer/double disambiguation, nesting-depth guard).
+ */
+
+#ifndef DVP_JSON_PARSER_HH
+#define DVP_JSON_PARSER_HH
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "json/value.hh"
+
+namespace dvp::json
+{
+
+/** Outcome of a parse attempt. */
+struct ParseResult
+{
+    /** Parsed value; meaningful only when ok. */
+    JsonValue value;
+    /** True when the input was a single well-formed JSON document. */
+    bool ok = false;
+    /** Error description with 1-based line/column when !ok. */
+    std::string error;
+};
+
+/**
+ * Parse one JSON document.  Trailing whitespace is permitted; any other
+ * trailing content is an error.
+ *
+ * @param text the document.
+ * @param max_depth nesting-depth limit guarding the recursion.
+ */
+ParseResult parse(std::string_view text, int max_depth = 256);
+
+/**
+ * Parse a newline-delimited JSON stream (one document per line, as used
+ * by bulk-load files).  Blank lines are skipped.
+ *
+ * @param text the stream.
+ * @param[out] error first error encountered, if any.
+ * @return documents parsed before the first error (all of them on
+ *         success).
+ */
+std::vector<JsonValue> parseLines(std::string_view text,
+                                  std::string *error = nullptr);
+
+} // namespace dvp::json
+
+#endif // DVP_JSON_PARSER_HH

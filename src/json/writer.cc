@@ -1,0 +1,140 @@
+#include "json/writer.hh"
+
+#include <cmath>
+#include <cstring>
+#include <cstdio>
+
+#include "util/logging.hh"
+
+namespace dvp::json
+{
+
+namespace
+{
+
+void
+writeValue(const JsonValue &v, std::string &out, int indent, int depth)
+{
+    auto newline = [&](int d) {
+        if (indent < 0)
+            return;
+        out += '\n';
+        out.append(static_cast<size_t>(indent * d), ' ');
+    };
+
+    switch (v.type()) {
+      case Type::Null:
+        out += "null";
+        break;
+      case Type::Bool:
+        out += v.asBool() ? "true" : "false";
+        break;
+      case Type::Int:
+        out += std::to_string(v.asInt());
+        break;
+      case Type::Double: {
+        double d = v.asDouble();
+        invariant(std::isfinite(d), "cannot serialize non-finite double");
+        char buf[36];
+        std::snprintf(buf, sizeof(buf), "%.17g", d);
+        // Keep doubles doubles across a round trip: an integral value
+        // like 25000 would otherwise re-parse as an integer.
+        if (!std::strpbrk(buf, ".eE"))
+            std::strcat(buf, ".0");
+        out += buf;
+        break;
+      }
+      case Type::String:
+        out += '"';
+        out += escape(v.asString());
+        out += '"';
+        break;
+      case Type::Array: {
+        const auto &elems = v.asArray();
+        if (elems.empty()) {
+            out += "[]";
+            break;
+        }
+        out += '[';
+        for (size_t i = 0; i < elems.size(); ++i) {
+            if (i)
+                out += ',';
+            newline(depth + 1);
+            writeValue(elems[i], out, indent, depth + 1);
+        }
+        newline(depth);
+        out += ']';
+        break;
+      }
+      case Type::Object: {
+        const auto &members = v.asObject();
+        if (members.empty()) {
+            out += "{}";
+            break;
+        }
+        out += '{';
+        for (size_t i = 0; i < members.size(); ++i) {
+            if (i)
+                out += ',';
+            newline(depth + 1);
+            out += '"';
+            out += escape(members[i].first);
+            out += "\":";
+            if (indent >= 0)
+                out += ' ';
+            writeValue(members[i].second, out, indent, depth + 1);
+        }
+        newline(depth);
+        out += '}';
+        break;
+      }
+    }
+}
+
+} // namespace
+
+std::string
+escape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char raw : s) {
+        auto c = static_cast<unsigned char>(raw);
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\b': out += "\\b"; break;
+          case '\f': out += "\\f"; break;
+          case '\n': out += "\\n"; break;
+          case '\r': out += "\\r"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (c < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += raw;
+            }
+        }
+    }
+    return out;
+}
+
+std::string
+write(const JsonValue &v)
+{
+    std::string out;
+    writeValue(v, out, -1, 0);
+    return out;
+}
+
+std::string
+writePretty(const JsonValue &v)
+{
+    std::string out;
+    writeValue(v, out, 2, 0);
+    return out;
+}
+
+} // namespace dvp::json

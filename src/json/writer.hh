@@ -1,0 +1,28 @@
+/**
+ * @file
+ * JSON serializer: compact and pretty forms, with full string escaping.
+ * write(parse(x)) is a fixed point for documents our parser accepts.
+ */
+
+#ifndef DVP_JSON_WRITER_HH
+#define DVP_JSON_WRITER_HH
+
+#include <string>
+
+#include "json/value.hh"
+
+namespace dvp::json
+{
+
+/** Serialize compactly (no insignificant whitespace). */
+std::string write(const JsonValue &v);
+
+/** Serialize with 2-space indentation. */
+std::string writePretty(const JsonValue &v);
+
+/** Escape a string body per JSON rules (no surrounding quotes). */
+std::string escape(const std::string &s);
+
+} // namespace dvp::json
+
+#endif // DVP_JSON_WRITER_HH

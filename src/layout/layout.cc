@@ -1,0 +1,156 @@
+#include "layout/layout.hh"
+
+#include <algorithm>
+#include <set>
+
+#include "util/logging.hh"
+
+namespace dvp::layout
+{
+
+Layout::Layout(std::vector<std::vector<AttrId>> partitions)
+    : parts(std::move(partitions))
+{
+    rebuildIndex();
+    validate();
+}
+
+Layout
+Layout::rowBased(const std::vector<AttrId> &attrs)
+{
+    return Layout({attrs});
+}
+
+Layout
+Layout::columnBased(const std::vector<AttrId> &attrs)
+{
+    std::vector<std::vector<AttrId>> parts;
+    parts.reserve(attrs.size());
+    for (AttrId a : attrs)
+        parts.push_back({a});
+    return Layout(std::move(parts));
+}
+
+Layout
+Layout::fixedSize(const std::vector<AttrId> &attrs, size_t group_size)
+{
+    invariant(group_size > 0, "fixedSize layout needs group_size > 0");
+    std::vector<std::vector<AttrId>> parts;
+    for (size_t i = 0; i < attrs.size(); i += group_size) {
+        size_t end = std::min(i + group_size, attrs.size());
+        parts.emplace_back(attrs.begin() + i, attrs.begin() + end);
+    }
+    return Layout(std::move(parts));
+}
+
+void
+Layout::rebuildIndex()
+{
+    nattrs = 0;
+    AttrId max_id = 0;
+    for (const auto &p : parts)
+        for (AttrId a : p)
+            max_id = std::max(max_id, a);
+    attrToPart.assign(parts.empty() ? 0 : max_id + 1, kNoPart);
+    for (PartIdx pi = 0; pi < parts.size(); ++pi) {
+        for (AttrId a : parts[pi]) {
+            invariant(attrToPart[a] == kNoPart,
+                      "attribute assigned to two partitions");
+            attrToPart[a] = pi;
+            ++nattrs;
+        }
+    }
+}
+
+const std::vector<AttrId> &
+Layout::partition(PartIdx p) const
+{
+    invariant(p < parts.size(), "partition index out of range");
+    return parts[p];
+}
+
+PartIdx
+Layout::partitionOf(AttrId attr) const
+{
+    if (attr >= attrToPart.size())
+        return kNoPart;
+    return attrToPart[attr];
+}
+
+std::vector<AttrId>
+Layout::allAttrs() const
+{
+    std::vector<AttrId> out;
+    out.reserve(nattrs);
+    for (const auto &p : parts)
+        out.insert(out.end(), p.begin(), p.end());
+    return out;
+}
+
+PartIdx
+Layout::moveAttr(AttrId attr, PartIdx target)
+{
+    PartIdx src = partitionOf(attr);
+    invariant(src != kNoPart, "moveAttr: attribute not in layout");
+    invariant(target <= parts.size(), "moveAttr: bad target partition");
+    if (target == src)
+        return src;
+
+    if (target == parts.size())
+        parts.emplace_back();
+    auto &from = parts[src];
+    from.erase(std::find(from.begin(), from.end(), attr));
+    parts[target].push_back(attr);
+
+    bool erased = from.empty();
+    if (erased)
+        parts.erase(parts.begin() + src);
+    rebuildIndex();
+    return partitionOf(attr);
+}
+
+bool
+Layout::equivalentTo(const Layout &other) const
+{
+    auto canon = [](const Layout &l) {
+        std::set<std::set<AttrId>> c;
+        for (const auto &p : l.parts)
+            c.emplace(p.begin(), p.end());
+        return c;
+    };
+    return canon(*this) == canon(other);
+}
+
+std::string
+Layout::describe() const
+{
+    std::string out;
+    for (const auto &p : parts) {
+        out += "{";
+        for (size_t i = 0; i < p.size(); ++i) {
+            if (i)
+                out += ",";
+            out += std::to_string(p[i]);
+        }
+        out += "}";
+    }
+    return out;
+}
+
+void
+Layout::validate() const
+{
+    size_t seen = 0;
+    std::set<AttrId> all;
+    for (const auto &p : parts) {
+        invariant(!p.empty(), "layout contains an empty partition");
+        for (AttrId a : p) {
+            invariant(all.insert(a).second,
+                      "attribute appears in two partitions");
+            ++seen;
+        }
+    }
+    invariant(seen == nattrs, "layout attribute index out of sync");
+}
+
+} // namespace dvp::layout

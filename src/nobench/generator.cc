@@ -1,0 +1,141 @@
+#include "nobench/generator.hh"
+
+#include "json/writer.hh"
+#include "util/logging.hh"
+
+namespace dvp::nobench
+{
+
+namespace
+{
+
+std::string
+sparseName(int idx)
+{
+    char buf[16];
+    std::snprintf(buf, sizeof(buf), "sparse_%03d", idx);
+    return buf;
+}
+
+} // namespace
+
+json::JsonValue
+generateDoc(const Config &cfg, Rng &rng, int64_t oid)
+{
+    using json::JsonValue;
+    JsonValue doc = JsonValue::makeObject();
+
+    int64_t num = rng.range(0, cfg.numRange - 1);
+    doc.set("id", JsonValue(oid));
+    doc.set("str1", JsonValue("str1_" + std::to_string(oid)));
+    doc.set("str2", JsonValue("str2_" + std::to_string(
+                                  rng.below(cfg.str2Pool))));
+    doc.set("num", JsonValue(num));
+    doc.set("bool", JsonValue(rng.chance(0.5)));
+
+    // dyn1: numeric in half the documents, a string otherwise.
+    if (rng.chance(0.5))
+        doc.set("dyn1", JsonValue(rng.range(0, cfg.numRange - 1)));
+    else
+        doc.set("dyn1", JsonValue("dyn1_" + std::to_string(
+                                      rng.range(0, cfg.numRange - 1))));
+
+    // dyn2: a string in half the documents, a boolean otherwise.
+    if (rng.chance(0.5))
+        doc.set("dyn2", JsonValue("dyn2_" + std::to_string(
+                                      rng.below(cfg.str2Pool))));
+    else
+        doc.set("dyn2", JsonValue(rng.chance(0.5)));
+
+    doc.set("thousandth", JsonValue(num % 1000));
+
+    // Nested object: the join key nested_obj.str equals the str1 of a
+    // uniformly chosen document so the Q11 self-join has matches.
+    JsonValue nested = JsonValue::makeObject();
+    nested.set("str", JsonValue("str1_" + std::to_string(
+                                    rng.below(cfg.numDocs))));
+    nested.set("num", JsonValue(rng.range(0, cfg.numRange - 1)));
+    doc.set("nested_obj", std::move(nested));
+
+    // Nested array with uniform length in [0, kMaxArrLen].
+    JsonValue arr = JsonValue::makeArray();
+    auto len = rng.below(Config::kMaxArrLen + 1);
+    for (uint64_t i = 0; i < len; ++i)
+        arr.push(JsonValue("arr_" + std::to_string(
+                               rng.below(cfg.arrPool))));
+    doc.set("nested_arr", std::move(arr));
+
+    // Sparse groups: groupsPerDoc distinct groups, all 10 attributes of
+    // each chosen group get non-null values (paper §V-A).
+    invariant(cfg.groupsPerDoc >= 1 &&
+                  cfg.groupsPerDoc <= Config::kSparseGroups,
+              "groupsPerDoc out of range");
+    uint64_t first = rng.below(Config::kSparseGroups);
+    for (int g = 0; g < cfg.groupsPerDoc; ++g) {
+        // Distinct groups via a stride coprime with the group count.
+        int group = static_cast<int>((first + g * 37) %
+                                     Config::kSparseGroups);
+        for (int k = 0; k < Config::kGroupSize; ++k) {
+            doc.set(sparseName(group * Config::kGroupSize + k),
+                    json::JsonValue("sparse_val_" + std::to_string(
+                                        rng.below(cfg.sparsePool))));
+        }
+    }
+    return doc;
+}
+
+void
+registerCatalog(storage::Catalog &catalog)
+{
+    catalog.ensure("id");
+    catalog.ensure("str1");
+    catalog.ensure("str2");
+    catalog.ensure("num");
+    catalog.ensure("bool");
+    catalog.ensure("dyn1");
+    catalog.ensure("dyn2");
+    catalog.ensure("thousandth");
+    catalog.ensure("nested_obj.str");
+    catalog.ensure("nested_obj.num");
+    for (int i = 0; i <= Config::kMaxArrLen; ++i)
+        catalog.ensure("nested_arr[" + std::to_string(i) + "]");
+    for (int i = 0;
+         i < Config::kSparseGroups * Config::kGroupSize; ++i)
+        catalog.ensure(sparseName(i));
+}
+
+engine::DataSet
+generateDataSet(const Config &cfg)
+{
+    engine::DataSet data;
+    registerCatalog(data.catalog);
+    Rng rng(cfg.seed);
+    for (uint64_t i = 0; i < cfg.numDocs; ++i)
+        data.addObject(generateDoc(cfg, rng, static_cast<int64_t>(i)));
+    return data;
+}
+
+void
+appendDocs(const Config &cfg, engine::DataSet &data, Rng &rng,
+           uint64_t count)
+{
+    for (uint64_t i = 0; i < count; ++i) {
+        auto oid = static_cast<int64_t>(data.docs.size());
+        data.addObject(generateDoc(cfg, rng, oid));
+    }
+}
+
+std::string
+generateJsonLines(const Config &cfg, uint64_t count)
+{
+    Rng rng(cfg.seed);
+    std::string out;
+    for (uint64_t i = 0; i < count; ++i) {
+        out += json::write(generateDoc(cfg, rng,
+                                       static_cast<int64_t>(i)));
+        out += '\n';
+    }
+    return out;
+}
+
+} // namespace dvp::nobench

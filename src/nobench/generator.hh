@@ -1,0 +1,95 @@
+/**
+ * @file
+ * NoBench data generator (paper §V-A).
+ *
+ * Each document has the dense attributes
+ *   id, str1, str2, num, bool, dyn1, dyn2, thousandth,
+ *   nested_obj.str, nested_obj.num, nested_arr[0..8]
+ * plus one (or more, for higher sparseness) group of 10 sparse string
+ * attributes drawn from 100 groups (sparse_000..sparse_999).  The full
+ * flattened catalog is 19 dense + 1000 sparse = 1019 attributes; each
+ * document materializes 20-28 of them, matching the paper's "19-25
+ * attributes per document, 1019 total" up to the array-length convention
+ * documented in DESIGN.md §5.
+ *
+ * Value distributions are chosen so the Table III queries hit their
+ * stated selectivities:
+ *   - str1 is unique per document ("str1_<oid>"), so Q5 selects a single
+ *     record and the Q11 join key matches exactly one right-hand record;
+ *   - num and nested_obj.num are uniform in [0, kNumRange);
+ *   - dyn1 is numeric in half the documents and a string otherwise;
+ *   - nested_arr draws from a pool of kArrPool strings so a membership
+ *     probe matches ~0.1% of documents;
+ *   - sparse values draw from a pool of kSparsePool strings so an
+ *     equality probe on a sparse attribute matches ~0.1% of documents.
+ */
+
+#ifndef DVP_NOBENCH_GENERATOR_HH
+#define DVP_NOBENCH_GENERATOR_HH
+
+#include <cstdint>
+#include <string>
+
+#include "engine/database.hh"
+#include "json/value.hh"
+#include "util/random.hh"
+
+namespace dvp::nobench
+{
+
+/** Generator parameters. */
+struct Config
+{
+    uint64_t numDocs = 10000;
+    uint64_t seed = 42;
+
+    /**
+     * Sparse groups materialized per document.  1 => 1% data
+     * sparseness (the paper's default); 5 => 5% sparseness.
+     */
+    int groupsPerDoc = 1;
+
+    /** Range of num / nested_obj.num / numeric dyn1 values. */
+    int64_t numRange = 1'000'000;
+
+    /** Distinct nested_arr member strings. */
+    int arrPool = 4000;
+
+    /** Distinct sparse attribute values. */
+    int sparsePool = 10;
+
+    /** Distinct str2 values. */
+    int str2Pool = 100;
+
+    static constexpr int kSparseGroups = 100;
+    static constexpr int kGroupSize = 10;
+    static constexpr int kMaxArrLen = 8; // lengths uniform in [0, 8]
+};
+
+/** Generate document number @p oid as a JSON object. */
+json::JsonValue generateDoc(const Config &cfg, Rng &rng, int64_t oid);
+
+/**
+ * Generate a complete DataSet: pre-registers the full 1019-attribute
+ * catalog (so query templates always resolve), then encodes numDocs
+ * generated documents.
+ */
+engine::DataSet generateDataSet(const Config &cfg);
+
+/**
+ * Append @p count extra documents (oids continuing after the existing
+ * ones) to @p data; used by the bulk-insert query and the adaptation
+ * experiments.  @p rng continues the caller's stream.
+ */
+void appendDocs(const Config &cfg, engine::DataSet &data, Rng &rng,
+                uint64_t count);
+
+/** Pre-register all 1019 attribute paths in @p catalog. */
+void registerCatalog(storage::Catalog &catalog);
+
+/** Serialize @p count generated docs as newline-delimited JSON. */
+std::string generateJsonLines(const Config &cfg, uint64_t count);
+
+} // namespace dvp::nobench
+
+#endif // DVP_NOBENCH_GENERATOR_HH

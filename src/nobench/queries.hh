@@ -1,0 +1,70 @@
+/**
+ * @file
+ * The NoBench query set (paper Table III), including the paper's two
+ * modifications: Q2 projects a sparse attribute together with a dense
+ * one, and Q8 selects (sparse_330, num) instead of *.
+ *
+ * A QuerySet binds the templates to a DataSet's catalog and dictionary
+ * and instantiates fresh predicate parameters per query instance (the
+ * XXXXX / YYYYY placeholders), targeting the paper's selectivities:
+ * Q5 selects a single record; Q6-Q9 and the Q10/Q11 WHERE clauses
+ * select 0.1% of records.
+ */
+
+#ifndef DVP_NOBENCH_QUERIES_HH
+#define DVP_NOBENCH_QUERIES_HH
+
+#include <string>
+#include <vector>
+
+#include "engine/database.hh"
+#include "engine/query.hh"
+#include "nobench/generator.hh"
+#include "util/random.hh"
+
+namespace dvp::nobench
+{
+
+/** Template indices (0-based): kQ1 = Q1 ... kQ11 = Q11. */
+enum TemplateIdx
+{
+    kQ1, kQ2, kQ3, kQ4, kQ5, kQ6, kQ7, kQ8, kQ9, kQ10, kQ11,
+    kNumTemplates
+};
+
+/** Table III bound to a concrete DataSet. */
+class QuerySet
+{
+  public:
+    QuerySet(const engine::DataSet &data, const Config &cfg);
+
+    /** Instantiate template @p idx with fresh random parameters. */
+    engine::Query instantiate(int idx, Rng &rng) const;
+
+    /**
+     * Instantiate the shifted variant of template @p idx used by the
+     * workload-adaptation experiment (Figure 8): several templates
+     * access different attributes/conditions; the rest are unchanged.
+     */
+    engine::Query instantiateShifted(int idx, Rng &rng) const;
+
+    /** Build Q12 (bulk insert) borrowing @p docs as payload. */
+    engine::Query
+    insertQuery(const std::vector<storage::Document> *docs) const;
+
+    /** "Q1".."Q11". */
+    static const std::vector<std::string> &names();
+
+  private:
+    engine::Query base(int idx, Rng &rng, bool shifted) const;
+
+    storage::AttrId attr(const std::string &name) const;
+    storage::Slot stringSlot(const std::string &value) const;
+
+    const engine::DataSet *data;
+    Config cfg;
+};
+
+} // namespace dvp::nobench
+
+#endif // DVP_NOBENCH_QUERIES_HH

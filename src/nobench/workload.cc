@@ -1,0 +1,94 @@
+#include "nobench/workload.hh"
+
+#include <cmath>
+#include <numeric>
+
+#include "util/logging.hh"
+
+namespace dvp::nobench
+{
+
+Mix
+Mix::uniform()
+{
+    Mix m;
+    m.weights.assign(kNumTemplates, 1.0);
+    return m;
+}
+
+Mix
+Mix::skewed(double exponent)
+{
+    Mix m;
+    m.weights.resize(kNumTemplates);
+    for (int i = 0; i < kNumTemplates; ++i)
+        m.weights[i] = 1.0 / std::pow(i + 1, exponent);
+    return m;
+}
+
+namespace
+{
+
+std::vector<double>
+normalized(const Mix &mix)
+{
+    invariant(mix.weights.size() == kNumTemplates,
+              "mix must weight every template");
+    double total = std::accumulate(mix.weights.begin(),
+                                   mix.weights.end(), 0.0);
+    invariant(total > 0, "mix weights must not all be zero");
+    std::vector<double> w(mix.weights);
+    for (double &x : w)
+        x /= total;
+    return w;
+}
+
+int
+sampleTemplate(const std::vector<double> &w, Rng &rng)
+{
+    double u = rng.uniform();
+    double acc = 0;
+    for (int i = 0; i < static_cast<int>(w.size()); ++i) {
+        acc += w[i];
+        if (u < acc)
+            return i;
+    }
+    return static_cast<int>(w.size()) - 1;
+}
+
+} // namespace
+
+std::vector<engine::Query>
+makeLog(const QuerySet &qs, const Mix &mix, Rng &rng, size_t n)
+{
+    std::vector<double> w = normalized(mix);
+    std::vector<engine::Query> log;
+    log.reserve(n);
+    for (size_t i = 0; i < n; ++i) {
+        int t = sampleTemplate(w, rng);
+        engine::Query q = mix.shifted ? qs.instantiateShifted(t, rng)
+                                      : qs.instantiate(t, rng);
+        q.frequency = w[t];
+        log.push_back(std::move(q));
+    }
+    return log;
+}
+
+std::vector<engine::Query>
+representatives(const QuerySet &qs, const Mix &mix, Rng &rng)
+{
+    std::vector<double> w = normalized(mix);
+    std::vector<engine::Query> reps;
+    reps.reserve(kNumTemplates);
+    for (int t = 0; t < kNumTemplates; ++t) {
+        if (w[t] <= 0)
+            continue;
+        engine::Query q = mix.shifted ? qs.instantiateShifted(t, rng)
+                                      : qs.instantiate(t, rng);
+        q.frequency = w[t];
+        reps.push_back(std::move(q));
+    }
+    return reps;
+}
+
+} // namespace dvp::nobench

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Workload construction: query logs sampled from the Table III
+ * templates (the paper's 1000-query uniform log) and representative
+ * template sets carrying frequencies for the partitioners.
+ */
+
+#ifndef DVP_NOBENCH_WORKLOAD_HH
+#define DVP_NOBENCH_WORKLOAD_HH
+
+#include <vector>
+
+#include "engine/query.hh"
+#include "nobench/queries.hh"
+#include "util/random.hh"
+
+namespace dvp::nobench
+{
+
+/** Per-template sampling weights; normalized internally. */
+struct Mix
+{
+    std::vector<double> weights; ///< size kNumTemplates
+    bool shifted = false;        ///< use the Figure 8 shifted variants
+
+    /** Equal weight for Q1-Q11. */
+    static Mix uniform();
+
+    /** Zipf-like skew favouring low template indices. */
+    static Mix skewed(double exponent = 1.0);
+};
+
+/**
+ * Sample a query log of @p n instances (fresh parameters per
+ * instance).  Each query's frequency field is set to its template's
+ * normalized weight.
+ */
+std::vector<engine::Query> makeLog(const QuerySet &qs, const Mix &mix,
+                                   Rng &rng, size_t n);
+
+/**
+ * One representative instance per template with frequency = normalized
+ * weight; this is the workload description handed to the partitioners.
+ */
+std::vector<engine::Query> representatives(const QuerySet &qs,
+                                           const Mix &mix, Rng &rng);
+
+} // namespace dvp::nobench
+
+#endif // DVP_NOBENCH_WORKLOAD_HH

@@ -1,0 +1,73 @@
+#include "perf/cache.hh"
+
+#include <bit>
+
+#include "util/logging.hh"
+
+namespace dvp::perf
+{
+
+Cache::Cache(CacheConfig config) : cfg(std::move(config))
+{
+    setCount = cfg.sets();
+    invariant(setCount > 0, "cache must have at least one set");
+    invariant(std::has_single_bit(cfg.lineBytes),
+              "cache line size must be a power of two");
+    lineShift = static_cast<size_t>(std::countr_zero(cfg.lineBytes));
+    tags.assign(setCount * cfg.ways, kInvalid);
+    stamps.assign(setCount * cfg.ways, 0);
+}
+
+bool
+Cache::access(uint64_t addr)
+{
+    ++naccess;
+    uint64_t line = addr >> lineShift;
+    // Modulo indexing: the paper's 20 MB LLC has a non-power-of-two set
+    // count (40960), so a bitmask cannot be used in general.
+    size_t set = static_cast<size_t>(line % setCount);
+    size_t base = set * cfg.ways;
+    ++tick;
+
+    size_t victim = base;
+    uint64_t oldest = ~uint64_t{0};
+    for (size_t w = 0; w < cfg.ways; ++w) {
+        size_t i = base + w;
+        if (tags[i] == line) {
+            stamps[i] = tick;
+            return true;
+        }
+        if (tags[i] == kInvalid) {
+            // Prefer an invalid way; stamp 0 loses to any valid entry.
+            if (oldest != 0) {
+                victim = i;
+                oldest = 0;
+            }
+        } else if (stamps[i] < oldest) {
+            victim = i;
+            oldest = stamps[i];
+        }
+    }
+    ++nmiss;
+    tags[victim] = line;
+    stamps[victim] = tick;
+    return false;
+}
+
+void
+Cache::reset()
+{
+    std::fill(tags.begin(), tags.end(), kInvalid);
+    std::fill(stamps.begin(), stamps.end(), 0);
+    tick = 0;
+    resetCounters();
+}
+
+void
+Cache::resetCounters()
+{
+    naccess = 0;
+    nmiss = 0;
+}
+
+} // namespace dvp::perf

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Set-associative LRU cache model.
+ *
+ * This is the reproduction's substitute for the paper's hardware PMU
+ * counters: a trace-driven cache fed with the engine's real memory
+ * addresses (tables are page-aligned and cache-line shifted exactly as
+ * on hardware, so set-mapping effects are faithful).  Write-allocate,
+ * no prefetcher (data-side locality differences between layouts are
+ * what the paper measures), true LRU.
+ */
+
+#ifndef DVP_PERF_CACHE_HH
+#define DVP_PERF_CACHE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace dvp::perf
+{
+
+/** Geometry + identification for one cache level. */
+struct CacheConfig
+{
+    std::string name;      ///< "L1D", "L2", "LLC"
+    size_t capacityBytes;  ///< total size
+    size_t ways;           ///< associativity
+    size_t lineBytes = 64; ///< line size
+
+    size_t sets() const { return capacityBytes / (ways * lineBytes); }
+};
+
+/** One level of set-associative, true-LRU cache. */
+class Cache
+{
+  public:
+    explicit Cache(CacheConfig config);
+
+    /**
+     * Access the line containing @p addr.
+     * @return true on hit; on miss the line is filled (LRU victim).
+     */
+    bool access(uint64_t addr);
+
+    /** Demand accesses observed. */
+    uint64_t accesses() const { return naccess; }
+
+    /** Demand misses observed. */
+    uint64_t misses() const { return nmiss; }
+
+    /** Forget all contents and counters. */
+    void reset();
+
+    /** Forget counters but keep contents (post-warmup measurement). */
+    void resetCounters();
+
+    const CacheConfig &config() const { return cfg; }
+
+  private:
+    CacheConfig cfg;
+    size_t setCount;
+    size_t lineShift;
+    std::vector<uint64_t> tags;   ///< [set * ways + way]
+    std::vector<uint64_t> stamps; ///< LRU timestamps, same indexing
+    uint64_t tick = 0;
+    uint64_t naccess = 0;
+    uint64_t nmiss = 0;
+
+    static constexpr uint64_t kInvalid = ~uint64_t{0};
+};
+
+} // namespace dvp::perf
+
+#endif // DVP_PERF_CACHE_HH

@@ -1,0 +1,86 @@
+#include "perf/memory_hierarchy.hh"
+
+namespace dvp::perf
+{
+
+PerfCounters
+PerfCounters::operator-(const PerfCounters &o) const
+{
+    PerfCounters d;
+    d.accesses = accesses - o.accesses;
+    d.l1Misses = l1Misses - o.l1Misses;
+    d.l2Misses = l2Misses - o.l2Misses;
+    d.l3Misses = l3Misses - o.l3Misses;
+    d.tlbMisses = tlbMisses - o.tlbMisses;
+    return d;
+}
+
+PerfCounters &
+PerfCounters::operator+=(const PerfCounters &o)
+{
+    accesses += o.accesses;
+    l1Misses += o.l1Misses;
+    l2Misses += o.l2Misses;
+    l3Misses += o.l3Misses;
+    tlbMisses += o.tlbMisses;
+    return *this;
+}
+
+MemoryHierarchy::MemoryHierarchy()
+    : MemoryHierarchy(
+          CacheConfig{"L1D", 32 * 1024, 8, 64},
+          CacheConfig{"L2", 256 * 1024, 8, 64},
+          CacheConfig{"LLC", 20 * 1024 * 1024, 8, 64},
+          TlbConfig{})
+{
+}
+
+MemoryHierarchy::MemoryHierarchy(CacheConfig l1, CacheConfig l2,
+                                 CacheConfig l3, TlbConfig tlb)
+    : l1_(std::move(l1)), l2_(std::move(l2)), l3_(std::move(l3)),
+      tlb_(tlb)
+{
+}
+
+void
+MemoryHierarchy::touchLine(uint64_t line_addr)
+{
+    tlb_.access(line_addr);
+    if (l1_.access(line_addr))
+        return;
+    if (l2_.access(line_addr))
+        return;
+    l3_.access(line_addr);
+}
+
+PerfCounters
+MemoryHierarchy::counters() const
+{
+    PerfCounters c;
+    c.accesses = l1_.accesses();
+    c.l1Misses = l1_.misses();
+    c.l2Misses = l2_.misses();
+    c.l3Misses = l3_.misses();
+    c.tlbMisses = tlb_.misses();
+    return c;
+}
+
+void
+MemoryHierarchy::reset()
+{
+    l1_.reset();
+    l2_.reset();
+    l3_.reset();
+    tlb_.reset();
+}
+
+void
+MemoryHierarchy::resetCounters()
+{
+    l1_.resetCounters();
+    l2_.resetCounters();
+    l3_.resetCounters();
+    tlb_.resetCounters();
+}
+
+} // namespace dvp::perf

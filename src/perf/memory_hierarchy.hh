@@ -1,0 +1,78 @@
+/**
+ * @file
+ * The simulated memory hierarchy of the paper's testbed (§V): L1D 32 KB,
+ * L2 256 KB, LLC 20 MB — all 8-way, 64 B lines — plus a 64-entry 4-way
+ * data TLB over 4 KB pages.  touch() walks an address range at line
+ * granularity through TLB -> L1 -> L2 -> LLC.
+ */
+
+#ifndef DVP_PERF_MEMORY_HIERARCHY_HH
+#define DVP_PERF_MEMORY_HIERARCHY_HH
+
+#include <cstdint>
+#include <string>
+
+#include "perf/cache.hh"
+#include "perf/tlb.hh"
+
+namespace dvp::perf
+{
+
+/** Counter snapshot for reporting. */
+struct PerfCounters
+{
+    uint64_t accesses = 0;
+    uint64_t l1Misses = 0;
+    uint64_t l2Misses = 0;
+    uint64_t l3Misses = 0;
+    uint64_t tlbMisses = 0;
+
+    PerfCounters operator-(const PerfCounters &o) const;
+    PerfCounters &operator+=(const PerfCounters &o);
+};
+
+/** Full data-side hierarchy; geometry defaults to the paper's machine. */
+class MemoryHierarchy
+{
+  public:
+    MemoryHierarchy();
+    MemoryHierarchy(CacheConfig l1, CacheConfig l2, CacheConfig l3,
+                    TlbConfig tlb);
+
+    /** Simulate a data access covering [@p addr, @p addr + @p bytes). */
+    void
+    touch(const void *addr, size_t bytes)
+    {
+        auto a = reinterpret_cast<uint64_t>(addr);
+        uint64_t first = a & ~uint64_t{63};
+        uint64_t last = (a + (bytes ? bytes - 1 : 0)) & ~uint64_t{63};
+        for (uint64_t line = first; line <= last; line += 64)
+            touchLine(line);
+    }
+
+    /** Current counter values. */
+    PerfCounters counters() const;
+
+    /** Clear contents and counters. */
+    void reset();
+
+    /** Clear counters only (measure post-warmup). */
+    void resetCounters();
+
+    Cache &l1() { return l1_; }
+    Cache &l2() { return l2_; }
+    Cache &l3() { return l3_; }
+    Tlb &tlb() { return tlb_; }
+
+  private:
+    void touchLine(uint64_t line_addr);
+
+    Cache l1_;
+    Cache l2_;
+    Cache l3_;
+    Tlb tlb_;
+};
+
+} // namespace dvp::perf
+
+#endif // DVP_PERF_MEMORY_HIERARCHY_HH

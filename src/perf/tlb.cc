@@ -1,0 +1,139 @@
+#include "perf/tlb.hh"
+
+#include <bit>
+#include <cstdlib>
+
+#include "util/logging.hh"
+#include "util/pagemap.hh"
+
+namespace dvp::perf
+{
+
+void
+Tlb::Level::init(size_t entries, size_t nways)
+{
+    ways = nways;
+    sets = entries / nways;
+    invariant(sets > 0 && std::has_single_bit(sets),
+              "TLB set count must be a positive power of two");
+    tags.assign(sets * ways, kInvalid);
+    stamps.assign(sets * ways, 0);
+}
+
+bool
+Tlb::Level::lookupInsert(uint64_t page, uint64_t now)
+{
+    size_t set = static_cast<size_t>(page & (sets - 1));
+    size_t base = set * ways;
+
+    size_t victim = base;
+    uint64_t oldest = ~uint64_t{0};
+    for (size_t w = 0; w < ways; ++w) {
+        size_t i = base + w;
+        if (tags[i] == page) {
+            stamps[i] = now;
+            return true;
+        }
+        if (tags[i] == kInvalid) {
+            if (oldest != 0) {
+                victim = i;
+                oldest = 0;
+            }
+        } else if (stamps[i] < oldest) {
+            victim = i;
+            oldest = stamps[i];
+        }
+    }
+    tags[victim] = page;
+    stamps[victim] = now;
+    return false;
+}
+
+void
+Tlb::Level::clear()
+{
+    std::fill(tags.begin(), tags.end(), kInvalid);
+    std::fill(stamps.begin(), stamps.end(), 0);
+}
+
+Tlb::Tlb(TlbConfig config) : cfg(config)
+{
+    invariant(std::has_single_bit(cfg.pageBytes),
+              "page size must be a power of two");
+    l1.init(cfg.entries, cfg.ways);
+    if (cfg.stlbEntries > 0)
+        l2.init(cfg.stlbEntries, cfg.stlbWays);
+    if (cfg.hugeEntries > 0)
+        lhuge.init(cfg.hugeEntries, cfg.hugeWays);
+}
+
+bool
+Tlb::accessIn(Level &first, Level *second, Stream &stream,
+              uint64_t page)
+{
+    ++tick;
+    bool hit = first.lookupInsert(page, tick);
+    if (!hit && second)
+        hit = second->lookupInsert(page, tick);
+    if (!hit)
+        ++nmiss;
+
+    if (page != stream.lastPage) {
+        auto delta = static_cast<int64_t>(page - stream.lastPage);
+        bool streaming =
+            delta == 1 || (delta == stream.lastDelta && delta != 0);
+        if (cfg.prefetch && stream.lastPage != ~uint64_t{0} &&
+            streaming && std::llabs(delta) <= cfg.maxPrefetchStride) {
+            // Constant-stride stream: pre-install the next page so its
+            // eventual demand access hits.
+            uint64_t next = page + static_cast<uint64_t>(delta);
+            ++tick;
+            if (second)
+                second->lookupInsert(next, tick);
+            else
+                first.lookupInsert(next, tick);
+        }
+        stream.lastDelta = delta;
+        stream.lastPage = page;
+    }
+    return hit;
+}
+
+bool
+Tlb::access(uint64_t addr)
+{
+    ++naccess;
+
+    // Huge-page ranges (registered by the allocator, modelling Linux
+    // THP) translate through the dedicated 2 MB TLB; everything else
+    // through the 4 KB DTLB + STLB.  Only a miss in every consulted
+    // level is a reported miss (what PMU dTLB-miss counters measure).
+    if (cfg.hugeEntries > 0 &&
+        PageMap::instance().isHuge(static_cast<uintptr_t>(addr))) {
+        return accessIn(lhuge, nullptr, huge_stream,
+                        addr / kHugePageSize);
+    }
+    return accessIn(l1, cfg.stlbEntries > 0 ? &l2 : nullptr,
+                    small_stream, addr / cfg.pageBytes);
+}
+
+void
+Tlb::reset()
+{
+    l1.clear();
+    l2.clear();
+    lhuge.clear();
+    tick = 0;
+    small_stream = Stream{};
+    huge_stream = Stream{};
+    resetCounters();
+}
+
+void
+Tlb::resetCounters()
+{
+    naccess = 0;
+    nmiss = 0;
+}
+
+} // namespace dvp::perf

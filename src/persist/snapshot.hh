@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Snapshot persistence: serialize a DataSet (catalog + dictionary +
+ * documents) and optionally a Layout to a compact binary image, and
+ * load it back.  A restored DataSet is bit-identical for query
+ * purposes: attribute ids, dictionary ids and document slots are all
+ * preserved, so saved layouts remain valid and result sets match.
+ *
+ * Format (little-endian, versioned):
+ *
+ *   magic "DVPSNAP1" | u32 flags
+ *   catalog : u32 n | n x { str name, u8 type, u64 nonNullDocs }
+ *             u64 docCount
+ *   dict    : u32 n | n x str
+ *   docs    : u64 n | n x { i64 oid, u32 k, k x { u32 attr, i64 slot } }
+ *   layout  : u32 present | u32 p | p x { u32 k, k x u32 attr }
+ *
+ * Strings are u32 length + bytes.  The writer buffers the whole image
+ * and writes once; the reader validates sizes and fails cleanly on
+ * truncated or corrupt input (never panics on bad files — user data).
+ */
+
+#ifndef DVP_PERSIST_SNAPSHOT_HH
+#define DVP_PERSIST_SNAPSHOT_HH
+
+#include <optional>
+#include <string>
+
+#include "engine/database.hh"
+#include "layout/layout.hh"
+
+namespace dvp::persist
+{
+
+/** Outcome of a load. */
+struct LoadResult
+{
+    bool ok = false;
+    std::string error;
+
+    engine::DataSet data;
+    /** Saved layout, when the image contained one. */
+    std::optional<layout::Layout> layout;
+};
+
+/**
+ * Serialize @p data (and @p layout if non-null) into a byte string.
+ */
+std::string serialize(const engine::DataSet &data,
+                      const layout::Layout *layout = nullptr);
+
+/** Parse an image produced by serialize(). */
+LoadResult deserialize(const std::string &bytes);
+
+/**
+ * Write a snapshot to @p path.
+ * @return empty string on success, error message otherwise.
+ */
+std::string save(const std::string &path, const engine::DataSet &data,
+                 const layout::Layout *layout = nullptr);
+
+/** Read a snapshot from @p path. */
+LoadResult load(const std::string &path);
+
+} // namespace dvp::persist
+
+#endif // DVP_PERSIST_SNAPSHOT_HH

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Tokenizer for the SQL subset of the paper's Table III.
+ *
+ * Tokens: case-insensitive keywords, identifiers (which may contain
+ * '.', '[n]' and '$' — flattened JSON paths are first-class column
+ * names), integer literals, single- or double-quoted strings, and
+ * punctuation.  Positions are tracked for error messages.
+ */
+
+#ifndef DVP_SQL_LEXER_HH
+#define DVP_SQL_LEXER_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace dvp::sql
+{
+
+/** Token categories. */
+enum class TokKind
+{
+    Keyword,  ///< normalized upper-case SQL keyword
+    Ident,    ///< column/table name (verbatim)
+    Integer,  ///< integer literal
+    String,   ///< quoted string literal (unquoted text)
+    Punct,    ///< single punctuation character: ( ) , = * ;
+    End       ///< end of input
+};
+
+/** One token. */
+struct Token
+{
+    TokKind kind = TokKind::End;
+    std::string text;   ///< keyword (upper), ident, string body, punct
+    int64_t number = 0; ///< valid for Integer
+    size_t pos = 0;     ///< byte offset in the input
+};
+
+/** Tokenizer outcome. */
+struct LexResult
+{
+    std::vector<Token> tokens; ///< always terminated by an End token
+    bool ok = true;
+    std::string error;
+    size_t errorPos = 0;
+};
+
+/** Tokenize @p text. */
+LexResult lex(const std::string &text);
+
+/** True when @p word is one of the recognized keywords. */
+bool isKeyword(const std::string &upper);
+
+} // namespace dvp::sql
+
+#endif // DVP_SQL_LEXER_HH

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Parser for the paper's Table III SQL dialect, producing engine
+ * Query objects bound to a DataSet's catalog and dictionary.
+ *
+ * Supported statements (case-insensitive keywords):
+ *
+ *   SELECT a, b FROM t [WHERE <cond>]
+ *   SELECT * FROM t [WHERE <cond>]
+ *   SELECT COUNT(*) FROM t [WHERE <cond>] [GROUP BY g]
+ *   SELECT * FROM t AS l INNER JOIN t AS r ON l.x = r.y
+ *       [WHERE <cond-on-l>]
+ *   LOAD DATA LOCAL INFILE 'file' REPLACE INTO TABLE t
+ *
+ *   <cond> := col = <lit>
+ *           | col BETWEEN <int> AND <int>
+ *           | <lit> = ANY col          (flattened-array membership)
+ *
+ * Column names are flattened JSON paths ("nested_obj.str").  In the
+ * join form, "l." / "r." alias prefixes are stripped.  An array name
+ * used with ANY expands to every `name[i]` column in the catalog.
+ *
+ * String literals are resolved against the shared dictionary; a
+ * never-ingested string yields a predicate that matches nothing
+ * (schema-less semantics: querying an unknown value is not an error).
+ */
+
+#ifndef DVP_SQL_PARSER_HH
+#define DVP_SQL_PARSER_HH
+
+#include <string>
+
+#include "engine/database.hh"
+#include "engine/query.hh"
+
+namespace dvp::sql
+{
+
+/** Kinds of statement a parse can produce. */
+enum class StatementKind
+{
+    Query,   ///< SELECT ... (result.query is the executable query)
+    Load,    ///< LOAD DATA ... (result.loadFile names the JSON input)
+    Explain  ///< EXPLAIN SELECT ... (query parsed, not for execution)
+};
+
+/** Parse outcome. */
+struct ParseResult
+{
+    bool ok = false;
+    std::string error;     ///< message with byte offset when !ok
+    size_t errorPos = 0;
+
+    StatementKind kind = StatementKind::Query;
+    engine::Query query;   ///< for Query/Explain statements
+    std::string loadFile;  ///< for Load statements
+    std::string table;     ///< FROM/INTO table name (informational)
+};
+
+/**
+ * Parse one statement against @p data (catalog for column resolution,
+ * dictionary for string literals).  The returned query's selectivity
+ * is estimated by estimateSelectivity().
+ */
+ParseResult parse(const std::string &text, const engine::DataSet &data);
+
+/**
+ * Estimate a query's selectivity by evaluating its predicate on an
+ * evenly spaced sample of up to @p sample documents (the "statistics
+ * commonly present in commercial RDBMSs" of §III).  Projections
+ * estimate 1.
+ */
+double estimateSelectivity(const engine::DataSet &data,
+                           const engine::Query &q, size_t sample = 512);
+
+} // namespace dvp::sql
+
+#endif // DVP_SQL_PARSER_HH

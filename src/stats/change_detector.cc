@@ -1,0 +1,66 @@
+#include "stats/change_detector.hh"
+
+#include <cmath>
+
+namespace dvp::stats
+{
+
+ChangeDetector::ChangeDetector(size_t window, double threshold)
+    : window(window), threshold(threshold)
+{
+}
+
+double
+ChangeDetector::distance(const Histogram &a, const Histogram &b)
+{
+    double atotal = 0, btotal = 0;
+    for (const auto &[k, v] : a)
+        atotal += v;
+    for (const auto &[k, v] : b)
+        btotal += v;
+    if (atotal == 0 || btotal == 0)
+        return atotal == btotal ? 0.0 : 2.0;
+
+    double d = 0;
+    for (const auto &[k, v] : a) {
+        auto it = b.find(k);
+        double bv = it == b.end() ? 0.0 : it->second / btotal;
+        d += std::abs(v / atotal - bv);
+    }
+    for (const auto &[k, v] : b)
+        if (a.find(k) == a.end())
+            d += v / btotal;
+    return d;
+}
+
+void
+ChangeDetector::reset()
+{
+    current.clear();
+    previous.clear();
+    seen = 0;
+    windows = 0;
+}
+
+bool
+ChangeDetector::observe(const engine::Query &q)
+{
+    for (storage::AttrId a : q.projected)
+        current[a] += q.selectAll ? 0.0 : 1.0;
+    for (storage::AttrId a : q.conditionPart())
+        current[a] += 1.0;
+
+    if (++seen < window)
+        return false;
+
+    ++windows;
+    bool changed = false;
+    if (windows > 1)
+        changed = distance(current, previous) > threshold;
+    previous = std::move(current);
+    current = Histogram{};
+    seen = 0;
+    return changed;
+}
+
+} // namespace dvp::stats

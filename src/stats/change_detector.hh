@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Workload-change detector.
+ *
+ * The adaptive engine must notice, on the fly, that the query stream no
+ * longer resembles the workload the current layout was optimized for
+ * (paper §VI-D injects exactly such a change).  The detector compares
+ * the attribute-access histogram of the most recent window of queries
+ * against the histogram of the previous window; when the L1 distance
+ * between the two normalized histograms exceeds a threshold — or when a
+ * never-before-seen attribute starts being accessed — it signals a
+ * change, which the adaptive engine answers with a repartition.
+ */
+
+#ifndef DVP_STATS_CHANGE_DETECTOR_HH
+#define DVP_STATS_CHANGE_DETECTOR_HH
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "engine/query.hh"
+#include "storage/catalog.hh"
+
+namespace dvp::stats
+{
+
+/** Sliding-window attribute-histogram change detector. */
+class ChangeDetector
+{
+  public:
+    /**
+     * @param window    queries per comparison window
+     * @param threshold L1 distance in [0,2] that signals a change
+     */
+    explicit ChangeDetector(size_t window = 100, double threshold = 0.5);
+
+    /**
+     * Observe one executed query (its explicitly accessed attributes:
+     * projection list + condition part; SELECT * contributes only its
+     * condition part, since "*" says nothing about attribute affinity).
+     *
+     * @return true when this observation completes a window whose
+     *         histogram departs from the previous window's.
+     */
+    bool observe(const engine::Query &q);
+
+    /** Windows completed so far. */
+    uint64_t windowsCompleted() const { return windows; }
+
+    /**
+     * Forget all window state.  Called after a repartition: the new
+     * layout was built for the workload just observed, so the detector
+     * must re-baseline rather than keep comparing against pre-change
+     * windows (which would re-fire forever).
+     */
+    void reset();
+
+  private:
+    using Histogram = std::unordered_map<storage::AttrId, double>;
+
+    static double distance(const Histogram &a, const Histogram &b);
+
+    size_t window;
+    double threshold;
+    Histogram current;  ///< accumulating window
+    Histogram previous; ///< last completed window
+    size_t seen = 0;
+    uint64_t windows = 0;
+};
+
+} // namespace dvp::stats
+
+#endif // DVP_STATS_CHANGE_DETECTOR_HH

@@ -1,0 +1,44 @@
+#include "stats/workload_stats.hh"
+
+namespace dvp::stats
+{
+
+void
+WorkloadStats::record(const engine::Query &q, double seconds,
+                      uint64_t matched, uint64_t scanned)
+{
+    TemplateStats &t = stats[q.name];
+    t.representative = q;
+    ++t.executions;
+    t.totalSeconds += seconds;
+    double sel = scanned ? static_cast<double>(matched) /
+                               static_cast<double>(scanned)
+                         : q.selectivity;
+    t.totalSelectivity += sel;
+    ++total;
+}
+
+std::vector<engine::Query>
+WorkloadStats::representatives() const
+{
+    std::vector<engine::Query> reps;
+    reps.reserve(stats.size());
+    for (const auto &[name, t] : stats) {
+        engine::Query q = t.representative;
+        q.frequency = total ? static_cast<double>(t.executions) /
+                                  static_cast<double>(total)
+                            : 0.0;
+        q.selectivity = t.meanSelectivity();
+        reps.push_back(std::move(q));
+    }
+    return reps;
+}
+
+void
+WorkloadStats::reset()
+{
+    stats.clear();
+    total = 0;
+}
+
+} // namespace dvp::stats

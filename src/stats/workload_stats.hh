@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Online workload statistics (paper §III: "Such statistics are commonly
+ * present in commercial relational database management systems").
+ *
+ * The engine reports every executed query here.  Per query template we
+ * track observed frequency, mean execution time, and mean observed
+ * selectivity; the collector can then emit a representative query set —
+ * one Query per template with measured f(q) and sel(q) — which is
+ * exactly the input the DVP cost model and partitioner consume.
+ */
+
+#ifndef DVP_STATS_WORKLOAD_STATS_HH
+#define DVP_STATS_WORKLOAD_STATS_HH
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "engine/query.hh"
+
+namespace dvp::stats
+{
+
+/** Accumulated per-template statistics. */
+struct TemplateStats
+{
+    engine::Query representative; ///< latest instance seen
+    uint64_t executions = 0;
+    double totalSeconds = 0;
+    double totalSelectivity = 0; ///< sum of observed selectivities
+
+    double
+    meanSeconds() const
+    {
+        return executions ? totalSeconds / executions : 0.0;
+    }
+
+    double
+    meanSelectivity() const
+    {
+        return executions ? totalSelectivity / executions : 0.0;
+    }
+};
+
+/** The collector. */
+class WorkloadStats
+{
+  public:
+    /**
+     * Record one execution.
+     * @param q        the executed query instance
+     * @param seconds  measured wall-clock execution time
+     * @param matched  records selected by the WHERE clause
+     * @param scanned  records the condition scan inspected
+     */
+    void record(const engine::Query &q, double seconds, uint64_t matched,
+                uint64_t scanned);
+
+    /** Total executions recorded. */
+    uint64_t executions() const { return total; }
+
+    /** Per-template view, keyed by query name. */
+    const std::map<std::string, TemplateStats> &templates() const
+    {
+        return stats;
+    }
+
+    /**
+     * Representative query set for the partitioner: one Query per
+     * template with frequency = observed share of the workload and
+     * selectivity = mean observed selectivity.
+     */
+    std::vector<engine::Query> representatives() const;
+
+    /** Forget everything (e.g. after a repartition). */
+    void reset();
+
+  private:
+    std::map<std::string, TemplateStats> stats;
+    uint64_t total = 0;
+};
+
+} // namespace dvp::stats
+
+#endif // DVP_STATS_WORKLOAD_STATS_HH

@@ -1,0 +1,77 @@
+#include "storage/catalog.hh"
+
+#include "util/logging.hh"
+
+namespace dvp::storage
+{
+
+AttrId
+Catalog::ensure(std::string_view path)
+{
+    auto it = byName.find(std::string(path));
+    if (it != byName.end())
+        return it->second;
+    auto id = static_cast<AttrId>(infos.size());
+    infos.push_back(AttrInfo{std::string(path), AttrType::Unknown, 0});
+    byName.emplace(std::string(path), id);
+    return id;
+}
+
+AttrId
+Catalog::find(std::string_view path) const
+{
+    auto it = byName.find(std::string(path));
+    return it == byName.end() ? kNoAttr : it->second;
+}
+
+const AttrInfo &
+Catalog::info(AttrId id) const
+{
+    invariant(id < infos.size(), "attribute id out of range");
+    return infos[id];
+}
+
+void
+Catalog::noteDocument(const std::vector<AttrId> &present_attrs,
+                      const std::vector<AttrType> &observed)
+{
+    invariant(present_attrs.size() == observed.size(),
+              "presence/type vectors must align");
+    ++docs;
+    for (size_t i = 0; i < present_attrs.size(); ++i) {
+        AttrInfo &ai = infos[present_attrs[i]];
+        ++ai.nonNullDocs;
+        if (ai.type == AttrType::Unknown)
+            ai.type = observed[i];
+        else if (ai.type != observed[i] && observed[i] != AttrType::Unknown)
+            ai.type = AttrType::Mixed;
+    }
+}
+
+double
+Catalog::sparseness(AttrId id) const
+{
+    const AttrInfo &ai = info(id);
+    if (docs == 0)
+        return 1.0;
+    return static_cast<double>(ai.nonNullDocs) / static_cast<double>(docs);
+}
+
+void
+Catalog::restoreStats(AttrId id, AttrType type, uint64_t non_null_docs)
+{
+    invariant(id < infos.size(), "restoreStats: attribute out of range");
+    infos[id].type = type;
+    infos[id].nonNullDocs = non_null_docs;
+}
+
+std::vector<AttrId>
+Catalog::allAttrs() const
+{
+    std::vector<AttrId> ids(infos.size());
+    for (size_t i = 0; i < ids.size(); ++i)
+        ids[i] = static_cast<AttrId>(i);
+    return ids;
+}
+
+} // namespace dvp::storage

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Attribute catalog: the registry of flattened attribute paths.
+ *
+ * Assigns dense AttrIds, records per-attribute presence statistics, and
+ * computes the sparseness ratio spa(a) of Equation 3 — the fraction of
+ * documents with a non-null value for the attribute (so a "1% sparse"
+ * NoBench attribute has spa(a) = 0.01 and a common attribute spa(a) = 1).
+ */
+
+#ifndef DVP_STORAGE_CATALOG_HH
+#define DVP_STORAGE_CATALOG_HH
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace dvp::storage
+{
+
+/** Dense attribute identifier. */
+using AttrId = uint32_t;
+
+/** Sentinel for "no such attribute". */
+constexpr AttrId kNoAttr = UINT32_MAX;
+
+/** Scalar types an attribute has been observed to hold. */
+enum class AttrType : uint8_t { Unknown, Integer, Boolean, String, Mixed };
+
+/** Per-attribute registry entry. */
+struct AttrInfo
+{
+    std::string name;          ///< flattened path, e.g. "nested_obj.str"
+    AttrType type = AttrType::Unknown;
+    uint64_t nonNullDocs = 0;  ///< documents with a non-null value
+};
+
+/**
+ * The attribute registry for one data set.  Grows as new attribute paths
+ * appear (JSON is schema-less); ids are dense and stable.
+ */
+class Catalog
+{
+  public:
+    /** Register (or find) the attribute for @p path. */
+    AttrId ensure(std::string_view path);
+
+    /** Find without registering. @return kNoAttr when unknown. */
+    AttrId find(std::string_view path) const;
+
+    /** Attribute metadata. @pre id < attrCount() */
+    const AttrInfo &info(AttrId id) const;
+
+    /** Name shortcut. */
+    const std::string &name(AttrId id) const { return info(id).name; }
+
+    /** Number of registered attributes. */
+    size_t attrCount() const { return infos.size(); }
+
+    /** Number of documents accounted so far. */
+    uint64_t docCount() const { return docs; }
+
+    /**
+     * Account one document's presence set: bump docCount and the
+     * non-null counters of @p present_attrs, and fold @p observed types.
+     */
+    void noteDocument(const std::vector<AttrId> &present_attrs,
+                      const std::vector<AttrType> &observed);
+
+    /**
+     * Sparseness ratio spa(a) of Equation 3: non-null fraction in [0,1].
+     * Returns 1 for an empty data set (neutral for the cost model).
+     */
+    double sparseness(AttrId id) const;
+
+    /** All attribute ids, dense [0, attrCount)). */
+    std::vector<AttrId> allAttrs() const;
+
+    /**
+     * Restore persisted statistics for @p id (snapshot loading only;
+     * normal ingest goes through noteDocument()).
+     */
+    void restoreStats(AttrId id, AttrType type, uint64_t non_null_docs);
+
+    /** Restore the persisted document count (snapshot loading only). */
+    void restoreDocCount(uint64_t count) { docs = count; }
+
+  private:
+    std::vector<AttrInfo> infos;
+    std::unordered_map<std::string, AttrId> byName;
+    uint64_t docs = 0;
+};
+
+} // namespace dvp::storage
+
+#endif // DVP_STORAGE_CATALOG_HH

@@ -1,0 +1,89 @@
+#include "storage/dictionary.hh"
+
+#include "util/logging.hh"
+
+namespace dvp::storage
+{
+
+Dictionary::Dictionary() : index(64, kEmpty)
+{
+}
+
+uint64_t
+Dictionary::hashBytes(std::string_view s)
+{
+    // FNV-1a, then a final mix so short keys spread across the table.
+    uint64_t h = 0xcbf29ce484222325ULL;
+    for (char c : s) {
+        h ^= static_cast<unsigned char>(c);
+        h *= 0x100000001b3ULL;
+    }
+    h ^= h >> 33;
+    h *= 0xff51afd7ed558ccdULL;
+    h ^= h >> 33;
+    return h;
+}
+
+size_t
+Dictionary::probe(std::string_view s, uint64_t hash) const
+{
+    size_t mask = index.size() - 1;
+    size_t i = hash & mask;
+    while (index[i] != kEmpty && strings[index[i]] != s)
+        i = (i + 1) & mask;
+    return i;
+}
+
+void
+Dictionary::grow()
+{
+    std::vector<uint32_t> old = std::move(index);
+    index.assign(old.size() * 2, kEmpty);
+    for (uint32_t id : old) {
+        if (id == kEmpty)
+            continue;
+        size_t slot = probe(strings[id], hashBytes(strings[id]));
+        index[slot] = id;
+    }
+}
+
+StringId
+Dictionary::intern(std::string_view s)
+{
+    size_t slot = probe(s, hashBytes(s));
+    if (index[slot] != kEmpty)
+        return index[slot];
+    invariant(strings.size() < kMissing, "dictionary id space exhausted");
+    auto id = static_cast<StringId>(strings.size());
+    strings.emplace_back(s);
+    index[slot] = id;
+    // Keep load factor below 0.7.
+    if (strings.size() * 10 >= index.size() * 7)
+        grow();
+    return id;
+}
+
+StringId
+Dictionary::lookup(std::string_view s) const
+{
+    size_t slot = probe(s, hashBytes(s));
+    return index[slot] == kEmpty ? kMissing : index[slot];
+}
+
+const std::string &
+Dictionary::text(StringId id) const
+{
+    invariant(id < strings.size(), "dictionary id out of range");
+    return strings[id];
+}
+
+size_t
+Dictionary::memoryBytes() const
+{
+    size_t bytes = index.size() * sizeof(uint32_t);
+    for (const auto &s : strings)
+        bytes += s.size() + sizeof(std::string);
+    return bytes;
+}
+
+} // namespace dvp::storage

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * String hash dictionary.
+ *
+ * The engine stores string attribute values out of line: the actual bytes
+ * live here and tables store dense integer ids (§IV of the paper).  The
+ * dictionary is an open-addressing (linear probing) hash table written
+ * from scratch; ids are stable for the lifetime of the dictionary and
+ * intern() of an existing string returns its original id.
+ *
+ * As in the paper, the cost of mapping ids back to string payloads is
+ * excluded from query timings — it is identical across layouts.
+ */
+
+#ifndef DVP_STORAGE_DICTIONARY_HH
+#define DVP_STORAGE_DICTIONARY_HH
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "storage/value.hh"
+
+namespace dvp::storage
+{
+
+/** Interning dictionary: string <-> dense StringId. */
+class Dictionary
+{
+  public:
+    Dictionary();
+
+    /** Intern @p s, returning its id (existing or freshly assigned). */
+    StringId intern(std::string_view s);
+
+    /**
+     * Look up without interning.
+     * @return the id, or kMissing when @p s was never interned.
+     */
+    StringId lookup(std::string_view s) const;
+
+    /** Recover the string for @p id. @pre id < size() */
+    const std::string &text(StringId id) const;
+
+    /** Number of distinct interned strings. */
+    size_t size() const { return strings.size(); }
+
+    /** Approximate heap footprint in bytes (strings + index). */
+    size_t memoryBytes() const;
+
+    /** Sentinel returned by lookup() for unknown strings. */
+    static constexpr StringId kMissing = UINT32_MAX;
+
+  private:
+    void grow();
+    size_t probe(std::string_view s, uint64_t hash) const;
+
+    static uint64_t hashBytes(std::string_view s);
+
+    std::vector<std::string> strings;       ///< id -> text
+    std::vector<uint32_t> index;            ///< open-addressed id slots
+    static constexpr uint32_t kEmpty = UINT32_MAX;
+};
+
+} // namespace dvp::storage
+
+#endif // DVP_STORAGE_DICTIONARY_HH

@@ -1,0 +1,89 @@
+#include "storage/padding.hh"
+
+#include <numeric>
+#include <set>
+
+#include "util/arena.hh"
+#include "util/logging.hh"
+
+namespace dvp::storage
+{
+
+double
+projectionMissesPerRecord(size_t stride, size_t offset, size_t width)
+{
+    invariant(stride > 0 && width > 0 && offset + width <= stride,
+              "projection model: attribute must fit in the record");
+    const size_t line = kCacheLineSize;
+    // The line-alignment pattern of record r repeats with period
+    // lcm(stride, line) bytes, i.e. every lcm/stride records.
+    size_t l = std::lcm(stride, line);
+    size_t period = l / stride;
+    std::set<size_t> lines;
+    for (size_t r = 0; r < period; ++r) {
+        size_t first = (r * stride + offset) / line;
+        size_t last = (r * stride + offset + width - 1) / line;
+        for (size_t ln = first; ln <= last; ++ln)
+            lines.insert(ln);
+    }
+    return static_cast<double>(lines.size()) /
+           static_cast<double>(period);
+}
+
+double
+avgProjectionMisses(size_t stride, size_t payload)
+{
+    invariant(payload > 0 && payload % 8 == 0,
+              "payload must be whole 8-byte slots");
+    double total = 0;
+    size_t slots = payload / 8;
+    for (size_t s = 0; s < slots; ++s)
+        total += projectionMissesPerRecord(stride, s * 8, 8);
+    return total / static_cast<double>(slots);
+}
+
+double
+avgRecordSpanLines(size_t stride, size_t payload)
+{
+    invariant(stride >= payload && payload > 0,
+              "record must fit in its stride");
+    const size_t line = kCacheLineSize;
+    size_t l = std::lcm(stride, line);
+    size_t period = l / stride;
+    size_t total_lines = 0;
+    for (size_t r = 0; r < period; ++r) {
+        size_t first = (r * stride) / line;
+        size_t last = (r * stride + payload - 1) / line;
+        total_lines += last - first + 1;
+    }
+    return static_cast<double>(total_lines) /
+           static_cast<double>(period);
+}
+
+size_t
+paddingSize(size_t record_bytes)
+{
+    size_t rem = record_bytes % kCacheLineSize;
+    return rem == 0 ? 0 : kCacheLineSize - rem;
+}
+
+size_t
+chooseStride(size_t record_bytes)
+{
+    // Records no larger than a line pack several per line; padding
+    // them up to full lines would trade away both memory and scan
+    // locality for at most a fractional straddle saving, so only
+    // multi-line records are candidates (the narrow-padding cases the
+    // paper's §IV targets are wide partition tables).
+    if (record_bytes <= kCacheLineSize)
+        return record_bytes;
+    size_t padded = record_bytes + paddingSize(record_bytes);
+    if (padded == record_bytes)
+        return record_bytes;
+    double unpadded_misses = avgRecordSpanLines(record_bytes,
+                                                record_bytes);
+    double padded_misses = avgRecordSpanLines(padded, record_bytes);
+    return padded_misses < unpadded_misses ? padded : record_bytes;
+}
+
+} // namespace dvp::storage

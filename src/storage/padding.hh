@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Narrow padding decision (paper §IV).
+ *
+ * A table's record stride may be padded up to the next cache-line
+ * multiple (Equation 10: pad = CLS - RS % CLS) so that attribute slots
+ * never straddle line boundaries.  Padding costs memory and can add
+ * misses for wide scans, so — following the paper — we predict the cache
+ * misses of all possible simple (single-attribute) projection queries
+ * over the table with and without padding, using the Hyrise projection
+ * miss model, and pad only when the padded average is lower.
+ */
+
+#ifndef DVP_STORAGE_PADDING_HH
+#define DVP_STORAGE_PADDING_HH
+
+#include <cstddef>
+
+namespace dvp::storage
+{
+
+/**
+ * Expected cache lines touched per record by a sequential projection of
+ * one @p width-byte attribute at byte @p offset within records of
+ * @p stride bytes (Hyrise projection miss model; exact over the
+ * lcm(stride, line) alignment period).
+ */
+double projectionMissesPerRecord(size_t stride, size_t offset,
+                                 size_t width);
+
+/**
+ * Average of projectionMissesPerRecord over every slot of a record with
+ * @p payload bytes of 8-byte slots and total @p stride bytes.
+ */
+double avgProjectionMisses(size_t stride, size_t payload);
+
+/**
+ * Expected cache lines spanned by one full record of @p payload bytes
+ * at stride @p stride, averaged over the alignment period.  This is
+ * the cost of fetching a single record at a random row — the dominant
+ * miss source for low-selectivity selections, and the quantity the
+ * §IV padding decision trades against memory: a padded stride keeps
+ * records line-aligned so they never straddle an extra line.
+ */
+double avgRecordSpanLines(size_t stride, size_t payload);
+
+/** Equation 10 padding size for a record of @p record_bytes. */
+size_t paddingSize(size_t record_bytes);
+
+/**
+ * Decide the record stride for a payload of @p record_bytes: the padded
+ * stride when the predicted average per-record fetch misses are
+ * strictly lower, otherwise the unpadded stride (§IV narrow padding;
+ * sequential single-column scans never benefit from padding — only
+ * random record fetches do, so those drive the decision).
+ */
+size_t chooseStride(size_t record_bytes);
+
+} // namespace dvp::storage
+
+#endif // DVP_STORAGE_PADDING_HH

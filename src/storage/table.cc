@@ -1,0 +1,106 @@
+#include "storage/table.hh"
+
+#include <algorithm>
+#include <cstring>
+
+#include "storage/padding.hh"
+#include "util/logging.hh"
+
+namespace dvp::storage
+{
+
+Table::Table(std::string name, std::vector<AttrId> schema, Arena &arena,
+             bool allow_pad)
+    : name_(std::move(name)), schema_(std::move(schema)), arena(&arena)
+{
+    invariant(!schema_.empty(), "a table needs at least one attribute");
+    size_t payload = (1 + schema_.size()) * 8; // oid + attribute slots
+    size_t stride = allow_pad ? chooseStride(payload) : payload;
+    stride_slots = stride / 8;
+
+    AttrId max_id = *std::max_element(schema_.begin(), schema_.end());
+    colIndex.assign(max_id + 1, -1);
+    for (size_t c = 0; c < schema_.size(); ++c) {
+        invariant(colIndex[schema_[c]] == -1,
+                  "duplicate attribute in table schema");
+        colIndex[schema_[c]] = static_cast<int>(c);
+    }
+}
+
+int
+Table::columnOf(AttrId attr) const
+{
+    if (attr >= colIndex.size())
+        return -1;
+    return colIndex[attr];
+}
+
+void
+Table::reserve(size_t want_rows)
+{
+    if (want_rows <= capacity)
+        return;
+    size_t new_cap = std::max<size_t>(capacity * 2, 1024);
+    new_cap = std::max(new_cap, want_rows);
+    AlignedBuffer bigger = arena->allocate(new_cap * strideBytes());
+    if (nrows > 0)
+        std::memcpy(bigger.data(), buf.data(), nrows * strideBytes());
+    buf = std::move(bigger);
+    capacity = new_cap;
+}
+
+bool
+Table::append(int64_t oid, std::span<const Slot> values)
+{
+    invariant(values.size() == schema_.size(),
+              "append arity must match the table schema");
+    invariant(nrows == 0 || this->oid(nrows - 1) < oid,
+              "oids must be appended in strictly increasing order");
+
+    bool all_null = true;
+    uint64_t nulls = 0;
+    for (Slot s : values) {
+        if (isNull(s))
+            ++nulls;
+        else
+            all_null = false;
+    }
+    if (all_null)
+        return false; // sparse omission: nothing to store for this object
+
+    reserve(nrows + 1);
+    Slot *rec = const_cast<Slot *>(record(nrows));
+    rec[0] = oid;
+    std::memcpy(rec + 1, values.data(), values.size() * 8);
+    // Zero any padding slots so full-record reads are deterministic.
+    for (size_t s = 1 + values.size(); s < stride_slots; ++s)
+        rec[s] = 0;
+    ++nrows;
+    null_cells += nulls;
+    return true;
+}
+
+RowIdx
+Table::rowOf(int64_t target) const
+{
+    size_t lo = lowerBound(target);
+    if (lo < nrows && oid(lo) == target)
+        return static_cast<RowIdx>(lo);
+    return kNoRow;
+}
+
+size_t
+Table::lowerBound(int64_t target) const
+{
+    size_t lo = 0, hi = nrows;
+    while (lo < hi) {
+        size_t mid = lo + (hi - lo) / 2;
+        if (oid(mid) < target)
+            lo = mid + 1;
+        else
+            hi = mid;
+    }
+    return lo;
+}
+
+} // namespace dvp::storage

@@ -1,0 +1,136 @@
+/**
+ * @file
+ * A partition table: the row-major "smaller table" of the paper.
+ *
+ * Record layout (8-byte slots):
+ *
+ *     [ object id | slot(attr 0) | ... | slot(attr k-1) | padding... ]
+ *
+ * The object id is replicated into every table (paper §IV) so partitions
+ * can be scanned simultaneously by their sorted oid columns.  Objects
+ * whose cells are all NULL for this table's attributes are omitted
+ * entirely — that is the sparse-attribute memory saving DVP exploits —
+ * so oid columns may have gaps.  Records are appended in increasing oid
+ * order; rowOf() is a binary search over the oid column, which is the
+ * engine's primary-key index.
+ */
+
+#ifndef DVP_STORAGE_TABLE_HH
+#define DVP_STORAGE_TABLE_HH
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "storage/catalog.hh"
+#include "storage/value.hh"
+#include "util/arena.hh"
+
+namespace dvp::storage
+{
+
+/** Row index type; kNoRow means "object not present in this table". */
+using RowIdx = int64_t;
+constexpr RowIdx kNoRow = -1;
+
+/** One vertical partition's storage. */
+class Table
+{
+  public:
+    /**
+     * @param name      debugging name ("p3", "argo1", ...)
+     * @param schema    attribute ids stored, in column order
+     * @param arena     allocator implementing the cache-line shift policy
+     * @param allow_pad when true, apply the narrow-padding decision of
+     *                  §IV; when false the stride is exactly the payload
+     */
+    Table(std::string name, std::vector<AttrId> schema, Arena &arena,
+          bool allow_pad = true);
+
+    Table(Table &&) noexcept = default;
+    Table &operator=(Table &&) noexcept = default;
+
+    /** Number of attribute columns (excluding the oid). */
+    size_t attrCount() const { return schema_.size(); }
+
+    /** The schema, in column order. */
+    const std::vector<AttrId> &schema() const { return schema_; }
+
+    /** Column index of @p attr, or -1 when not stored here. */
+    int columnOf(AttrId attr) const;
+
+    /**
+     * Append a record for @p oid.
+     * @param values one slot per schema attribute, in column order.
+     * @return true when stored; false when skipped because every cell
+     *         was NULL (sparse omission).
+     * @pre oid is strictly greater than the last stored oid.
+     */
+    bool append(int64_t oid, std::span<const Slot> values);
+
+    /** Number of stored records. */
+    size_t rows() const { return nrows; }
+
+    /** Record stride in bytes (payload plus any narrow padding). */
+    size_t strideBytes() const { return stride_slots * 8; }
+
+    /** Record stride in slots. */
+    size_t strideSlots() const { return stride_slots; }
+
+    /** Base address of record storage (for the perf tracer). */
+    const uint8_t *base() const { return buf.data(); }
+
+    /** Pointer to the start (oid slot) of record @p row. */
+    const Slot *
+    record(size_t row) const
+    {
+        return reinterpret_cast<const Slot *>(buf.data()) +
+               row * stride_slots;
+    }
+
+    /** Object id of record @p row. */
+    int64_t oid(size_t row) const { return record(row)[0]; }
+
+    /** Cell at (@p row, @p col). @pre col < attrCount() */
+    Slot cell(size_t row, size_t col) const { return record(row)[1 + col]; }
+
+    /**
+     * Row holding @p oid, or kNoRow.  Binary search over the sorted oid
+     * column (the primary-key index of §IV).
+     */
+    RowIdx rowOf(int64_t oid) const;
+
+    /**
+     * First row whose oid is >= @p oid (cursor positioning for the
+     * simultaneous merge scans).  May equal rows().
+     */
+    size_t lowerBound(int64_t oid) const;
+
+    /** Total bytes of record storage currently allocated. */
+    size_t storageBytes() const { return nrows * strideBytes(); }
+
+    /** Count of NULL cells stored (excludes omitted records). */
+    uint64_t nullCells() const { return null_cells; }
+
+    /** True when the narrow-padding decision added padding. */
+    bool padded() const { return stride_slots > 1 + schema_.size(); }
+
+    const std::string &name() const { return name_; }
+
+  private:
+    void reserve(size_t want_rows);
+
+    std::string name_;
+    std::vector<AttrId> schema_;
+    std::vector<int> colIndex; ///< dense AttrId -> column map (grown lazily)
+    Arena *arena;
+    AlignedBuffer buf;
+    size_t stride_slots;
+    size_t nrows = 0;
+    size_t capacity = 0;
+    uint64_t null_cells = 0;
+};
+
+} // namespace dvp::storage
+
+#endif // DVP_STORAGE_TABLE_HH

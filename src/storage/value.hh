@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Cell encoding for the in-memory engine.
+ *
+ * Every table cell is a fixed 8-byte slot (the paper's Figure 2 assumes
+ * 8 attributes per 64-byte cache line).  The encoding is:
+ *
+ *   - NULL            : INT64_MIN sentinel
+ *   - integer/boolean : the value itself (bool as 0/1)
+ *   - string          : dictionary id with tag bit 62 set
+ *
+ * Dynamic-typed attributes (NoBench dyn1) mix numeric and string slots in
+ * one column; numeric range predicates skip string-tagged slots, which
+ * matches Argo's typed-column semantics where a numeric BETWEEN only
+ * inspects the numeric column.  Doubles are not needed by NoBench; the
+ * ingest layer rounds them to integers and warns (documented limitation).
+ */
+
+#ifndef DVP_STORAGE_VALUE_HH
+#define DVP_STORAGE_VALUE_HH
+
+#include <cstdint>
+#include <limits>
+
+namespace dvp::storage
+{
+
+/** The raw 8-byte slot type. */
+using Slot = int64_t;
+
+/** Dictionary-id type; ids are dense from zero. */
+using StringId = uint32_t;
+
+/** NULL sentinel. */
+constexpr Slot kNullSlot = std::numeric_limits<int64_t>::min();
+
+/** Tag bit marking a slot as a dictionary-encoded string. */
+constexpr Slot kStringTag = int64_t{1} << 62;
+
+/** True when @p s holds no value. */
+constexpr bool isNull(Slot s) { return s == kNullSlot; }
+
+/** True when @p s is a dictionary-encoded string. */
+constexpr bool
+isStringSlot(Slot s)
+{
+    return s != kNullSlot && (s & kStringTag) != 0 && s > 0;
+}
+
+/** True when @p s is a (non-null) numeric/boolean slot. */
+constexpr bool
+isNumericSlot(Slot s)
+{
+    return s != kNullSlot && !isStringSlot(s);
+}
+
+/** Encode a dictionary id as a string slot. */
+constexpr Slot
+encodeString(StringId id)
+{
+    return kStringTag | static_cast<Slot>(id);
+}
+
+/** Decode a string slot back to its dictionary id. @pre isStringSlot */
+constexpr StringId
+decodeString(Slot s)
+{
+    return static_cast<StringId>(s & ~kStringTag);
+}
+
+/** Encode an integer (identity; asserts it avoids reserved encodings). */
+constexpr Slot encodeInt(int64_t v) { return v; }
+
+/** Encode a boolean. */
+constexpr Slot encodeBool(bool b) { return b ? 1 : 0; }
+
+} // namespace dvp::storage
+
+#endif // DVP_STORAGE_VALUE_HH

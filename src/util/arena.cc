@@ -1,0 +1,85 @@
+#include "util/arena.hh"
+
+#include <cstring>
+
+#include "util/logging.hh"
+#include "util/pagemap.hh"
+
+namespace dvp
+{
+
+AlignedBuffer::AlignedBuffer(size_t bytes, size_t shift)
+    : bytes_(bytes), shift_(shift)
+{
+    invariant(shift % kCacheLineSize == 0 && shift < kPageSize,
+              "buffer shift must be a cache-line multiple below page size");
+    // Over-allocate one page for alignment plus one for the shift
+    // spill; huge-page candidates get 2 MB alignment like THP would.
+    huge = bytes >= kHugePageSize;
+    size_t align = huge ? kHugePageSize : kPageSize;
+    raw = std::make_unique<uint8_t[]>(bytes + 2 * align);
+    auto addr = reinterpret_cast<uintptr_t>(raw.get());
+    uintptr_t page = (addr + align - 1) & ~(align - 1);
+    usable = reinterpret_cast<uint8_t *>(page + shift);
+    std::memset(usable, 0, bytes);
+    if (huge)
+        PageMap::instance().add(page, bytes + shift);
+}
+
+void
+AlignedBuffer::release()
+{
+    if (huge && usable != nullptr) {
+        auto base = reinterpret_cast<uintptr_t>(usable) - shift_;
+        PageMap::instance().remove(base);
+    }
+    raw.reset();
+    usable = nullptr;
+    bytes_ = 0;
+    shift_ = 0;
+    huge = false;
+}
+
+AlignedBuffer::~AlignedBuffer()
+{
+    release();
+}
+
+AlignedBuffer::AlignedBuffer(AlignedBuffer &&other) noexcept
+    : raw(std::move(other.raw)), usable(other.usable),
+      bytes_(other.bytes_), shift_(other.shift_), huge(other.huge)
+{
+    other.usable = nullptr;
+    other.bytes_ = 0;
+    other.shift_ = 0;
+    other.huge = false;
+}
+
+AlignedBuffer &
+AlignedBuffer::operator=(AlignedBuffer &&other) noexcept
+{
+    if (this != &other) {
+        release();
+        raw = std::move(other.raw);
+        usable = other.usable;
+        bytes_ = other.bytes_;
+        shift_ = other.shift_;
+        huge = other.huge;
+        other.usable = nullptr;
+        other.bytes_ = 0;
+        other.shift_ = 0;
+        other.huge = false;
+    }
+    return *this;
+}
+
+AlignedBuffer
+Arena::allocate(size_t bytes)
+{
+    AlignedBuffer buf(bytes, next_shift * kCacheLineSize);
+    next_shift = (next_shift + 1) % (kPageSize / kCacheLineSize);
+    total += bytes;
+    return buf;
+}
+
+} // namespace dvp

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Status-message and error helpers in the gem5 idiom.
+ *
+ * panic() is for internal invariant violations (bugs in this library);
+ * fatal() is for user errors that make continuing impossible; warn() and
+ * inform() provide non-fatal status.  All messages go to stderr so bench
+ * output on stdout stays machine-readable.
+ */
+
+#ifndef DVP_UTIL_LOGGING_HH
+#define DVP_UTIL_LOGGING_HH
+
+#include <cstdarg>
+#include <string>
+
+namespace dvp
+{
+
+/** Verbosity threshold; messages below it are suppressed. */
+enum class LogLevel { Silent, Warn, Inform, Debug };
+
+/** Set the global verbosity (default: Inform). */
+void setLogLevel(LogLevel level);
+
+/** Current global verbosity. */
+LogLevel logLevel();
+
+/**
+ * Report an unrecoverable internal error (a bug) and abort().
+ * Never returns.
+ */
+[[noreturn]] void panic(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/**
+ * Report an unrecoverable user error and exit(1).
+ * Never returns.
+ */
+[[noreturn]] void fatal(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Report a suspicious-but-survivable condition. */
+void warn(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Report normal operational status. */
+void inform(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/**
+ * Assert an internal invariant; panics with @p msg when @p cond is false.
+ * Unlike assert(3) this is active in release builds: the engine's
+ * correctness invariants are cheap and always worth checking.
+ */
+inline void
+invariant(bool cond, const char *msg)
+{
+    if (!cond)
+        panic("invariant violated: %s", msg);
+}
+
+} // namespace dvp
+
+#endif // DVP_UTIL_LOGGING_HH

@@ -1,0 +1,47 @@
+#include "util/pagemap.hh"
+
+#include <mutex>
+
+namespace dvp
+{
+
+PageMap &
+PageMap::instance()
+{
+    static PageMap map;
+    return map;
+}
+
+void
+PageMap::add(uintptr_t base, size_t len)
+{
+    std::unique_lock lock(mutex);
+    ranges[base] = base + len;
+}
+
+void
+PageMap::remove(uintptr_t base)
+{
+    std::unique_lock lock(mutex);
+    ranges.erase(base);
+}
+
+bool
+PageMap::isHuge(uintptr_t addr) const
+{
+    std::shared_lock lock(mutex);
+    auto it = ranges.upper_bound(addr);
+    if (it == ranges.begin())
+        return false;
+    --it;
+    return addr >= it->first && addr < it->second;
+}
+
+size_t
+PageMap::size() const
+{
+    std::shared_lock lock(mutex);
+    return ranges.size();
+}
+
+} // namespace dvp

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Registry of huge-page-backed address ranges.
+ *
+ * Linux transparent huge pages back large anonymous allocations with
+ * 2 MB pages; on the paper's testbed that is what keeps the multi-GB
+ * row / Hyrise / Argo tables from drowning in 4 KB dTLB misses while
+ * the thousands of small column tables stay on 4 KB pages.  The Arena
+ * registers every sufficiently large table buffer here and the
+ * simulated TLB consults the registry to pick the page size per
+ * access.
+ */
+
+#ifndef DVP_UTIL_PAGEMAP_HH
+#define DVP_UTIL_PAGEMAP_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <shared_mutex>
+
+namespace dvp
+{
+
+/** Allocation size from which buffers are treated as huge-paged. */
+constexpr size_t kHugePageSize = 2 * 1024 * 1024;
+
+/** Process-wide huge-range registry (thread-safe). */
+class PageMap
+{
+  public:
+    static PageMap &instance();
+
+    /** Register [base, base+len) as huge-page backed. */
+    void add(uintptr_t base, size_t len);
+
+    /** Remove a range previously registered at @p base. */
+    void remove(uintptr_t base);
+
+    /** True when @p addr falls inside a registered huge range. */
+    bool isHuge(uintptr_t addr) const;
+
+    /** Number of registered ranges (for tests). */
+    size_t size() const;
+
+  private:
+    PageMap() = default;
+
+    mutable std::shared_mutex mutex;
+    std::map<uintptr_t, uintptr_t> ranges; ///< base -> end
+};
+
+} // namespace dvp
+
+#endif // DVP_UTIL_PAGEMAP_HH

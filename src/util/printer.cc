@@ -1,0 +1,127 @@
+#include "util/printer.hh"
+
+#include <cstdint>
+#include <cstdio>
+#include <sstream>
+
+#include "util/logging.hh"
+
+namespace dvp
+{
+
+TablePrinter::TablePrinter(std::vector<std::string> header)
+    : head(std::move(header))
+{
+}
+
+void
+TablePrinter::addRow(std::vector<std::string> row)
+{
+    invariant(row.size() == head.size(),
+              "TablePrinter row arity must match header");
+    body.push_back(std::move(row));
+}
+
+std::string
+TablePrinter::ascii() const
+{
+    std::vector<size_t> width(head.size());
+    for (size_t c = 0; c < head.size(); ++c)
+        width[c] = head[c].size();
+    for (const auto &row : body)
+        for (size_t c = 0; c < row.size(); ++c)
+            width[c] = std::max(width[c], row[c].size());
+
+    auto emit_row = [&](const std::vector<std::string> &row,
+                        std::ostringstream &os) {
+        os << "|";
+        for (size_t c = 0; c < row.size(); ++c) {
+            os << " " << row[c];
+            os << std::string(width[c] - row[c].size(), ' ') << " |";
+        }
+        os << "\n";
+    };
+
+    std::ostringstream os;
+    std::string rule = "+";
+    for (size_t c = 0; c < head.size(); ++c)
+        rule += std::string(width[c] + 2, '-') + "+";
+    rule += "\n";
+
+    os << rule;
+    emit_row(head, os);
+    os << rule;
+    for (const auto &row : body)
+        emit_row(row, os);
+    os << rule;
+    return os.str();
+}
+
+std::string
+TablePrinter::csv() const
+{
+    auto quote = [](const std::string &cell) {
+        if (cell.find(',') == std::string::npos &&
+            cell.find('"') == std::string::npos)
+            return cell;
+        std::string out = "\"";
+        for (char ch : cell) {
+            if (ch == '"')
+                out += '"';
+            out += ch;
+        }
+        out += '"';
+        return out;
+    };
+
+    std::ostringstream os;
+    for (size_t c = 0; c < head.size(); ++c)
+        os << (c ? "," : "") << quote(head[c]);
+    os << "\n";
+    for (const auto &row : body) {
+        for (size_t c = 0; c < row.size(); ++c)
+            os << (c ? "," : "") << quote(row[c]);
+        os << "\n";
+    }
+    return os.str();
+}
+
+void
+TablePrinter::print(const std::string &title) const
+{
+    std::printf("\n== %s ==\n%s", title.c_str(), ascii().c_str());
+    std::fflush(stdout);
+}
+
+std::string
+fmt(double v, int decimals)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", decimals, v);
+    return buf;
+}
+
+std::string
+fmtCount(uint64_t v)
+{
+    std::string digits = std::to_string(v);
+    std::string out;
+    int since_sep = (3 - static_cast<int>(digits.size() % 3)) % 3;
+    for (char ch : digits) {
+        if (!out.empty() && since_sep == 3) {
+            out += ',';
+            since_sep = 0;
+        }
+        out += ch;
+        ++since_sep;
+    }
+    return out;
+}
+
+std::string
+fmtMB(uint64_t bytes)
+{
+    return fmt(static_cast<double>(bytes) / (1024.0 * 1024.0), 2);
+}
+
+} // namespace dvp

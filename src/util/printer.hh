@@ -1,0 +1,56 @@
+/**
+ * @file
+ * ASCII table and CSV emitters used by the bench harnesses so every
+ * reproduced paper table/figure prints in a uniform, diffable format.
+ */
+
+#ifndef DVP_UTIL_PRINTER_HH
+#define DVP_UTIL_PRINTER_HH
+
+#include <string>
+#include <vector>
+
+namespace dvp
+{
+
+/**
+ * Accumulates rows of strings and renders them as an aligned ASCII table
+ * and/or CSV.  Numeric cells should be pre-formatted by the caller
+ * (see fmt() helpers below) so the printer stays type-agnostic.
+ */
+class TablePrinter
+{
+  public:
+    explicit TablePrinter(std::vector<std::string> header);
+
+    /** Append one row; must have the same arity as the header. */
+    void addRow(std::vector<std::string> row);
+
+    /** Render as an aligned ASCII table. */
+    std::string ascii() const;
+
+    /** Render as CSV (RFC-4180-ish; cells with commas get quoted). */
+    std::string csv() const;
+
+    /** Convenience: print the ASCII table to stdout with a title. */
+    void print(const std::string &title) const;
+
+    size_t rows() const { return body.size(); }
+
+  private:
+    std::vector<std::string> head;
+    std::vector<std::vector<std::string>> body;
+};
+
+/** Format a double with @p decimals fraction digits. */
+std::string fmt(double v, int decimals = 2);
+
+/** Format an integer with thousands separators (1,234,567). */
+std::string fmtCount(uint64_t v);
+
+/** Format a byte count as a human MB string with two decimals. */
+std::string fmtMB(uint64_t bytes);
+
+} // namespace dvp
+
+#endif // DVP_UTIL_PRINTER_HH

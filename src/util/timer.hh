@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Minimal wall-clock stopwatch used for all reported timings.
+ */
+
+#ifndef DVP_UTIL_TIMER_HH
+#define DVP_UTIL_TIMER_HH
+
+#include <chrono>
+
+namespace dvp
+{
+
+/** Steady-clock stopwatch; constructed running. */
+class Timer
+{
+  public:
+    Timer() : start(Clock::now()) {}
+
+    /** Restart the stopwatch. */
+    void reset() { start = Clock::now(); }
+
+    /** Elapsed seconds since construction or last reset(). */
+    double
+    seconds() const
+    {
+        return std::chrono::duration<double>(Clock::now() - start).count();
+    }
+
+    /** Elapsed milliseconds. */
+    double milliseconds() const { return seconds() * 1e3; }
+
+    /** Elapsed microseconds. */
+    double microseconds() const { return seconds() * 1e6; }
+
+  private:
+    using Clock = std::chrono::steady_clock;
+    Clock::time_point start;
+};
+
+} // namespace dvp
+
+#endif // DVP_UTIL_TIMER_HH

@@ -1,0 +1,375 @@
+/**
+ * @file
+ * Unit tests for src/json: DOM, parser, writer, flattener.
+ */
+
+#include <gtest/gtest.h>
+
+#include "json/flatten.hh"
+#include "json/parser.hh"
+#include "json/value.hh"
+#include "json/writer.hh"
+#include "util/random.hh"
+
+namespace dvp::json
+{
+namespace
+{
+
+TEST(JsonValue, TypesAndAccessors)
+{
+    EXPECT_TRUE(JsonValue().isNull());
+    EXPECT_TRUE(JsonValue(nullptr).isNull());
+    EXPECT_TRUE(JsonValue(true).asBool());
+    EXPECT_EQ(JsonValue(int64_t{42}).asInt(), 42);
+    EXPECT_EQ(JsonValue(7).asInt(), 7);
+    EXPECT_DOUBLE_EQ(JsonValue(2.5).asDouble(), 2.5);
+    EXPECT_EQ(JsonValue("hi").asString(), "hi");
+    EXPECT_TRUE(JsonValue::makeArray().isArray());
+    EXPECT_TRUE(JsonValue::makeObject().isObject());
+}
+
+TEST(JsonValue, IntPromotesToDouble)
+{
+    EXPECT_DOUBLE_EQ(JsonValue(3).asDouble(), 3.0);
+}
+
+TEST(JsonValue, ObjectSetFindOverwrite)
+{
+    JsonValue obj = JsonValue::makeObject();
+    obj.set("a", JsonValue(1));
+    obj.set("b", JsonValue(2));
+    obj.set("a", JsonValue(3)); // overwrite keeps position
+    ASSERT_NE(obj.find("a"), nullptr);
+    EXPECT_EQ(obj.find("a")->asInt(), 3);
+    EXPECT_EQ(obj.find("missing"), nullptr);
+    EXPECT_EQ(obj.size(), 2u);
+    EXPECT_EQ(obj.asObject()[0].first, "a"); // insertion order kept
+}
+
+TEST(JsonValue, DeepEquality)
+{
+    auto make = [] {
+        JsonValue o = JsonValue::makeObject();
+        o.set("xs", JsonValue(Elements{JsonValue(1), JsonValue("two")}));
+        return o;
+    };
+    EXPECT_EQ(make(), make());
+    JsonValue other = make();
+    other.set("xs", JsonValue(Elements{JsonValue(1)}));
+    EXPECT_NE(make(), other);
+}
+
+TEST(JsonValue, IntAndDoubleAreDistinct)
+{
+    EXPECT_NE(JsonValue(1), JsonValue(1.0));
+}
+
+TEST(Parser, Scalars)
+{
+    EXPECT_TRUE(parse("null").value.isNull());
+    EXPECT_EQ(parse("true").value.asBool(), true);
+    EXPECT_EQ(parse("false").value.asBool(), false);
+    EXPECT_EQ(parse("123").value.asInt(), 123);
+    EXPECT_EQ(parse("-7").value.asInt(), -7);
+    EXPECT_DOUBLE_EQ(parse("2.5").value.asDouble(), 2.5);
+    EXPECT_DOUBLE_EQ(parse("1e3").value.asDouble(), 1000.0);
+    EXPECT_DOUBLE_EQ(parse("-1.5E-2").value.asDouble(), -0.015);
+    EXPECT_EQ(parse("\"abc\"").value.asString(), "abc");
+}
+
+TEST(Parser, IntegerVsDoubleDisambiguation)
+{
+    EXPECT_TRUE(parse("42").value.isInt());
+    EXPECT_TRUE(parse("42.0").value.isDouble());
+    EXPECT_TRUE(parse("42e0").value.isDouble());
+}
+
+TEST(Parser, HugeIntegerFallsBackToDouble)
+{
+    ParseResult r = parse("123456789012345678901234567890");
+    ASSERT_TRUE(r.ok);
+    EXPECT_TRUE(r.value.isDouble());
+}
+
+TEST(Parser, Escapes)
+{
+    ParseResult r = parse(R"("a\"b\\c\/d\b\f\n\r\t")");
+    ASSERT_TRUE(r.ok) << r.error;
+    EXPECT_EQ(r.value.asString(), "a\"b\\c/d\b\f\n\r\t");
+}
+
+TEST(Parser, UnicodeEscapes)
+{
+    EXPECT_EQ(parse(R"("A")").value.asString(), "A");
+    EXPECT_EQ(parse(R"("é")").value.asString(), "\xc3\xa9");
+    EXPECT_EQ(parse(R"("€")").value.asString(), "\xe2\x82\xac");
+    // Surrogate pair: U+1F600.
+    EXPECT_EQ(parse(R"("😀")").value.asString(),
+              "\xf0\x9f\x98\x80");
+}
+
+TEST(Parser, RejectsBadSurrogates)
+{
+    EXPECT_FALSE(parse(R"("\ud83d")").ok);
+    EXPECT_FALSE(parse(R"("\ude00")").ok);
+    EXPECT_FALSE(parse(R"("\ud83dx")").ok);
+}
+
+TEST(Parser, NestedContainers)
+{
+    ParseResult r = parse(R"({"a":[1,{"b":[true,null]}],"c":{}})");
+    ASSERT_TRUE(r.ok) << r.error;
+    const JsonValue *a = r.value.find("a");
+    ASSERT_NE(a, nullptr);
+    EXPECT_EQ(a->asArray()[1].find("b")->asArray()[0].asBool(), true);
+    EXPECT_TRUE(r.value.find("c")->isObject());
+    EXPECT_EQ(r.value.find("c")->size(), 0u);
+}
+
+TEST(Parser, WhitespaceTolerance)
+{
+    EXPECT_TRUE(parse(" \n\t { \"a\" : [ 1 , 2 ] } \r\n ").ok);
+}
+
+TEST(Parser, DuplicateKeysLastWins)
+{
+    ParseResult r = parse(R"({"k":1,"k":2})");
+    ASSERT_TRUE(r.ok);
+    EXPECT_EQ(r.value.find("k")->asInt(), 2);
+    EXPECT_EQ(r.value.size(), 1u);
+}
+
+TEST(Parser, ErrorsCarryPosition)
+{
+    ParseResult r = parse("{\n  \"a\": tru\n}");
+    ASSERT_FALSE(r.ok);
+    EXPECT_NE(r.error.find("line 2"), std::string::npos);
+}
+
+TEST(Parser, RejectsMalformedDocuments)
+{
+    const char *bad[] = {
+        "",           "{",        "}",        "[1,",     "[1,]",
+        "{\"a\":}",   "{\"a\"1}", "nul",      "tru",     "+1",
+        "01x",        "1.",       "1e",       "\"abc",   "\"\x01\"",
+        "{\"a\":1,}", "[]extra",  "{\"a\" 1}",
+    };
+    for (const char *doc : bad)
+        EXPECT_FALSE(parse(doc).ok) << "accepted: " << doc;
+}
+
+TEST(Parser, DepthLimit)
+{
+    std::string deep(300, '[');
+    deep += std::string(300, ']');
+    EXPECT_FALSE(parse(deep, 256).ok);
+    EXPECT_TRUE(parse(deep, 512).ok);
+}
+
+TEST(Parser, ParseLines)
+{
+    std::string err;
+    auto docs = parseLines("{\"a\":1}\n\n{\"a\":2}\n", &err);
+    ASSERT_EQ(docs.size(), 2u) << err;
+    EXPECT_EQ(docs[1].find("a")->asInt(), 2);
+}
+
+TEST(Parser, ParseLinesReportsErrorLine)
+{
+    std::string err;
+    auto docs = parseLines("{\"a\":1}\nbad\n", &err);
+    EXPECT_EQ(docs.size(), 1u);
+    EXPECT_NE(err.find("line 2"), std::string::npos);
+}
+
+TEST(Writer, CompactRoundTrip)
+{
+    const char *docs[] = {
+        R"({"a":1,"b":[true,null,"x"],"c":{"d":-2}})",
+        R"([1,2.5,""])",
+        R"("plain")",
+        R"({})",
+        R"([])",
+    };
+    for (const char *doc : docs) {
+        ParseResult first = parse(doc);
+        ASSERT_TRUE(first.ok) << doc << " error: " << first.error;
+        std::string text = write(first.value);
+        ParseResult second = parse(text);
+        ASSERT_TRUE(second.ok) << text;
+        EXPECT_EQ(first.value, second.value) << text;
+    }
+}
+
+TEST(Writer, EscapesControlCharacters)
+{
+    EXPECT_EQ(write(JsonValue(std::string("a\nb\x01"))),
+              "\"a\\nb\\u0001\"");
+}
+
+TEST(Writer, PrettyIsReparseable)
+{
+    ParseResult r = parse(R"({"a":[1,2],"b":{"c":true}})");
+    ASSERT_TRUE(r.ok);
+    ParseResult again = parse(writePretty(r.value));
+    ASSERT_TRUE(again.ok);
+    EXPECT_EQ(r.value, again.value);
+}
+
+TEST(Flatten, NestedObjectAndArrayPaths)
+{
+    ParseResult r = parse(
+        R"({"name":"John","nested":{"str":"x","n":2},"arr":["a","b"]})");
+    ASSERT_TRUE(r.ok);
+    auto flat = flatten(r.value);
+    ASSERT_EQ(flat.size(), 5u);
+    EXPECT_EQ(flat[0].path, "name");
+    EXPECT_EQ(flat[1].path, "nested.str");
+    EXPECT_EQ(flat[2].path, "nested.n");
+    EXPECT_EQ(flat[3].path, "arr[0]");
+    EXPECT_EQ(flat[4].path, "arr[1]");
+}
+
+TEST(Flatten, PaperFigure1Example)
+{
+    // The paper's example object: nested employee records.
+    ParseResult r = parse(R"({
+        "name": "John", "manager": true, "salary": 100,
+        "institution": "IBM",
+        "employees": ["Mary", "Sam",
+            {"name": "Jim", "salary": "tier-1",
+             "employees": ["Jack"]}]
+    })");
+    ASSERT_TRUE(r.ok) << r.error;
+    auto flat = flatten(r.value);
+    auto has = [&](const std::string &p, const JsonValue &v) {
+        for (const auto &fa : flat)
+            if (fa.path == p && fa.value == v)
+                return true;
+        return false;
+    };
+    EXPECT_TRUE(has("employees[0]", JsonValue("Mary")));
+    EXPECT_TRUE(has("employees[2].name", JsonValue("Jim")));
+    EXPECT_TRUE(has("employees[2].salary", JsonValue("tier-1")));
+    EXPECT_TRUE(has("employees[2].employees[0]", JsonValue("Jack")));
+    EXPECT_EQ(flat.size(), 9u); // matches the paper's Table I rows
+}
+
+TEST(Flatten, PreservesExplicitNulls)
+{
+    ParseResult r = parse(R"({"a":null,"b":1})");
+    ASSERT_TRUE(r.ok);
+    auto flat = flatten(r.value);
+    ASSERT_EQ(flat.size(), 2u);
+    EXPECT_TRUE(flat[0].value.isNull());
+}
+
+TEST(Flatten, EmptyContainersVanish)
+{
+    ParseResult r = parse(R"({"a":{},"b":[],"c":1})");
+    ASSERT_TRUE(r.ok);
+    auto flat = flatten(r.value);
+    ASSERT_EQ(flat.size(), 1u);
+    EXPECT_EQ(flat[0].path, "c");
+}
+
+TEST(ParsePath, Steps)
+{
+    auto steps = parsePath("a.b[2].c");
+    ASSERT_EQ(steps.size(), 4u);
+    EXPECT_EQ(steps[0], (PathStep{"a", -1}));
+    EXPECT_EQ(steps[1], (PathStep{"b", -1}));
+    EXPECT_EQ(steps[2], (PathStep{"", 2}));
+    EXPECT_EQ(steps[3], (PathStep{"c", -1}));
+}
+
+TEST(Unflatten, InvertsFlatten)
+{
+    ParseResult r = parse(R"({
+        "name": "John",
+        "nested": {"a": 1, "b": {"c": "deep"}},
+        "arr": [10, {"x": true}, 30]
+    })");
+    ASSERT_TRUE(r.ok);
+    EXPECT_EQ(unflatten(flatten(r.value)), r.value);
+}
+
+TEST(Parser, RandomByteFuzzNeverCrashes)
+{
+    // Robustness property: arbitrary bytes either parse or produce an
+    // error message — never a crash, hang, or empty error.
+    Rng rng(0xf00d);
+    for (int iter = 0; iter < 500; ++iter) {
+        std::string junk;
+        size_t len = rng.below(64);
+        for (size_t i = 0; i < len; ++i)
+            junk += static_cast<char>(rng.below(256));
+        ParseResult r = parse(junk);
+        if (!r.ok) {
+            EXPECT_FALSE(r.error.empty());
+        }
+    }
+}
+
+TEST(Parser, MutatedValidDocumentsNeverCrash)
+{
+    // Take a valid document and flip random bytes: the parser must
+    // stay well-defined, and accepted mutants must round-trip.
+    std::string base =
+        R"({"a":1,"b":[true,null,"x"],"c":{"d":-2.5e3,"e":"é"}})";
+    Rng rng(0xbeef);
+    for (int iter = 0; iter < 500; ++iter) {
+        std::string doc = base;
+        size_t flips = 1 + rng.below(3);
+        for (size_t f = 0; f < flips; ++f)
+            doc[rng.below(doc.size())] =
+                static_cast<char>(rng.below(128));
+        ParseResult r = parse(doc);
+        if (r.ok) {
+            ParseResult again = parse(write(r.value));
+            ASSERT_TRUE(again.ok);
+            EXPECT_EQ(r.value, again.value);
+        }
+    }
+}
+
+TEST(Unflatten, RandomRoundTripProperty)
+{
+    // Property: unflatten(flatten(doc)) == doc for random documents
+    // without empty containers.
+    Rng rng(99);
+    for (int iter = 0; iter < 30; ++iter) {
+        JsonValue doc = JsonValue::makeObject();
+        int fields = 1 + static_cast<int>(rng.below(6));
+        for (int f = 0; f < fields; ++f) {
+            std::string key = "k" + std::to_string(f);
+            switch (rng.below(4)) {
+              case 0:
+                doc.set(key, JsonValue(rng.range(-100, 100)));
+                break;
+              case 1:
+                doc.set(key, JsonValue(rng.string(5)));
+                break;
+              case 2: {
+                JsonValue arr = JsonValue::makeArray();
+                auto n = 1 + rng.below(4);
+                for (uint64_t i = 0; i < n; ++i)
+                    arr.push(JsonValue(rng.range(0, 9)));
+                doc.set(key, std::move(arr));
+                break;
+              }
+              default: {
+                JsonValue obj = JsonValue::makeObject();
+                obj.set("inner", JsonValue(rng.chance(0.5)));
+                doc.set(key, std::move(obj));
+                break;
+              }
+            }
+        }
+        EXPECT_EQ(unflatten(flatten(doc)), doc);
+    }
+}
+
+} // namespace
+} // namespace dvp::json

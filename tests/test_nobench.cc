@@ -1,0 +1,337 @@
+/**
+ * @file
+ * Unit tests for src/nobench: generator statistics, catalog shape,
+ * query instantiation, workload sampling.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "json/parser.hh"
+#include "json/writer.hh"
+#include "nobench/generator.hh"
+#include "nobench/queries.hh"
+#include "nobench/workload.hh"
+
+namespace dvp::nobench
+{
+namespace
+{
+
+Config
+smallConfig()
+{
+    Config cfg;
+    cfg.numDocs = 2000;
+    cfg.seed = 1234;
+    return cfg;
+}
+
+TEST(Generator, CatalogHas1019Attributes)
+{
+    storage::Catalog c;
+    registerCatalog(c);
+    EXPECT_EQ(c.attrCount(), 1019u);
+    EXPECT_NE(c.find("str1"), storage::kNoAttr);
+    EXPECT_NE(c.find("nested_obj.str"), storage::kNoAttr);
+    EXPECT_NE(c.find("nested_arr[8]"), storage::kNoAttr);
+    EXPECT_NE(c.find("sparse_000"), storage::kNoAttr);
+    EXPECT_NE(c.find("sparse_999"), storage::kNoAttr);
+    EXPECT_EQ(c.find("sparse_1000"), storage::kNoAttr);
+}
+
+TEST(Generator, DocShape)
+{
+    Config cfg = smallConfig();
+    Rng rng(1);
+    json::JsonValue doc = generateDoc(cfg, rng, 17);
+    EXPECT_EQ(doc.find("id")->asInt(), 17);
+    EXPECT_EQ(doc.find("str1")->asString(), "str1_17");
+    EXPECT_TRUE(doc.find("num")->isInt());
+    EXPECT_TRUE(doc.find("bool")->isBool());
+    EXPECT_EQ(doc.find("thousandth")->asInt(),
+              doc.find("num")->asInt() % 1000);
+    const json::JsonValue *nested = doc.find("nested_obj");
+    ASSERT_NE(nested, nullptr);
+    EXPECT_TRUE(nested->find("str")->isString());
+    EXPECT_TRUE(nested->find("num")->isInt());
+    ASSERT_NE(doc.find("nested_arr"), nullptr);
+    EXPECT_LE(doc.find("nested_arr")->size(), 8u);
+}
+
+TEST(Generator, ExactlyOneSparseGroupPerDoc)
+{
+    Config cfg = smallConfig();
+    Rng rng(2);
+    for (int i = 0; i < 50; ++i) {
+        json::JsonValue doc = generateDoc(cfg, rng, i);
+        std::set<int> groups;
+        int sparse = 0;
+        for (const auto &[key, value] : doc.asObject()) {
+            if (key.rfind("sparse_", 0) == 0) {
+                ++sparse;
+                groups.insert(std::stoi(key.substr(7)) / 10);
+            }
+        }
+        EXPECT_EQ(sparse, 10);
+        EXPECT_EQ(groups.size(), 1u);
+    }
+}
+
+TEST(Generator, FiveGroupsForFivePercentSparseness)
+{
+    Config cfg = smallConfig();
+    cfg.groupsPerDoc = 5;
+    Rng rng(3);
+    json::JsonValue doc = generateDoc(cfg, rng, 0);
+    std::set<int> groups;
+    for (const auto &[key, value] : doc.asObject())
+        if (key.rfind("sparse_", 0) == 0)
+            groups.insert(std::stoi(key.substr(7)) / 10);
+    EXPECT_EQ(groups.size(), 5u);
+}
+
+TEST(Generator, Deterministic)
+{
+    Config cfg = smallConfig();
+    cfg.numDocs = 50;
+    engine::DataSet a = generateDataSet(cfg);
+    engine::DataSet b = generateDataSet(cfg);
+    ASSERT_EQ(a.docs.size(), b.docs.size());
+    for (size_t i = 0; i < a.docs.size(); ++i)
+        EXPECT_EQ(a.docs[i].attrs, b.docs[i].attrs);
+}
+
+TEST(Generator, SparsenessNearOnePercent)
+{
+    Config cfg = smallConfig();
+    engine::DataSet data = generateDataSet(cfg);
+    const auto &cat = data.catalog;
+
+    // Dense attributes are always present.
+    EXPECT_DOUBLE_EQ(cat.sparseness(cat.find("num")), 1.0);
+    EXPECT_DOUBLE_EQ(cat.sparseness(cat.find("nested_obj.str")), 1.0);
+
+    // Average sparse-attribute presence ~ 1%.
+    double total = 0;
+    for (int i = 0; i < 1000; ++i) {
+        char name[16];
+        std::snprintf(name, sizeof(name), "sparse_%03d", i);
+        total += cat.sparseness(cat.find(name));
+    }
+    EXPECT_NEAR(total / 1000.0, 0.01, 0.003);
+
+    // Array slots: presence of nested_arr[i] falls with i (length
+    // uniform in [0,8] => P(len > i) = (8 - i) / 9).
+    double prev = 1.0;
+    for (int i = 0; i <= 8; ++i) {
+        double p = cat.sparseness(
+            cat.find("nested_arr[" + std::to_string(i) + "]"));
+        EXPECT_LE(p, prev + 0.05);
+        EXPECT_NEAR(p, (8.0 - i) / 9.0, 0.06);
+        prev = p;
+    }
+}
+
+TEST(Generator, DocsPerAttributeCount)
+{
+    Config cfg = smallConfig();
+    cfg.numDocs = 200;
+    engine::DataSet data = generateDataSet(cfg);
+    for (const auto &doc : data.docs) {
+        // 10 dense scalars + arr(0..8) + 10 sparse = 20..28 present.
+        EXPECT_GE(doc.attrs.size(), 20u);
+        EXPECT_LE(doc.attrs.size(), 28u);
+    }
+}
+
+TEST(Generator, AppendDocsContinuesOids)
+{
+    Config cfg = smallConfig();
+    cfg.numDocs = 10;
+    engine::DataSet data = generateDataSet(cfg);
+    Rng rng(99);
+    appendDocs(cfg, data, rng, 5);
+    ASSERT_EQ(data.docs.size(), 15u);
+    EXPECT_EQ(data.docs[14].oid, 14);
+}
+
+TEST(Generator, JsonLinesRoundTrip)
+{
+    Config cfg = smallConfig();
+    std::string lines = generateJsonLines(cfg, 5);
+    std::string err;
+    auto docs = json::parseLines(lines, &err);
+    ASSERT_EQ(docs.size(), 5u) << err;
+    EXPECT_EQ(docs[3].find("id")->asInt(), 3);
+}
+
+class QueriesTest : public ::testing::Test
+{
+  protected:
+    static void
+    SetUpTestSuite()
+    {
+        Config cfg;
+        cfg.numDocs = 2000;
+        cfg.seed = 7;
+        data = new engine::DataSet(generateDataSet(cfg));
+        qs = new QuerySet(*data, cfg);
+    }
+    static void
+    TearDownTestSuite()
+    {
+        delete qs;
+        delete data;
+        qs = nullptr;
+        data = nullptr;
+    }
+    static engine::DataSet *data;
+    static QuerySet *qs;
+};
+
+engine::DataSet *QueriesTest::data = nullptr;
+QuerySet *QueriesTest::qs = nullptr;
+
+TEST_F(QueriesTest, TemplatesHaveExpectedKinds)
+{
+    Rng rng(1);
+    using engine::QueryKind;
+    EXPECT_EQ(qs->instantiate(kQ1, rng).kind, QueryKind::Project);
+    EXPECT_EQ(qs->instantiate(kQ4, rng).kind, QueryKind::Project);
+    EXPECT_EQ(qs->instantiate(kQ5, rng).kind, QueryKind::Select);
+    EXPECT_EQ(qs->instantiate(kQ9, rng).kind, QueryKind::Select);
+    EXPECT_EQ(qs->instantiate(kQ10, rng).kind, QueryKind::Aggregate);
+    EXPECT_EQ(qs->instantiate(kQ11, rng).kind, QueryKind::Join);
+}
+
+TEST_F(QueriesTest, SelectStarFlags)
+{
+    Rng rng(2);
+    EXPECT_FALSE(qs->instantiate(kQ1, rng).selectAll);
+    EXPECT_TRUE(qs->instantiate(kQ5, rng).selectAll);
+    EXPECT_TRUE(qs->instantiate(kQ6, rng).selectAll);
+    EXPECT_FALSE(qs->instantiate(kQ8, rng).selectAll);
+    EXPECT_TRUE(qs->instantiate(kQ9, rng).selectAll);
+}
+
+TEST_F(QueriesTest, Q8UsesAnyEqOverArraySlots)
+{
+    Rng rng(3);
+    engine::Query q8 = qs->instantiate(kQ8, rng);
+    EXPECT_EQ(q8.cond.op, engine::CondOp::AnyEq);
+    EXPECT_EQ(q8.cond.anyAttrs.size(), 9u);
+    EXPECT_TRUE(storage::isStringSlot(q8.cond.lo));
+}
+
+TEST_F(QueriesTest, Q6BetweenBoundsAreFresh)
+{
+    Rng rng(4);
+    engine::Query a = qs->instantiate(kQ6, rng);
+    engine::Query b = qs->instantiate(kQ6, rng);
+    EXPECT_EQ(a.cond.op, engine::CondOp::Between);
+    EXPECT_EQ(a.cond.hi - a.cond.lo + 1, 1000);
+    EXPECT_NE(a.cond.lo, b.cond.lo); // fresh instantiation
+}
+
+TEST_F(QueriesTest, Q5TargetsExistingString)
+{
+    Rng rng(5);
+    engine::Query q5 = qs->instantiate(kQ5, rng);
+    ASSERT_TRUE(storage::isStringSlot(q5.cond.lo));
+    storage::StringId id = storage::decodeString(q5.cond.lo);
+    EXPECT_EQ(data->dict.text(id).rfind("str1_", 0), 0u);
+}
+
+TEST_F(QueriesTest, ConditionAndSelectionParts)
+{
+    Rng rng(6);
+    engine::Query q1 = qs->instantiate(kQ1, rng);
+    EXPECT_TRUE(q1.conditionPart().empty());
+    EXPECT_EQ(q1.selectionPart(data->catalog).size(), 2u);
+
+    engine::Query q6 = qs->instantiate(kQ6, rng);
+    EXPECT_EQ(q6.conditionPart().size(), 1u);
+    EXPECT_EQ(q6.selectionPart(data->catalog).size(),
+              data->catalog.attrCount());
+
+    engine::Query q11 = qs->instantiate(kQ11, rng);
+    // num (condition) + both join attrs.
+    EXPECT_EQ(q11.conditionPart().size(), 3u);
+}
+
+TEST_F(QueriesTest, ShiftedVariantsChangeAccessedAttrs)
+{
+    Rng rng(7);
+    engine::Query base = qs->instantiate(kQ3, rng);
+    engine::Query shifted = qs->instantiateShifted(kQ3, rng);
+    EXPECT_NE(base.projected, shifted.projected);
+    // Q5 is not shifted.
+    EXPECT_EQ(qs->instantiate(kQ5, rng).cond.attr,
+              qs->instantiateShifted(kQ5, rng).cond.attr);
+}
+
+TEST_F(QueriesTest, InsertQueryBorrowsPayload)
+{
+    std::vector<storage::Document> docs(3);
+    engine::Query q12 = qs->insertQuery(&docs);
+    EXPECT_EQ(q12.kind, engine::QueryKind::Insert);
+    EXPECT_EQ(q12.insertDocs, &docs);
+}
+
+TEST_F(QueriesTest, MixUniformWeightsEqual)
+{
+    Mix m = Mix::uniform();
+    ASSERT_EQ(m.weights.size(), static_cast<size_t>(kNumTemplates));
+    for (double w : m.weights)
+        EXPECT_DOUBLE_EQ(w, 1.0);
+}
+
+TEST_F(QueriesTest, MakeLogSamplesAllTemplates)
+{
+    Rng rng(8);
+    auto log = makeLog(*qs, Mix::uniform(), rng, 1000);
+    ASSERT_EQ(log.size(), 1000u);
+    std::map<std::string, int> counts;
+    for (const auto &q : log)
+        ++counts[q.name];
+    EXPECT_EQ(counts.size(), static_cast<size_t>(kNumTemplates));
+    for (const auto &[name, count] : counts) {
+        EXPECT_GT(count, 45) << name; // ~91 expected
+        EXPECT_LT(count, 160) << name;
+    }
+    for (const auto &q : log)
+        EXPECT_NEAR(q.frequency, 1.0 / static_cast<double>(kNumTemplates), 1e-12);
+}
+
+TEST_F(QueriesTest, SkewedMixFavoursEarlyTemplates)
+{
+    Rng rng(9);
+    auto log = makeLog(*qs, Mix::skewed(1.0), rng, 2000);
+    int q1 = 0, q11 = 0;
+    for (const auto &q : log) {
+        q1 += q.name == "Q1";
+        q11 += q.name == "Q11";
+    }
+    EXPECT_GT(q1, 3 * q11);
+}
+
+TEST_F(QueriesTest, RepresentativesOnePerTemplate)
+{
+    Rng rng(10);
+    auto reps = representatives(*qs, Mix::uniform(), rng);
+    ASSERT_EQ(reps.size(), static_cast<size_t>(kNumTemplates));
+    std::set<std::string> names;
+    for (const auto &q : reps)
+        names.insert(q.name);
+    EXPECT_EQ(names.size(), reps.size());
+    double total = 0;
+    for (const auto &q : reps)
+        total += q.frequency;
+    EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+} // namespace
+} // namespace dvp::nobench

@@ -1,0 +1,342 @@
+/**
+ * @file
+ * Unit tests for src/perf: cache model, TLB model, hierarchy wiring.
+ */
+
+#include <gtest/gtest.h>
+
+#include "perf/cache.hh"
+#include "perf/memory_hierarchy.hh"
+#include "perf/tlb.hh"
+#include "util/arena.hh"
+#include "util/pagemap.hh"
+#include "util/random.hh"
+
+namespace dvp::perf
+{
+namespace
+{
+
+CacheConfig
+tiny(size_t capacity, size_t ways)
+{
+    return CacheConfig{"tiny", capacity, ways, 64};
+}
+
+TEST(Cache, ColdMissThenHit)
+{
+    Cache c(tiny(1024, 2));
+    EXPECT_FALSE(c.access(0x1000));
+    EXPECT_TRUE(c.access(0x1000));
+    EXPECT_TRUE(c.access(0x1004)); // same line
+    EXPECT_EQ(c.accesses(), 3u);
+    EXPECT_EQ(c.misses(), 1u);
+}
+
+TEST(Cache, LruEviction)
+{
+    // 2-way, 8 sets (1024/2/64); three lines mapping to set 0.
+    Cache c(tiny(1024, 2));
+    uint64_t set_stride = 8 * 64;
+    c.access(0 * set_stride);
+    c.access(1 * set_stride);
+    c.access(0 * set_stride);      // refresh line 0
+    c.access(2 * set_stride);      // evicts line 1 (LRU)
+    EXPECT_TRUE(c.access(0 * set_stride));
+    EXPECT_FALSE(c.access(1 * set_stride)); // was evicted
+}
+
+TEST(Cache, SetIsolation)
+{
+    Cache c(tiny(1024, 1));
+    // Different sets never evict each other.
+    c.access(0 * 64);
+    c.access(1 * 64);
+    c.access(2 * 64);
+    EXPECT_TRUE(c.access(0 * 64));
+    EXPECT_TRUE(c.access(1 * 64));
+}
+
+TEST(Cache, WorkingSetWithinCapacityHasNoRemisses)
+{
+    Cache c(tiny(32 * 1024, 8));
+    for (int round = 0; round < 3; ++round)
+        for (uint64_t line = 0; line < 256; ++line)
+            c.access(line * 64);
+    // 256 lines = 16 KB working set in a 32 KB cache: only cold misses.
+    EXPECT_EQ(c.misses(), 256u);
+}
+
+TEST(Cache, ThrashingBeyondCapacity)
+{
+    Cache c(tiny(1024, 2)); // 16 lines capacity
+    for (int round = 0; round < 4; ++round)
+        for (uint64_t line = 0; line < 64; ++line)
+            c.access(line * 64);
+    // Sequential sweep 4x larger than capacity with LRU: every access
+    // misses.
+    EXPECT_EQ(c.misses(), c.accesses());
+}
+
+TEST(Cache, MissesMonotoneInCapacity)
+{
+    // Property: for the same trace, a larger cache (same ways) never
+    // misses more under LRU (inclusion property holds per set when the
+    // set count multiplies evenly... verified empirically here on
+    // random traces).
+    Rng rng(5);
+    std::vector<uint64_t> trace;
+    for (int i = 0; i < 20000; ++i)
+        trace.push_back(rng.below(1 << 16) * 8);
+
+    uint64_t prev_misses = UINT64_MAX;
+    for (size_t cap : {4096, 8192, 16384, 32768}) {
+        Cache c(tiny(cap, 8));
+        for (uint64_t a : trace)
+            c.access(a);
+        EXPECT_LE(c.misses(), prev_misses) << "capacity " << cap;
+        prev_misses = c.misses();
+    }
+}
+
+TEST(Cache, MissesMonotoneInAssociativityAtFixedSets)
+{
+    // LRU inclusion property: with the set count held fixed, adding
+    // ways can only reduce misses.  (Holding capacity fixed instead
+    // changes the set mapping and the property does not hold.)
+    Rng rng(6);
+    std::vector<uint64_t> trace;
+    for (int i = 0; i < 20000; ++i)
+        trace.push_back(rng.below(1 << 14) * 8);
+
+    uint64_t prev = UINT64_MAX;
+    for (size_t ways : {1, 2, 4, 8}) {
+        Cache c(tiny(128 * 64 * ways, ways)); // 128 sets each
+        ASSERT_EQ(c.config().sets(), 128u);
+        for (uint64_t a : trace)
+            c.access(a);
+        EXPECT_LE(c.misses(), prev) << ways << " ways";
+        prev = c.misses();
+    }
+}
+
+TEST(Cache, NonPowerOfTwoSetCount)
+{
+    // The paper's 20 MB LLC: 40960 sets.  Must construct and behave.
+    Cache llc(CacheConfig{"LLC", 20 * 1024 * 1024, 8, 64});
+    EXPECT_EQ(llc.config().sets(), 40960u);
+    EXPECT_FALSE(llc.access(0));
+    EXPECT_TRUE(llc.access(0));
+}
+
+TEST(Cache, ResetClearsContentsAndCounters)
+{
+    Cache c(tiny(1024, 2));
+    c.access(0x40);
+    c.reset();
+    EXPECT_EQ(c.accesses(), 0u);
+    EXPECT_FALSE(c.access(0x40)); // cold again
+}
+
+TEST(Cache, ResetCountersKeepsContents)
+{
+    Cache c(tiny(1024, 2));
+    c.access(0x40);
+    c.resetCounters();
+    EXPECT_TRUE(c.access(0x40)); // still cached
+    EXPECT_EQ(c.accesses(), 1u);
+}
+
+TEST(Tlb, ColdMissThenHit)
+{
+    Tlb t(TlbConfig{64, 4, 4096, false});
+    EXPECT_FALSE(t.access(0x10000));
+    EXPECT_TRUE(t.access(0x10008));
+    EXPECT_EQ(t.misses(), 1u);
+}
+
+TEST(Tlb, SequentialScanWithPrefetchHasOneMiss)
+{
+    Tlb t(TlbConfig{64, 4, 4096, true});
+    // Touch 64 consecutive pages line by line: once the sequential
+    // stream is visible the prefetcher pre-installs each next page.
+    for (uint64_t addr = 0; addr < 64 * 4096; addr += 64)
+        t.access(addr);
+    EXPECT_LE(t.misses(), 2u);
+}
+
+TEST(Tlb, ConstantStrideScanIsPrefetched)
+{
+    // A single-column scan over 8 KB records touches every other page
+    // with a constant stride; the stream prefetcher must catch it
+    // (this is the row layout's TLB advantage in the paper's Fig. 7).
+    Tlb t(TlbConfig{64, 4, 4096, true});
+    for (uint64_t rec = 0; rec < 512; ++rec)
+        t.access(rec * 8192);
+    EXPECT_LE(t.misses(), 3u);
+}
+
+TEST(Tlb, HugeStridesAreNotStreams)
+{
+    Tlb t(TlbConfig{64, 4, 4096, true});
+    // Stride of 100 pages exceeds maxPrefetchStride: all misses.
+    for (uint64_t rec = 1; rec <= 200; ++rec)
+        t.access(rec * 100 * 4096);
+    EXPECT_EQ(t.misses(), 200u);
+}
+
+TEST(Tlb, SequentialScanWithoutPrefetchMissesPerPage)
+{
+    Tlb t(TlbConfig{64, 4, 4096, false});
+    for (uint64_t addr = 0; addr < 64 * 4096; addr += 64)
+        t.access(addr);
+    EXPECT_EQ(t.misses(), 64u);
+}
+
+TEST(Tlb, RandomHopsDefeatPrefetch)
+{
+    Tlb t(TlbConfig{64, 4, 4096, true});
+    Rng rng(8);
+    for (int i = 0; i < 4096; ++i)
+        t.access(rng.below(1 << 20) * 4096);
+    // Far more pages than entries, no streams: miss rate near 1.
+    EXPECT_GT(t.misses(), 3800u);
+}
+
+TEST(Tlb, CapacityEviction)
+{
+    TlbConfig cfg{4, 4, 4096, false};
+    cfg.stlbEntries = 0; // single level: 4 entries total
+    Tlb t(cfg);
+    for (uint64_t p = 0; p < 5; ++p)
+        t.access(p * 4096);
+    EXPECT_FALSE(t.access(0)); // evicted by page 4
+}
+
+TEST(Tlb, StlbCatchesL1Evictions)
+{
+    // 128 pages overflow the 64-entry L1 DTLB but fit in the 512-entry
+    // STLB: the second sweep misses neither level.
+    TlbConfig cfg{64, 4, 4096, false};
+    Tlb t(cfg);
+    for (int round = 0; round < 2; ++round)
+        for (uint64_t p = 0; p < 128; ++p)
+            t.access(p * 4096);
+    EXPECT_EQ(t.misses(), 128u); // cold only
+}
+
+TEST(Tlb, StlbOverflowMissesEveryTime)
+{
+    // 1024 pages overflow both levels: cyclic sweeps always miss.
+    TlbConfig cfg{64, 4, 4096, false};
+    Tlb t(cfg);
+    for (int round = 0; round < 2; ++round)
+        for (uint64_t p = 0; p < 1024; ++p)
+            t.access(p * 4096);
+    EXPECT_EQ(t.misses(), 2048u);
+}
+
+TEST(Tlb, HugePagesUseDedicatedArray)
+{
+    // A registered huge range: a 4 MB sweep touches just two 2 MB
+    // pages -> 2 misses, while the same sweep unregistered costs a
+    // 4 KB page walk per page.
+    PageMap::instance().add(0x80000000, 4 * 1024 * 1024);
+    TlbConfig cfg{64, 4, 4096, false};
+    Tlb huge(cfg);
+    for (uint64_t a = 0; a < 4 * 1024 * 1024; a += 4096)
+        huge.access(0x80000000 + a);
+    EXPECT_EQ(huge.misses(), 2u);
+    PageMap::instance().remove(0x80000000);
+
+    Tlb small(cfg);
+    for (uint64_t a = 0; a < 4 * 1024 * 1024; a += 4096)
+        small.access(0x80000000 + a);
+    EXPECT_EQ(small.misses(), 1024u);
+}
+
+TEST(Tlb, HugeTlbCapacityCycles)
+{
+    // 128 huge pages > 32 entries: a cyclic sweep misses every time.
+    PageMap::instance().add(0x100000000ULL, 256ULL * 1024 * 1024);
+    TlbConfig cfg{64, 4, 4096, false};
+    Tlb t(cfg);
+    for (int round = 0; round < 2; ++round)
+        for (uint64_t p = 0; p < 128; ++p)
+            t.access(0x100000000ULL + p * 2 * 1024 * 1024);
+    EXPECT_EQ(t.misses(), 256u);
+    PageMap::instance().remove(0x100000000ULL);
+}
+
+TEST(Hierarchy, TouchWalksLevels)
+{
+    MemoryHierarchy mh;
+    mh.touch(reinterpret_cast<const void *>(0x100000), 8);
+    PerfCounters c = mh.counters();
+    EXPECT_EQ(c.accesses, 1u);
+    EXPECT_EQ(c.l1Misses, 1u);
+    EXPECT_EQ(c.l2Misses, 1u);
+    EXPECT_EQ(c.l3Misses, 1u);
+    EXPECT_EQ(c.tlbMisses, 1u);
+
+    mh.touch(reinterpret_cast<const void *>(0x100000), 8);
+    c = mh.counters();
+    EXPECT_EQ(c.l1Misses, 1u); // second touch hits L1
+    EXPECT_EQ(c.accesses, 2u);
+}
+
+TEST(Hierarchy, TouchSpanningLines)
+{
+    MemoryHierarchy mh;
+    // 16 bytes straddling a line boundary: two line accesses.
+    mh.touch(reinterpret_cast<const void *>(0x1038), 16);
+    EXPECT_EQ(mh.counters().accesses, 2u);
+    // Zero-length touch still inspects its line (cheap, deliberate).
+    mh.touch(reinterpret_cast<const void *>(0x2000), 0);
+    EXPECT_EQ(mh.counters().accesses, 3u);
+}
+
+TEST(Hierarchy, L2HitStopsDescent)
+{
+    MemoryHierarchy mh;
+    // Fill enough lines to evict from tiny L1 (32 KB / 64 = 512 lines)
+    // but stay within L2.
+    for (uint64_t line = 0; line < 2048; ++line)
+        mh.touch(reinterpret_cast<const void *>(line * 64), 8);
+    PerfCounters warm = mh.counters();
+    // Re-touch line 0: out of L1 (sequential sweep of 4x capacity),
+    // but resident in L2 (2048 lines = 128 KB < 256 KB).
+    mh.touch(reinterpret_cast<const void *>(uint64_t{0}), 8);
+    PerfCounters after = mh.counters();
+    EXPECT_EQ(after.l1Misses, warm.l1Misses + 1);
+    EXPECT_EQ(after.l3Misses, warm.l3Misses);
+}
+
+TEST(Hierarchy, SequentialBytesPerMiss)
+{
+    // Property: sequentially scanning B bytes costs ceil(B/64) L1
+    // misses and (with prefetch) ~1 TLB miss.
+    MemoryHierarchy mh;
+    constexpr size_t kBytes = 1 << 20;
+    for (uint64_t a = 0; a < kBytes; a += 8)
+        mh.touch(reinterpret_cast<const void *>(a), 8);
+    PerfCounters c = mh.counters();
+    EXPECT_EQ(c.l1Misses, kBytes / 64);
+    EXPECT_LE(c.tlbMisses, 2u);
+}
+
+TEST(Hierarchy, CounterArithmetic)
+{
+    PerfCounters a{10, 5, 4, 3, 2};
+    PerfCounters b{4, 2, 2, 1, 1};
+    PerfCounters d = a - b;
+    EXPECT_EQ(d.accesses, 6u);
+    EXPECT_EQ(d.l1Misses, 3u);
+    EXPECT_EQ(d.l3Misses, 2u);
+    d += b;
+    EXPECT_EQ(d.accesses, a.accesses);
+    EXPECT_EQ(d.tlbMisses, a.tlbMisses);
+}
+
+} // namespace
+} // namespace dvp::perf

@@ -1,0 +1,368 @@
+/**
+ * @file
+ * Property suites with brute-force oracles:
+ *
+ *  - the §IV padding model's analytic line counts vs direct simulation
+ *    of record placements;
+ *  - the set-associative cache vs a naive reference LRU;
+ *  - random vertical layouts (not just row/column/fixed) must answer
+ *    every NoBench query identically;
+ *  - random non-NoBench JSON documents through all engines (shapes the
+ *    NoBench generator never produces).
+ */
+
+#include <gtest/gtest.h>
+
+#include <list>
+#include <map>
+#include <set>
+
+#include "argo/argo_executor.hh"
+#include "argo/argo_store.hh"
+#include "engine/database.hh"
+#include "engine/executor.hh"
+#include "json/value.hh"
+#include "nobench/generator.hh"
+#include "nobench/queries.hh"
+#include "perf/cache.hh"
+#include "storage/padding.hh"
+#include "util/random.hh"
+
+namespace dvp
+{
+namespace
+{
+
+// ---------------------------------------------------------------------
+// Padding model vs brute force.
+// ---------------------------------------------------------------------
+
+class PaddingOracle : public ::testing::TestWithParam<size_t>
+{
+};
+
+TEST_P(PaddingOracle, ProjectionMissesMatchSimulation)
+{
+    size_t stride = GetParam();
+    // Brute force: lay out 4096 records, count distinct lines touched
+    // by an 8-byte attribute at every slot offset.
+    const size_t records = 4096;
+    size_t slots = stride / 8;
+    for (size_t slot = 0; slot < slots; ++slot) {
+        std::set<size_t> lines;
+        for (size_t r = 0; r < records; ++r) {
+            size_t lo = r * stride + slot * 8;
+            lines.insert(lo / 64);
+            lines.insert((lo + 7) / 64);
+        }
+        double expected = static_cast<double>(lines.size()) / records;
+        double model =
+            storage::projectionMissesPerRecord(stride, slot * 8, 8);
+        EXPECT_NEAR(model, expected, 1e-9)
+            << "stride " << stride << " slot " << slot;
+    }
+}
+
+TEST_P(PaddingOracle, RecordSpanMatchesSimulation)
+{
+    size_t stride = GetParam();
+    const size_t records = 4096;
+    size_t total = 0;
+    for (size_t r = 0; r < records; ++r) {
+        size_t first = (r * stride) / 64;
+        size_t last = (r * stride + stride - 1) / 64;
+        total += last - first + 1;
+    }
+    double expected = static_cast<double>(total) / records;
+    EXPECT_NEAR(storage::avgRecordSpanLines(stride, stride), expected,
+                1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(StrideSweep, PaddingOracle,
+                         ::testing::Values(8, 16, 24, 40, 64, 72, 88,
+                                           104, 128, 136, 520, 1024),
+                         [](const auto &info) {
+                             return "stride" +
+                                    std::to_string(info.param);
+                         });
+
+// ---------------------------------------------------------------------
+// Cache vs reference LRU.
+// ---------------------------------------------------------------------
+
+/** Straight-line reference: per-set std::list, MRU at front. */
+class ReferenceCache
+{
+  public:
+    ReferenceCache(size_t sets, size_t ways) : sets_(sets), ways(ways),
+                                               lists(sets)
+    {
+    }
+
+    bool
+    access(uint64_t addr)
+    {
+        uint64_t line = addr / 64;
+        auto &lru = lists[line % sets_];
+        for (auto it = lru.begin(); it != lru.end(); ++it) {
+            if (*it == line) {
+                lru.erase(it);
+                lru.push_front(line);
+                return true;
+            }
+        }
+        lru.push_front(line);
+        if (lru.size() > ways)
+            lru.pop_back();
+        return false;
+    }
+
+  private:
+    size_t sets_, ways;
+    std::vector<std::list<uint64_t>> lists;
+};
+
+class CacheOracle
+    : public ::testing::TestWithParam<std::tuple<size_t, size_t>>
+{
+};
+
+TEST_P(CacheOracle, MatchesReferenceLruHitForHit)
+{
+    auto [sets, ways] = GetParam();
+    perf::Cache cache(
+        perf::CacheConfig{"t", sets * ways * 64, ways, 64});
+    ASSERT_EQ(cache.config().sets(), sets);
+    ReferenceCache ref(sets, ways);
+
+    Rng rng(sets * 31 + ways);
+    for (int i = 0; i < 30000; ++i) {
+        // Mix of hot set, sequential runs, and random noise.
+        uint64_t addr;
+        switch (rng.below(3)) {
+          case 0:
+            addr = rng.below(64) * 64; // hot lines
+            break;
+          case 1:
+            addr = (i % 1024) * 64; // sweep
+            break;
+          default:
+            addr = rng.below(1 << 16) * 8;
+            break;
+        }
+        ASSERT_EQ(cache.access(addr), ref.access(addr))
+            << "access " << i << " addr " << addr;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, CacheOracle,
+    ::testing::Values(std::make_tuple(1, 1), std::make_tuple(1, 8),
+                      std::make_tuple(16, 2), std::make_tuple(64, 4),
+                      std::make_tuple(128, 8)),
+    [](const auto &info) {
+        return "sets" + std::to_string(std::get<0>(info.param)) +
+               "ways" + std::to_string(std::get<1>(info.param));
+    });
+
+// ---------------------------------------------------------------------
+// Random-layout fuzz: any valid vertical partitioning answers alike.
+// ---------------------------------------------------------------------
+
+struct FuzzWorld
+{
+    nobench::Config cfg;
+    engine::DataSet data;
+    std::vector<engine::Query> queries;
+    std::vector<engine::ResultSet> reference;
+
+    FuzzWorld()
+    {
+        cfg.numDocs = 500;
+        cfg.seed = 808;
+        data = nobench::generateDataSet(cfg);
+        nobench::QuerySet qs(data, cfg);
+        Rng rng(4242);
+        for (int t = 0; t < nobench::kNumTemplates; ++t)
+            queries.push_back(qs.instantiate(t, rng));
+        engine::Database row(
+            data, layout::Layout::rowBased(data.catalog.allAttrs()),
+            "row");
+        engine::Executor exec(row);
+        for (const auto &q : queries)
+            reference.push_back(exec.run(q));
+    }
+
+    layout::Layout
+    randomLayout(uint64_t seed) const
+    {
+        Rng rng(seed);
+        std::vector<storage::AttrId> attrs = data.catalog.allAttrs();
+        rng.shuffle(attrs);
+        std::vector<std::vector<storage::AttrId>> parts;
+        size_t i = 0;
+        while (i < attrs.size()) {
+            size_t k = 1 + rng.below(40); // partition sizes 1..40
+            k = std::min(k, attrs.size() - i);
+            parts.emplace_back(attrs.begin() + i, attrs.begin() + i + k);
+            i += k;
+        }
+        return layout::Layout(std::move(parts));
+    }
+};
+
+FuzzWorld &
+fuzzWorld()
+{
+    static FuzzWorld w;
+    return w;
+}
+
+class RandomLayoutFuzz : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(RandomLayoutFuzz, AllQueriesMatchRowReference)
+{
+    FuzzWorld &w = fuzzWorld();
+    layout::Layout layout =
+        w.randomLayout(static_cast<uint64_t>(GetParam()) * 1337 + 5);
+    layout.validate();
+    engine::Database db(w.data, layout, "fuzz");
+    engine::Executor exec(db);
+    for (size_t qi = 0; qi < w.queries.size(); ++qi) {
+        engine::ResultSet rs = exec.run(w.queries[qi]);
+        EXPECT_TRUE(rs.equals(w.reference[qi]))
+            << w.queries[qi].name << " on layout seed " << GetParam();
+        EXPECT_EQ(rs.checksum, w.reference[qi].checksum)
+            << w.queries[qi].name;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomLayoutFuzz,
+                         ::testing::Range(0, 8));
+
+// ---------------------------------------------------------------------
+// Random non-NoBench documents through every engine.
+// ---------------------------------------------------------------------
+
+json::JsonValue
+randomDoc(Rng &rng)
+{
+    using json::JsonValue;
+    JsonValue doc = JsonValue::makeObject();
+    size_t fields = 1 + rng.below(12);
+    for (size_t f = 0; f < fields; ++f) {
+        std::string key = "k" + std::to_string(rng.below(30));
+        switch (rng.below(5)) {
+          case 0:
+            doc.set(key, JsonValue(rng.range(-1000, 1000)));
+            break;
+          case 1:
+            doc.set(key, JsonValue("v" + std::to_string(rng.below(20))));
+            break;
+          case 2:
+            doc.set(key, JsonValue(rng.chance(0.5)));
+            break;
+          case 3: {
+            JsonValue arr = JsonValue::makeArray();
+            auto n = rng.below(4);
+            for (uint64_t i = 0; i < n; ++i)
+                arr.push(JsonValue(
+                    "a" + std::to_string(rng.below(10))));
+            doc.set(key, std::move(arr));
+            break;
+          }
+          default: {
+            JsonValue obj = JsonValue::makeObject();
+            obj.set("x", JsonValue(rng.range(0, 99)));
+            if (rng.chance(0.5))
+                obj.set("y", JsonValue("deep"));
+            doc.set(key, std::move(obj));
+            break;
+          }
+        }
+    }
+    return doc;
+}
+
+class RandomDocsFuzz : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(RandomDocsFuzz, AllEnginesAgreeOnRandomWorkload)
+{
+    Rng rng(static_cast<uint64_t>(GetParam()) * 97 + 3);
+    engine::DataSet data;
+    for (int d = 0; d < 300; ++d)
+        data.addObject(randomDoc(rng));
+
+    auto attrs = data.catalog.allAttrs();
+    engine::Database row(data, layout::Layout::rowBased(attrs), "row");
+    engine::Database col(data, layout::Layout::columnBased(attrs),
+                         "col");
+    argo::ArgoStore a1(data, argo::Variant::Argo1);
+    argo::ArgoStore a3(data, argo::Variant::Argo3);
+
+    // Random workload over the discovered attributes.
+    for (int qi = 0; qi < 12; ++qi) {
+        engine::Query q;
+        q.name = "fuzz" + std::to_string(qi);
+        switch (rng.below(3)) {
+          case 0: { // projection of 1-3 random attrs
+            q.kind = engine::QueryKind::Project;
+            size_t k = 1 + rng.below(3);
+            for (size_t i = 0; i < k; ++i)
+                q.projected.push_back(static_cast<storage::AttrId>(
+                    rng.below(attrs.size())));
+            std::sort(q.projected.begin(), q.projected.end());
+            q.projected.erase(std::unique(q.projected.begin(),
+                                          q.projected.end()),
+                              q.projected.end());
+            break;
+          }
+          case 1: // SELECT * with numeric range
+            q.kind = engine::QueryKind::Select;
+            q.selectAll = true;
+            q.cond.op = engine::CondOp::Between;
+            q.cond.attr = static_cast<storage::AttrId>(
+                rng.below(attrs.size()));
+            q.cond.lo = rng.range(-1000, 0);
+            q.cond.hi = q.cond.lo + rng.range(0, 1500);
+            break;
+          default: // equality on a (possibly string) value
+            q.kind = engine::QueryKind::Select;
+            q.projected = {static_cast<storage::AttrId>(
+                rng.below(attrs.size()))};
+            q.cond.op = engine::CondOp::Eq;
+            q.cond.attr = static_cast<storage::AttrId>(
+                rng.below(attrs.size()));
+            if (rng.chance(0.5)) {
+                q.cond.lo = rng.range(-1000, 1000);
+            } else {
+                storage::StringId id = data.dict.lookup(
+                    "v" + std::to_string(rng.below(20)));
+                q.cond.lo =
+                    id == storage::Dictionary::kMissing
+                        ? storage::encodeString(
+                              storage::Dictionary::kMissing - 1)
+                        : storage::encodeString(id);
+            }
+            break;
+        }
+
+        engine::Executor row_exec(row);
+        engine::ResultSet ref = row_exec.run(q);
+        engine::Executor col_exec(col);
+        EXPECT_TRUE(col_exec.run(q).equals(ref)) << q.name;
+        argo::ArgoExecutor a1_exec(a1);
+        EXPECT_TRUE(a1_exec.run(q).equals(ref)) << q.name;
+        argo::ArgoExecutor a3_exec(a3);
+        EXPECT_TRUE(a3_exec.run(q).equals(ref)) << q.name;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomDocsFuzz, ::testing::Range(0, 6));
+
+} // namespace
+} // namespace dvp

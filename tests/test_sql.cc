@@ -1,0 +1,303 @@
+/**
+ * @file
+ * Tests for the SQL subset (src/sql): lexer, each Table III statement
+ * form, error reporting, selectivity estimation, and execution of
+ * parsed queries against the engine.
+ */
+
+#include <gtest/gtest.h>
+
+#include "engine/database.hh"
+#include "engine/executor.hh"
+#include "nobench/generator.hh"
+#include "nobench/queries.hh"
+#include "sql/lexer.hh"
+#include "sql/parser.hh"
+
+namespace dvp::sql
+{
+namespace
+{
+
+using engine::CondOp;
+using engine::QueryKind;
+
+// ---------------------------------------------------------------------
+// Lexer.
+// ---------------------------------------------------------------------
+
+TEST(Lexer, KeywordsAreCaseInsensitive)
+{
+    LexResult r = lex("select From wHeRe betWEEN");
+    ASSERT_TRUE(r.ok);
+    ASSERT_EQ(r.tokens.size(), 5u); // + End
+    EXPECT_EQ(r.tokens[0].text, "SELECT");
+    EXPECT_EQ(r.tokens[1].text, "FROM");
+    EXPECT_EQ(r.tokens[2].text, "WHERE");
+    EXPECT_EQ(r.tokens[3].text, "BETWEEN");
+}
+
+TEST(Lexer, IdentifiersKeepPathsAndIndices)
+{
+    LexResult r = lex("nested_obj.str nested_arr[3] sparse_110");
+    ASSERT_TRUE(r.ok);
+    EXPECT_EQ(r.tokens[0].text, "nested_obj.str");
+    EXPECT_EQ(r.tokens[0].kind, TokKind::Ident);
+    EXPECT_EQ(r.tokens[1].text, "nested_arr[3]");
+    EXPECT_EQ(r.tokens[2].text, "sparse_110");
+}
+
+TEST(Lexer, NumbersAndNegatives)
+{
+    LexResult r = lex("42 -17");
+    ASSERT_TRUE(r.ok);
+    EXPECT_EQ(r.tokens[0].number, 42);
+    EXPECT_EQ(r.tokens[1].number, -17);
+}
+
+TEST(Lexer, StringsWithBothQuotesAndEscapes)
+{
+    LexResult r = lex("'abc' \"def\" 'it''s'");
+    ASSERT_TRUE(r.ok);
+    EXPECT_EQ(r.tokens[0].text, "abc");
+    EXPECT_EQ(r.tokens[1].text, "def");
+    EXPECT_EQ(r.tokens[2].text, "it's");
+}
+
+TEST(Lexer, UnterminatedStringFails)
+{
+    LexResult r = lex("SELECT 'oops");
+    EXPECT_FALSE(r.ok);
+    EXPECT_NE(r.error.find("unterminated"), std::string::npos);
+}
+
+TEST(Lexer, RejectsStrayCharacters)
+{
+    EXPECT_FALSE(lex("SELECT @").ok);
+}
+
+// ---------------------------------------------------------------------
+// Parser on a NoBench world.
+// ---------------------------------------------------------------------
+
+class SqlWorld : public ::testing::Test
+{
+  protected:
+    static void
+    SetUpTestSuite()
+    {
+        cfg.numDocs = 800;
+        cfg.seed = 5150;
+        data = new engine::DataSet(nobench::generateDataSet(cfg));
+        db = new engine::Database(
+            *data,
+            layout::Layout::fixedSize(data->catalog.allAttrs(), 12),
+            "sql");
+    }
+    static void
+    TearDownTestSuite()
+    {
+        delete db;
+        delete data;
+        db = nullptr;
+        data = nullptr;
+    }
+
+    engine::ResultSet
+    run(const std::string &text)
+    {
+        ParseResult r = parse(text, *data);
+        EXPECT_TRUE(r.ok) << r.error;
+        engine::Executor exec(*db);
+        return exec.run(r.query);
+    }
+
+    static nobench::Config cfg;
+    static engine::DataSet *data;
+    static engine::Database *db;
+};
+
+nobench::Config SqlWorld::cfg;
+engine::DataSet *SqlWorld::data = nullptr;
+engine::Database *SqlWorld::db = nullptr;
+
+TEST_F(SqlWorld, ProjectionParses)
+{
+    ParseResult r = parse("SELECT str1, num FROM nobench_main", *data);
+    ASSERT_TRUE(r.ok) << r.error;
+    EXPECT_EQ(r.kind, StatementKind::Query);
+    EXPECT_EQ(r.query.kind, QueryKind::Project);
+    ASSERT_EQ(r.query.projected.size(), 2u);
+    EXPECT_EQ(r.query.projected[0], data->catalog.find("str1"));
+    EXPECT_EQ(r.table, "nobench_main");
+    EXPECT_DOUBLE_EQ(r.query.selectivity, 1.0);
+}
+
+TEST_F(SqlWorld, SelectStarWithEquality)
+{
+    ParseResult r = parse(
+        "SELECT * FROM nobench_main WHERE str1 = 'str1_17'", *data);
+    ASSERT_TRUE(r.ok) << r.error;
+    EXPECT_TRUE(r.query.selectAll);
+    EXPECT_EQ(r.query.kind, QueryKind::Select);
+    EXPECT_EQ(r.query.cond.op, CondOp::Eq);
+
+    engine::Executor exec(*db);
+    engine::ResultSet rs = exec.run(r.query);
+    ASSERT_EQ(rs.rowCount(), 1u);
+    EXPECT_EQ(rs.oids[0], 17);
+}
+
+TEST_F(SqlWorld, BetweenParsesAndRuns)
+{
+    engine::ResultSet rs = run(
+        "SELECT * FROM nobench_main WHERE num BETWEEN 0 AND 999999");
+    EXPECT_EQ(rs.rowCount(), cfg.numDocs); // whole numeric range
+}
+
+TEST_F(SqlWorld, AnyMembershipExpandsArrayColumns)
+{
+    ParseResult r = parse(
+        "SELECT sparse_330, num FROM nobench_main "
+        "WHERE 'arr_7' = ANY nested_arr",
+        *data);
+    ASSERT_TRUE(r.ok) << r.error;
+    EXPECT_EQ(r.query.cond.op, CondOp::AnyEq);
+    EXPECT_EQ(r.query.cond.anyAttrs.size(), 9u);
+}
+
+TEST_F(SqlWorld, CountGroupByParses)
+{
+    ParseResult r = parse(
+        "SELECT COUNT(*) FROM nobench_main WHERE num BETWEEN 0 AND "
+        "499999 GROUP BY thousandth",
+        *data);
+    ASSERT_TRUE(r.ok) << r.error;
+    EXPECT_EQ(r.query.kind, QueryKind::Aggregate);
+    EXPECT_EQ(r.query.groupBy, data->catalog.find("thousandth"));
+
+    engine::Executor exec(*db);
+    engine::ResultSet rs = exec.run(r.query);
+    int64_t total = 0;
+    for (const auto &row : rs.rows)
+        total += row[1];
+    EXPECT_NEAR(static_cast<double>(total), cfg.numDocs / 2.0,
+                cfg.numDocs * 0.1);
+}
+
+TEST_F(SqlWorld, JoinWithAliases)
+{
+    ParseResult r = parse(
+        "SELECT * FROM nobench_main AS left INNER JOIN nobench_main "
+        "AS right ON left.nested_obj.str = right.str1 "
+        "WHERE left.num BETWEEN 0 AND 999999",
+        *data);
+    ASSERT_TRUE(r.ok) << r.error;
+    EXPECT_EQ(r.query.kind, QueryKind::Join);
+    EXPECT_EQ(r.query.joinLeftAttr,
+              data->catalog.find("nested_obj.str"));
+    EXPECT_EQ(r.query.joinRightAttr, data->catalog.find("str1"));
+
+    engine::Executor exec(*db);
+    // Every document's nested_obj.str names some str1 -> one pair per
+    // doc (str1 values are unique).
+    EXPECT_EQ(exec.run(r.query).rowCount(), cfg.numDocs);
+}
+
+TEST_F(SqlWorld, JoinAliasOrderSwapsWhenReversed)
+{
+    ParseResult r = parse(
+        "SELECT * FROM t AS l INNER JOIN t AS r "
+        "ON r.str1 = l.nested_obj.str WHERE l.num BETWEEN 0 AND 9",
+        *data);
+    ASSERT_TRUE(r.ok) << r.error;
+    EXPECT_EQ(r.query.joinLeftAttr,
+              data->catalog.find("nested_obj.str"));
+    EXPECT_EQ(r.query.joinRightAttr, data->catalog.find("str1"));
+}
+
+TEST_F(SqlWorld, LoadStatement)
+{
+    ParseResult r = parse(
+        "LOAD DATA LOCAL INFILE 'dump.json' REPLACE INTO TABLE "
+        "nobench_main",
+        *data);
+    ASSERT_TRUE(r.ok) << r.error;
+    EXPECT_EQ(r.kind, StatementKind::Load);
+    EXPECT_EQ(r.loadFile, "dump.json");
+    EXPECT_EQ(r.table, "nobench_main");
+}
+
+TEST_F(SqlWorld, ExplainWrapsSelect)
+{
+    ParseResult r = parse("EXPLAIN SELECT str1 FROM t", *data);
+    ASSERT_TRUE(r.ok) << r.error;
+    EXPECT_EQ(r.kind, StatementKind::Explain);
+    EXPECT_EQ(r.query.kind, QueryKind::Project);
+}
+
+TEST_F(SqlWorld, UnknownColumnIsAllNullNotError)
+{
+    engine::ResultSet rs =
+        run("SELECT ghost_column FROM nobench_main");
+    EXPECT_EQ(rs.rowCount(), 0u); // projection of all-NULL column
+}
+
+TEST_F(SqlWorld, UnknownStringLiteralMatchesNothing)
+{
+    engine::ResultSet rs = run(
+        "SELECT * FROM t WHERE str1 = 'never_ingested_value'");
+    EXPECT_EQ(rs.rowCount(), 0u);
+}
+
+TEST_F(SqlWorld, TrailingSemicolonAccepted)
+{
+    EXPECT_TRUE(parse("SELECT num FROM t;", *data).ok);
+}
+
+TEST_F(SqlWorld, ErrorsNameTheOffset)
+{
+    ParseResult r = parse("SELECT FROM t", *data);
+    EXPECT_FALSE(r.ok);
+    EXPECT_NE(r.error.find("offset"), std::string::npos);
+
+    EXPECT_FALSE(parse("SELECT a b FROM t", *data).ok);
+    EXPECT_FALSE(parse("SELECT a FROM t WHERE", *data).ok);
+    EXPECT_FALSE(parse("SELECT a FROM t WHERE x BETWEEN 1", *data).ok);
+    EXPECT_FALSE(parse("SELECT a FROM t GROUP BY x", *data).ok);
+    EXPECT_FALSE(parse("SELECT a FROM t extra", *data).ok);
+    EXPECT_FALSE(parse("LOAD DATA INFILE 'f'", *data).ok);
+}
+
+TEST_F(SqlWorld, MatchesHandwrittenTemplateResults)
+{
+    // The SQL form of Q1 must equal the programmatic template.
+    nobench::QuerySet qs(*data, cfg);
+    Rng rng(8);
+    engine::Query q1 = qs.instantiate(nobench::kQ1, rng);
+    ParseResult r = parse("SELECT str1, num FROM nobench_main", *data);
+    ASSERT_TRUE(r.ok);
+    engine::Executor exec(*db);
+    EXPECT_TRUE(exec.run(r.query).equals(exec.run(q1)));
+}
+
+TEST_F(SqlWorld, SelectivityEstimates)
+{
+    // Projection -> 1.
+    ParseResult proj = parse("SELECT num FROM t", *data);
+    EXPECT_DOUBLE_EQ(proj.query.selectivity, 1.0);
+
+    // Half-range BETWEEN -> ~0.5.
+    ParseResult half = parse(
+        "SELECT * FROM t WHERE num BETWEEN 0 AND 499999", *data);
+    EXPECT_NEAR(half.query.selectivity, 0.5, 0.1);
+
+    // Never-matching literal -> floored at 1/n, not 0.
+    ParseResult none =
+        parse("SELECT * FROM t WHERE str1 = 'nope'", *data);
+    EXPECT_GT(none.query.selectivity, 0.0);
+    EXPECT_LE(none.query.selectivity, 1.0 / 700);
+}
+
+} // namespace
+} // namespace dvp::sql

@@ -1,0 +1,280 @@
+/**
+ * @file
+ * Unit tests for src/util: PRNG, arena, printer, logging plumbing.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "util/arena.hh"
+#include "util/logging.hh"
+#include "util/pagemap.hh"
+#include "util/printer.hh"
+#include "util/random.hh"
+#include "util/timer.hh"
+
+namespace dvp
+{
+namespace
+{
+
+TEST(Rng, DeterministicForSeed)
+{
+    Rng a(123), b(123);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 64; ++i)
+        if (a.next() == b.next())
+            ++same;
+    EXPECT_LT(same, 2);
+}
+
+TEST(Rng, BelowStaysInBounds)
+{
+    Rng rng(7);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_LT(rng.below(17), 17u);
+}
+
+TEST(Rng, RangeInclusive)
+{
+    Rng rng(9);
+    std::set<int64_t> seen;
+    for (int i = 0; i < 2000; ++i) {
+        int64_t v = rng.range(-3, 3);
+        EXPECT_GE(v, -3);
+        EXPECT_LE(v, 3);
+        seen.insert(v);
+    }
+    EXPECT_EQ(seen.size(), 7u); // all values hit
+}
+
+TEST(Rng, UniformInUnitInterval)
+{
+    Rng rng(11);
+    double sum = 0;
+    for (int i = 0; i < 10000; ++i) {
+        double u = rng.uniform();
+        ASSERT_GE(u, 0.0);
+        ASSERT_LT(u, 1.0);
+        sum += u;
+    }
+    EXPECT_NEAR(sum / 10000, 0.5, 0.02);
+}
+
+TEST(Rng, ChanceRespectsBias)
+{
+    Rng rng(13);
+    int hits = 0;
+    for (int i = 0; i < 10000; ++i)
+        hits += rng.chance(0.25) ? 1 : 0;
+    EXPECT_NEAR(hits / 10000.0, 0.25, 0.03);
+}
+
+TEST(Rng, StringHasRequestedLength)
+{
+    Rng rng(17);
+    std::string s = rng.string(32);
+    EXPECT_EQ(s.size(), 32u);
+    for (char c : s)
+        EXPECT_TRUE(c >= 'a' && c <= 'z');
+}
+
+TEST(Rng, ShufflePreservesElements)
+{
+    Rng rng(19);
+    std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+    std::vector<int> orig = v;
+    rng.shuffle(v);
+    std::multiset<int> a(v.begin(), v.end());
+    std::multiset<int> b(orig.begin(), orig.end());
+    EXPECT_EQ(a, b);
+}
+
+TEST(Arena, PageAlignmentWithShift)
+{
+    Arena arena;
+    for (int i = 0; i < 70; ++i) {
+        size_t expect_shift =
+            (i % (kPageSize / kCacheLineSize)) * kCacheLineSize;
+        AlignedBuffer buf = arena.allocate(256);
+        auto addr = reinterpret_cast<uintptr_t>(buf.data());
+        EXPECT_EQ(addr % kPageSize, expect_shift)
+            << "allocation " << i;
+    }
+}
+
+TEST(Arena, ShiftRotatesThroughAllCacheLines)
+{
+    Arena arena;
+    std::set<size_t> shifts;
+    for (size_t i = 0; i < kPageSize / kCacheLineSize; ++i)
+        shifts.insert(arena.allocate(64).shift());
+    EXPECT_EQ(shifts.size(), kPageSize / kCacheLineSize);
+}
+
+TEST(Arena, BuffersAreZeroed)
+{
+    Arena arena;
+    AlignedBuffer buf = arena.allocate(4096);
+    for (size_t i = 0; i < buf.size(); ++i)
+        ASSERT_EQ(buf.data()[i], 0u);
+}
+
+TEST(Arena, TracksAllocatedBytes)
+{
+    Arena arena;
+    arena.allocate(100);
+    arena.allocate(200);
+    EXPECT_EQ(arena.allocatedBytes(), 300u);
+}
+
+TEST(AlignedBuffer, MoveTransfersOwnership)
+{
+    Arena arena;
+    AlignedBuffer a = arena.allocate(128);
+    uint8_t *p = a.data();
+    AlignedBuffer b = std::move(a);
+    EXPECT_EQ(b.data(), p);
+    EXPECT_TRUE(b.valid());
+}
+
+TEST(Printer, AsciiAlignsColumns)
+{
+    TablePrinter t({"name", "value"});
+    t.addRow({"x", "1"});
+    t.addRow({"longer", "22"});
+    std::string out = t.ascii();
+    EXPECT_NE(out.find("| name   | value |"), std::string::npos);
+    EXPECT_NE(out.find("| longer | 22    |"), std::string::npos);
+}
+
+TEST(Printer, CsvQuotesCommas)
+{
+    TablePrinter t({"a"});
+    t.addRow({"x,y"});
+    EXPECT_NE(t.csv().find("\"x,y\""), std::string::npos);
+}
+
+TEST(Printer, CsvEscapesQuotes)
+{
+    TablePrinter t({"a"});
+    t.addRow({"say \"hi\""});
+    EXPECT_NE(t.csv().find("\"say \"\"hi\"\"\""), std::string::npos);
+}
+
+TEST(Printer, FmtHelpers)
+{
+    EXPECT_EQ(fmt(3.14159, 2), "3.14");
+    EXPECT_EQ(fmt(2.0, 0), "2");
+    EXPECT_EQ(fmtCount(0), "0");
+    EXPECT_EQ(fmtCount(999), "999");
+    EXPECT_EQ(fmtCount(1000), "1,000");
+    EXPECT_EQ(fmtCount(1234567), "1,234,567");
+    EXPECT_EQ(fmtMB(1024 * 1024), "1.00");
+    EXPECT_EQ(fmtMB(1536 * 1024), "1.50");
+}
+
+TEST(Logging, LevelGate)
+{
+    LogLevel old = logLevel();
+    setLogLevel(LogLevel::Silent);
+    EXPECT_EQ(logLevel(), LogLevel::Silent);
+    // warn/inform must be safe to call while silenced.
+    warn("suppressed %d", 1);
+    inform("suppressed %s", "too");
+    setLogLevel(old);
+}
+
+TEST(Logging, InvariantPassesOnTrue)
+{
+    invariant(true, "never fires");
+    SUCCEED();
+}
+
+TEST(LoggingDeath, PanicAborts)
+{
+    EXPECT_DEATH(panic("boom %d", 42), "boom 42");
+}
+
+TEST(LoggingDeath, InvariantAbortsOnFalse)
+{
+    EXPECT_DEATH(invariant(false, "broken"), "broken");
+}
+
+TEST(PageMap, RangeMembership)
+{
+    PageMap &pm = PageMap::instance();
+    size_t before = pm.size();
+    pm.add(0x40000000, 0x1000);
+    EXPECT_TRUE(pm.isHuge(0x40000000));
+    EXPECT_TRUE(pm.isHuge(0x40000fff));
+    EXPECT_FALSE(pm.isHuge(0x40001000));
+    EXPECT_FALSE(pm.isHuge(0x3fffffff));
+    pm.remove(0x40000000);
+    EXPECT_FALSE(pm.isHuge(0x40000000));
+    EXPECT_EQ(pm.size(), before);
+}
+
+TEST(PageMap, MultipleRangesIndependent)
+{
+    PageMap &pm = PageMap::instance();
+    pm.add(0x10000000, 0x100);
+    pm.add(0x20000000, 0x100);
+    EXPECT_TRUE(pm.isHuge(0x10000050));
+    EXPECT_TRUE(pm.isHuge(0x20000050));
+    EXPECT_FALSE(pm.isHuge(0x18000000));
+    pm.remove(0x10000000);
+    EXPECT_FALSE(pm.isHuge(0x10000050));
+    EXPECT_TRUE(pm.isHuge(0x20000050));
+    pm.remove(0x20000000);
+}
+
+TEST(Arena, LargeBuffersAreHugeRegistered)
+{
+    Arena arena;
+    AlignedBuffer big = arena.allocate(4 * 1024 * 1024);
+    EXPECT_TRUE(big.hugePaged());
+    EXPECT_TRUE(PageMap::instance().isHuge(
+        reinterpret_cast<uintptr_t>(big.data())));
+    AlignedBuffer small = arena.allocate(4096);
+    EXPECT_FALSE(small.hugePaged());
+    EXPECT_FALSE(PageMap::instance().isHuge(
+        reinterpret_cast<uintptr_t>(small.data())));
+}
+
+TEST(Arena, HugeRegistrationFollowsMoves)
+{
+    Arena arena;
+    uintptr_t addr;
+    {
+        AlignedBuffer a = arena.allocate(2 * 1024 * 1024);
+        addr = reinterpret_cast<uintptr_t>(a.data());
+        AlignedBuffer b = std::move(a);
+        EXPECT_TRUE(PageMap::instance().isHuge(addr));
+        AlignedBuffer c;
+        c = std::move(b);
+        EXPECT_TRUE(PageMap::instance().isHuge(addr));
+    } // destruction unregisters exactly once
+    EXPECT_FALSE(PageMap::instance().isHuge(addr));
+}
+
+TEST(Timer, MeasuresElapsedTime)
+{
+    Timer t;
+    double a = t.seconds();
+    EXPECT_GE(a, 0.0);
+    double b = t.seconds();
+    EXPECT_GE(b, a);
+    EXPECT_NEAR(t.milliseconds(), t.seconds() * 1e3, 1.0);
+}
+
+} // namespace
+} // namespace dvp
