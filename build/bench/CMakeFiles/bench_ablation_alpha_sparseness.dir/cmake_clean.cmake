@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_alpha_sparseness.dir/bench_ablation_alpha_sparseness.cc.o"
+  "CMakeFiles/bench_ablation_alpha_sparseness.dir/bench_ablation_alpha_sparseness.cc.o.d"
+  "bench_ablation_alpha_sparseness"
+  "bench_ablation_alpha_sparseness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_alpha_sparseness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

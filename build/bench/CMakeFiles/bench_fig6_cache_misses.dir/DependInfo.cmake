@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig6_cache_misses.cc" "bench/CMakeFiles/bench_fig6_cache_misses.dir/bench_fig6_cache_misses.cc.o" "gcc" "bench/CMakeFiles/bench_fig6_cache_misses.dir/bench_fig6_cache_misses.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench/CMakeFiles/dvp_bench_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/argo/CMakeFiles/dvp_argo.dir/DependInfo.cmake"
+  "/root/repo/build/src/hyrise/CMakeFiles/dvp_hyrise.dir/DependInfo.cmake"
+  "/root/repo/build/src/adaptive/CMakeFiles/dvp_adaptive.dir/DependInfo.cmake"
+  "/root/repo/build/src/dvp/CMakeFiles/dvp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/dvp_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/nobench/CMakeFiles/dvp_nobench.dir/DependInfo.cmake"
+  "/root/repo/build/src/engine/CMakeFiles/dvp_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/layout/CMakeFiles/dvp_layout.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/dvp_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/perf/CMakeFiles/dvp_perf.dir/DependInfo.cmake"
+  "/root/repo/build/src/json/CMakeFiles/dvp_json.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/dvp_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_adaptation.dir/bench_fig8_adaptation.cc.o"
+  "CMakeFiles/bench_fig8_adaptation.dir/bench_fig8_adaptation.cc.o.d"
+  "bench_fig8_adaptation"
+  "bench_fig8_adaptation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_adaptation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_partitioner_scaling.dir/bench_partitioner_scaling.cc.o"
+  "CMakeFiles/bench_partitioner_scaling.dir/bench_partitioner_scaling.cc.o.d"
+  "bench_partitioner_scaling"
+  "bench_partitioner_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_partitioner_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

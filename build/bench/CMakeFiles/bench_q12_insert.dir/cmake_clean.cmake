@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_q12_insert.dir/bench_q12_insert.cc.o"
+  "CMakeFiles/bench_q12_insert.dir/bench_q12_insert.cc.o.d"
+  "bench_q12_insert"
+  "bench_q12_insert.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_q12_insert.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table4_layouts.dir/bench_table4_layouts.cc.o"
+  "CMakeFiles/bench_table4_layouts.dir/bench_table4_layouts.cc.o.d"
+  "bench_table4_layouts"
+  "bench_table4_layouts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_layouts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

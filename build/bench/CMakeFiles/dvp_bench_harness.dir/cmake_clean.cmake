@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dvp_bench_harness.dir/harness.cc.o"
+  "CMakeFiles/dvp_bench_harness.dir/harness.cc.o.d"
+  "libdvp_bench_harness.a"
+  "libdvp_bench_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dvp_bench_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

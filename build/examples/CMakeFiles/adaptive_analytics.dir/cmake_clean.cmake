@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adaptive_analytics.dir/adaptive_analytics.cpp.o"
+  "CMakeFiles/adaptive_analytics.dir/adaptive_analytics.cpp.o.d"
+  "adaptive_analytics"
+  "adaptive_analytics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adaptive_analytics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

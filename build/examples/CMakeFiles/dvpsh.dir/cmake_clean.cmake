@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dvpsh.dir/dvpsh.cpp.o"
+  "CMakeFiles/dvpsh.dir/dvpsh.cpp.o.d"
+  "dvpsh"
+  "dvpsh.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dvpsh.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("util")
+subdirs("json")
+subdirs("storage")
+subdirs("layout")
+subdirs("nobench")
+subdirs("stats")
+subdirs("sql")
+subdirs("persist")
+subdirs("perf")
+subdirs("dvp")
+subdirs("argo")
+subdirs("hyrise")
+subdirs("engine")
+subdirs("adaptive")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dvp_adaptive.dir/adaptive_engine.cc.o"
+  "CMakeFiles/dvp_adaptive.dir/adaptive_engine.cc.o.d"
+  "libdvp_adaptive.a"
+  "libdvp_adaptive.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dvp_adaptive.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/argo/argo_executor.cc" "src/argo/CMakeFiles/dvp_argo.dir/argo_executor.cc.o" "gcc" "src/argo/CMakeFiles/dvp_argo.dir/argo_executor.cc.o.d"
+  "/root/repo/src/argo/argo_store.cc" "src/argo/CMakeFiles/dvp_argo.dir/argo_store.cc.o" "gcc" "src/argo/CMakeFiles/dvp_argo.dir/argo_store.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/engine/CMakeFiles/dvp_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/layout/CMakeFiles/dvp_layout.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/dvp_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/json/CMakeFiles/dvp_json.dir/DependInfo.cmake"
+  "/root/repo/build/src/perf/CMakeFiles/dvp_perf.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/dvp_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

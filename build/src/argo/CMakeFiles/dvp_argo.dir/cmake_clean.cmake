@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dvp_argo.dir/argo_executor.cc.o"
+  "CMakeFiles/dvp_argo.dir/argo_executor.cc.o.d"
+  "CMakeFiles/dvp_argo.dir/argo_store.cc.o"
+  "CMakeFiles/dvp_argo.dir/argo_store.cc.o.d"
+  "libdvp_argo.a"
+  "libdvp_argo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dvp_argo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

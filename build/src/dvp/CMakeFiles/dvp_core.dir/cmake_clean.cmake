@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dvp_core.dir/cost_model.cc.o"
+  "CMakeFiles/dvp_core.dir/cost_model.cc.o.d"
+  "CMakeFiles/dvp_core.dir/initial_partitioning.cc.o"
+  "CMakeFiles/dvp_core.dir/initial_partitioning.cc.o.d"
+  "CMakeFiles/dvp_core.dir/partitioner.cc.o"
+  "CMakeFiles/dvp_core.dir/partitioner.cc.o.d"
+  "libdvp_core.a"
+  "libdvp_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dvp_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dvp_engine.dir/database.cc.o"
+  "CMakeFiles/dvp_engine.dir/database.cc.o.d"
+  "CMakeFiles/dvp_engine.dir/executor.cc.o"
+  "CMakeFiles/dvp_engine.dir/executor.cc.o.d"
+  "CMakeFiles/dvp_engine.dir/query.cc.o"
+  "CMakeFiles/dvp_engine.dir/query.cc.o.d"
+  "libdvp_engine.a"
+  "libdvp_engine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dvp_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

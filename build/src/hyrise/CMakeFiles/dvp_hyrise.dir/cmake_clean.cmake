@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dvp_hyrise.dir/hyrise_cost.cc.o"
+  "CMakeFiles/dvp_hyrise.dir/hyrise_cost.cc.o.d"
+  "CMakeFiles/dvp_hyrise.dir/hyrise_layouter.cc.o"
+  "CMakeFiles/dvp_hyrise.dir/hyrise_layouter.cc.o.d"
+  "libdvp_hyrise.a"
+  "libdvp_hyrise.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dvp_hyrise.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

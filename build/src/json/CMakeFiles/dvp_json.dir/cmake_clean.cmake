@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dvp_json.dir/flatten.cc.o"
+  "CMakeFiles/dvp_json.dir/flatten.cc.o.d"
+  "CMakeFiles/dvp_json.dir/parser.cc.o"
+  "CMakeFiles/dvp_json.dir/parser.cc.o.d"
+  "CMakeFiles/dvp_json.dir/value.cc.o"
+  "CMakeFiles/dvp_json.dir/value.cc.o.d"
+  "CMakeFiles/dvp_json.dir/writer.cc.o"
+  "CMakeFiles/dvp_json.dir/writer.cc.o.d"
+  "libdvp_json.a"
+  "libdvp_json.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dvp_json.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dvp_layout.dir/layout.cc.o"
+  "CMakeFiles/dvp_layout.dir/layout.cc.o.d"
+  "libdvp_layout.a"
+  "libdvp_layout.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dvp_layout.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

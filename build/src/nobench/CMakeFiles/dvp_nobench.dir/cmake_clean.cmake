@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dvp_nobench.dir/generator.cc.o"
+  "CMakeFiles/dvp_nobench.dir/generator.cc.o.d"
+  "CMakeFiles/dvp_nobench.dir/queries.cc.o"
+  "CMakeFiles/dvp_nobench.dir/queries.cc.o.d"
+  "CMakeFiles/dvp_nobench.dir/workload.cc.o"
+  "CMakeFiles/dvp_nobench.dir/workload.cc.o.d"
+  "libdvp_nobench.a"
+  "libdvp_nobench.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dvp_nobench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/perf/cache.cc" "src/perf/CMakeFiles/dvp_perf.dir/cache.cc.o" "gcc" "src/perf/CMakeFiles/dvp_perf.dir/cache.cc.o.d"
+  "/root/repo/src/perf/memory_hierarchy.cc" "src/perf/CMakeFiles/dvp_perf.dir/memory_hierarchy.cc.o" "gcc" "src/perf/CMakeFiles/dvp_perf.dir/memory_hierarchy.cc.o.d"
+  "/root/repo/src/perf/tlb.cc" "src/perf/CMakeFiles/dvp_perf.dir/tlb.cc.o" "gcc" "src/perf/CMakeFiles/dvp_perf.dir/tlb.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/dvp_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

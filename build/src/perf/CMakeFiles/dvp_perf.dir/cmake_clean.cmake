@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dvp_perf.dir/cache.cc.o"
+  "CMakeFiles/dvp_perf.dir/cache.cc.o.d"
+  "CMakeFiles/dvp_perf.dir/memory_hierarchy.cc.o"
+  "CMakeFiles/dvp_perf.dir/memory_hierarchy.cc.o.d"
+  "CMakeFiles/dvp_perf.dir/tlb.cc.o"
+  "CMakeFiles/dvp_perf.dir/tlb.cc.o.d"
+  "libdvp_perf.a"
+  "libdvp_perf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dvp_perf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

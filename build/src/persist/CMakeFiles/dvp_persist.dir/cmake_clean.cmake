@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dvp_persist.dir/snapshot.cc.o"
+  "CMakeFiles/dvp_persist.dir/snapshot.cc.o.d"
+  "libdvp_persist.a"
+  "libdvp_persist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dvp_persist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dvp_sql.dir/lexer.cc.o"
+  "CMakeFiles/dvp_sql.dir/lexer.cc.o.d"
+  "CMakeFiles/dvp_sql.dir/parser.cc.o"
+  "CMakeFiles/dvp_sql.dir/parser.cc.o.d"
+  "libdvp_sql.a"
+  "libdvp_sql.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dvp_sql.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

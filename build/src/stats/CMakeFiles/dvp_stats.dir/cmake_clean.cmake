@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dvp_stats.dir/change_detector.cc.o"
+  "CMakeFiles/dvp_stats.dir/change_detector.cc.o.d"
+  "CMakeFiles/dvp_stats.dir/workload_stats.cc.o"
+  "CMakeFiles/dvp_stats.dir/workload_stats.cc.o.d"
+  "libdvp_stats.a"
+  "libdvp_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dvp_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/storage/catalog.cc" "src/storage/CMakeFiles/dvp_storage.dir/catalog.cc.o" "gcc" "src/storage/CMakeFiles/dvp_storage.dir/catalog.cc.o.d"
+  "/root/repo/src/storage/dictionary.cc" "src/storage/CMakeFiles/dvp_storage.dir/dictionary.cc.o" "gcc" "src/storage/CMakeFiles/dvp_storage.dir/dictionary.cc.o.d"
+  "/root/repo/src/storage/encoder.cc" "src/storage/CMakeFiles/dvp_storage.dir/encoder.cc.o" "gcc" "src/storage/CMakeFiles/dvp_storage.dir/encoder.cc.o.d"
+  "/root/repo/src/storage/padding.cc" "src/storage/CMakeFiles/dvp_storage.dir/padding.cc.o" "gcc" "src/storage/CMakeFiles/dvp_storage.dir/padding.cc.o.d"
+  "/root/repo/src/storage/table.cc" "src/storage/CMakeFiles/dvp_storage.dir/table.cc.o" "gcc" "src/storage/CMakeFiles/dvp_storage.dir/table.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/dvp_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/json/CMakeFiles/dvp_json.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dvp_storage.dir/catalog.cc.o"
+  "CMakeFiles/dvp_storage.dir/catalog.cc.o.d"
+  "CMakeFiles/dvp_storage.dir/dictionary.cc.o"
+  "CMakeFiles/dvp_storage.dir/dictionary.cc.o.d"
+  "CMakeFiles/dvp_storage.dir/encoder.cc.o"
+  "CMakeFiles/dvp_storage.dir/encoder.cc.o.d"
+  "CMakeFiles/dvp_storage.dir/padding.cc.o"
+  "CMakeFiles/dvp_storage.dir/padding.cc.o.d"
+  "CMakeFiles/dvp_storage.dir/table.cc.o"
+  "CMakeFiles/dvp_storage.dir/table.cc.o.d"
+  "libdvp_storage.a"
+  "libdvp_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dvp_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

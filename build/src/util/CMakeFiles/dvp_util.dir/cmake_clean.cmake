@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dvp_util.dir/arena.cc.o"
+  "CMakeFiles/dvp_util.dir/arena.cc.o.d"
+  "CMakeFiles/dvp_util.dir/logging.cc.o"
+  "CMakeFiles/dvp_util.dir/logging.cc.o.d"
+  "CMakeFiles/dvp_util.dir/pagemap.cc.o"
+  "CMakeFiles/dvp_util.dir/pagemap.cc.o.d"
+  "CMakeFiles/dvp_util.dir/printer.cc.o"
+  "CMakeFiles/dvp_util.dir/printer.cc.o.d"
+  "libdvp_util.a"
+  "libdvp_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dvp_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

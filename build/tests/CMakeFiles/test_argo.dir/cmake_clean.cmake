@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_argo.dir/test_argo.cc.o"
+  "CMakeFiles/test_argo.dir/test_argo.cc.o.d"
+  "test_argo"
+  "test_argo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_argo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

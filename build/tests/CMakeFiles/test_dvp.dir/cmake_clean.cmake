@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dvp.dir/test_dvp.cc.o"
+  "CMakeFiles/test_dvp.dir/test_dvp.cc.o.d"
+  "test_dvp"
+  "test_dvp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dvp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

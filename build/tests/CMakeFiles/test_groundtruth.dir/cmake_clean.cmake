@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_groundtruth.dir/test_groundtruth.cc.o"
+  "CMakeFiles/test_groundtruth.dir/test_groundtruth.cc.o.d"
+  "test_groundtruth"
+  "test_groundtruth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_groundtruth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

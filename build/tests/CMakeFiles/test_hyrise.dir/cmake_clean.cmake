@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hyrise.dir/test_hyrise.cc.o"
+  "CMakeFiles/test_hyrise.dir/test_hyrise.cc.o.d"
+  "test_hyrise"
+  "test_hyrise.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hyrise.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_nobench.dir/test_nobench.cc.o"
+  "CMakeFiles/test_nobench.dir/test_nobench.cc.o.d"
+  "test_nobench"
+  "test_nobench.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_nobench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
