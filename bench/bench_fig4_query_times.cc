@@ -22,6 +22,7 @@ run(int argc, char **argv)
 {
     Options opt = Options::parse(argc, argv);
     EngineSet engines(opt);
+    JsonLog json(opt, "fig4_query_times");
 
     // One instance per template, shared by every engine so the
     // comparison is parameter-for-parameter identical.
@@ -47,6 +48,7 @@ run(int argc, char **argv)
             });
             ms[e].push_back(sec * 1e3);
             row.push_back(fmt(sec * 1e3, 3));
+            json.record(engineName(kind), queries[qi].name, sec);
         }
         t.addRow(std::move(row));
     }

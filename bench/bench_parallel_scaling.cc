@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Morsel-parallel scaling: Q1..Q11 on the DVP layout at 1/2/4/8 worker
+ * lanes.  Reports per-query medians, the aggregate (sum over the query
+ * mix) speedup per thread count, and asserts that every thread count
+ * produces the serial result digest — the morsel merge is supposed to
+ * be bit-identical, not merely equivalent.
+ *
+ * Only the DVP database is built (no EngineSet): scaling is a property
+ * of the shared executor, so one layout over the default 100k-doc set
+ * keeps the bench light.  Speedups are machine-dependent; on a box
+ * with N usable cores expect near-linear gains until the lane count
+ * passes N (a single-core container reports ~1x everywhere).
+ */
+
+#include "harness.hh"
+
+#include "util/logging.hh"
+
+namespace dvp::bench
+{
+namespace
+{
+
+int
+run(int argc, char **argv)
+{
+    Options opt = Options::parse(argc, argv, /*default_docs=*/100000);
+    JsonLog json(opt, "parallel_scaling");
+
+    nobench::Config cfg = opt.nobenchConfig();
+    inform("generating %llu NoBench documents (seed %llu)...",
+           static_cast<unsigned long long>(cfg.numDocs),
+           static_cast<unsigned long long>(cfg.seed));
+    engine::DataSet data = nobench::generateDataSet(cfg);
+    nobench::QuerySet qs(data, cfg);
+
+    Rng wrng(opt.seed ^ 0xbadc0ffee0ddf00dULL);
+    std::vector<engine::Query> reps =
+        nobench::representatives(qs, nobench::Mix::uniform(), wrng);
+    inform("running DVP partitioner...");
+    core::Partitioner partitioner(data, reps);
+    core::SearchResult res = partitioner.run();
+    engine::Database db(data, res.layout, "DVP");
+    inform("DVP layout ready: %zu partitions", db.tableCount());
+
+    Rng rng(opt.seed + 1);
+    std::vector<engine::Query> queries;
+    for (int t = 0; t < nobench::kNumTemplates; ++t)
+        queries.push_back(qs.instantiate(t, rng));
+
+    const std::vector<size_t> sweep{1, 2, 4, 8};
+
+    // Serial reference digests (threads=1 is the serial path).
+    std::vector<uint64_t> ref;
+    {
+        engine::Executor exec(db, 1);
+        for (const engine::Query &q : queries)
+            ref.push_back(exec.run(q).digest());
+    }
+
+    std::vector<std::string> header{"Query"};
+    for (size_t t : sweep)
+        header.push_back(std::to_string(t) + (t == 1 ? " thread"
+                                                     : " threads"));
+    TablePrinter table(std::move(header));
+
+    std::vector<double> total(sweep.size(), 0.0);
+    for (size_t qi = 0; qi < queries.size(); ++qi) {
+        const engine::Query &q = queries[qi];
+        std::vector<std::string> row{q.name};
+        for (size_t ti = 0; ti < sweep.size(); ++ti) {
+            engine::Executor exec(db, sweep[ti]);
+            uint64_t got = exec.run(q).digest();
+            if (got != ref[qi])
+                fatal("parallel digest mismatch on %s at %zu threads",
+                      q.name.c_str(), sweep[ti]);
+            double sec = timeMedian(opt.repeats, [&] {
+                engine::ResultSet rs = exec.run(q);
+                (void)rs;
+            });
+            total[ti] += sec;
+            row.push_back(fmt(sec * 1e3, 3));
+            json.record("Hybrid(DVP)", q.name, sec, sweep[ti]);
+        }
+        table.addRow(std::move(row));
+    }
+    emit(table,
+         "Parallel scaling: per-query time [ms] (docs=" +
+             std::to_string(opt.docs) + ")",
+         opt.csv);
+
+    TablePrinter agg({"Threads", "total [ms]", "speedup"});
+    for (size_t ti = 0; ti < sweep.size(); ++ti)
+        agg.addRow({std::to_string(sweep[ti]), fmt(total[ti] * 1e3, 3),
+                    fmt(total[0] / total[ti], 2)});
+    emit(agg, "Parallel scaling: aggregate over Q1..Q11", opt.csv);
+
+    inform("all thread counts reproduced the serial digests");
+    return 0;
+}
+
+} // namespace
+} // namespace dvp::bench
+
+int
+main(int argc, char **argv)
+{
+    return dvp::bench::run(argc, argv);
+}

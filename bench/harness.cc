@@ -6,6 +6,7 @@
 #include <cstdlib>
 #include <cstring>
 #include <malloc.h>
+#include <thread>
 
 #include "util/logging.hh"
 
@@ -28,6 +29,7 @@ Options::parse(int argc, char **argv, uint64_t default_docs,
     Options opt;
     opt.docs = default_docs;
     opt.logSize = default_log;
+    opt.threads = std::max<size_t>(std::thread::hardware_concurrency(), 1);
     for (int i = 1; i < argc; ++i) {
         auto need = [&](const char *flag) {
             if (i + 1 >= argc)
@@ -46,10 +48,15 @@ Options::parse(int argc, char **argv, uint64_t default_docs,
             opt.sparseGroups = std::atoi(need("--sparse-groups"));
         } else if (!std::strcmp(argv[i], "--csv")) {
             opt.csv = true;
+        } else if (!std::strcmp(argv[i], "--threads")) {
+            opt.threads = std::strtoull(need("--threads"), nullptr, 10);
+        } else if (!std::strcmp(argv[i], "--json")) {
+            opt.jsonPath = need("--json");
         } else if (!std::strcmp(argv[i], "--help")) {
             std::printf(
                 "usage: %s [--docs N] [--seed S] [--log N]\n"
-                "          [--repeats N] [--sparse-groups N] [--csv]\n",
+                "          [--repeats N] [--sparse-groups N] [--csv]\n"
+                "          [--threads N] [--json PATH]\n",
                 argv[0]);
             std::exit(0);
         } else {
@@ -58,7 +65,71 @@ Options::parse(int argc, char **argv, uint64_t default_docs,
     }
     if (opt.docs == 0 || opt.repeats <= 0)
         fatal("--docs and --repeats must be positive");
+    if (opt.threads == 0)
+        opt.threads = 1;
     return opt;
+}
+
+namespace
+{
+
+/** Minimal JSON string escape (names here are plain ASCII anyway). */
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        if (c == '"' || c == '\\')
+            out.push_back('\\');
+        if (static_cast<unsigned char>(c) < 0x20)
+            continue; // no control characters in our identifiers
+        out.push_back(c);
+    }
+    return out;
+}
+
+} // namespace
+
+JsonLog::JsonLog(const Options &opt, const std::string &bench)
+    : bench(bench), docs(opt.docs), seed(opt.seed),
+      default_threads(opt.threads)
+{
+    if (opt.jsonPath.empty())
+        return;
+    file = std::fopen(opt.jsonPath.c_str(), "a");
+    if (file == nullptr)
+        fatal("cannot open --json file '%s'", opt.jsonPath.c_str());
+}
+
+JsonLog::~JsonLog()
+{
+    if (file != nullptr)
+        std::fclose(file);
+}
+
+void
+JsonLog::record(const std::string &engine, const std::string &query,
+                double seconds)
+{
+    record(engine, query, seconds, default_threads);
+}
+
+void
+JsonLog::record(const std::string &engine, const std::string &query,
+                double seconds, size_t threads)
+{
+    if (file == nullptr)
+        return;
+    std::fprintf(file,
+                 "{\"bench\":\"%s\",\"engine\":\"%s\",\"query\":\"%s\","
+                 "\"seconds\":%.9f,\"threads\":%zu,\"docs\":%llu,"
+                 "\"seed\":%llu}\n",
+                 jsonEscape(bench).c_str(), jsonEscape(engine).c_str(),
+                 jsonEscape(query).c_str(), seconds, threads,
+                 static_cast<unsigned long long>(docs),
+                 static_cast<unsigned long long>(seed));
+    std::fflush(file); // line-buffered semantics for tail -f / crashes
 }
 
 nobench::Config
@@ -94,7 +165,9 @@ allEngines()
     return order;
 }
 
-EngineSet::EngineSet(const Options &opt) : cfg(opt.nobenchConfig())
+EngineSet::EngineSet(const Options &opt)
+    : cfg(opt.nobenchConfig()),
+      threads_(opt.threads == 0 ? 1 : opt.threads)
 {
     Timer total;
     inform("generating %llu NoBench documents (seed %llu)...",
@@ -151,7 +224,8 @@ EngineSet::run(EngineKind kind, const engine::Query &q)
         return exec.run(q);
     }
     engine::Executor exec(const_cast<engine::Database &>(
-        *database(kind)));
+                              *database(kind)),
+                          threads_);
     return exec.run(q);
 }
 

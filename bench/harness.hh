@@ -3,12 +3,14 @@
  * Shared bench harness: CLI options, construction of the paper's six
  * engines over one NoBench DataSet, and timing helpers.  Every bench
  * binary reproducing a table/figure links this so scales and seeds are
- * consistent and overridable (--docs, --seed, --log, --csv).
+ * consistent and overridable (--docs, --seed, --log, --csv, --threads,
+ * --json).
  */
 
 #ifndef DVP_BENCH_HARNESS_HH
 #define DVP_BENCH_HARNESS_HH
 
+#include <cstdio>
 #include <functional>
 #include <memory>
 #include <string>
@@ -40,6 +42,12 @@ struct Options
     int sparseGroups = 1;    ///< groups per doc (1 => 1% sparseness)
     bool csv = false;        ///< also emit CSV after each table
 
+    /** Worker lanes for timing runs; defaults to the machine's cores. */
+    size_t threads = 0; // 0 until parse() fills in the default
+
+    /** Append NDJSON records here ("" = disabled). */
+    std::string jsonPath;
+
     /**
      * Parse argv; exits with usage on error.  @p default_docs and
      * @p default_log let simulation-heavy or adaptation benches pick
@@ -50,6 +58,39 @@ struct Options
                          size_t default_log = 1000);
 
     nobench::Config nobenchConfig() const;
+};
+
+/**
+ * NDJSON result log (--json <path>): one self-describing record per
+ * measured cell, appended as a single line
+ *   {"bench":...,"engine":...,"query":...,"seconds":...,
+ *    "threads":...,"docs":...,"seed":...}
+ * so downstream plotting never re-parses the human tables.
+ */
+class JsonLog
+{
+  public:
+    /** Opens opt.jsonPath for append; disabled when the path is "". */
+    JsonLog(const Options &opt, const std::string &bench);
+    ~JsonLog();
+
+    JsonLog(const JsonLog &) = delete;
+    JsonLog &operator=(const JsonLog &) = delete;
+
+    bool enabled() const { return file != nullptr; }
+
+    /** Append one record; @p threads defaults to the harness knob. */
+    void record(const std::string &engine, const std::string &query,
+                double seconds);
+    void record(const std::string &engine, const std::string &query,
+                double seconds, size_t threads);
+
+  private:
+    std::FILE *file = nullptr;
+    std::string bench;
+    uint64_t docs;
+    uint64_t seed;
+    size_t default_threads;
 };
 
 /** Engine identifiers in the paper's plotting order. */
@@ -75,7 +116,7 @@ class EngineSet
     const nobench::Config &config() const { return cfg; }
     nobench::QuerySet &querySet() { return *qs; }
 
-    /** Timing-path execution. */
+    /** Timing-path execution (Options::threads worker lanes). */
     engine::ResultSet run(EngineKind kind, const engine::Query &q);
 
     /** Simulation-path execution. */
@@ -106,6 +147,7 @@ class EngineSet
     std::unique_ptr<engine::Database> row_, col_, dvp_, hyrise_;
     std::unique_ptr<argo::ArgoStore> argo1_, argo3_;
     core::SearchResult dvp_search;
+    size_t threads_ = 1;
 };
 
 /**

@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# CI entry point: a plain release build + full test suite, then a
+# ThreadSanitizer build + full test suite (the morsel executor and the
+# adaptive engine's background repartition are the race surface).
+#
+# TSan is ~10-20x slower, so the parallel tests read DVP_TEST_DOCS to
+# scale their data set down without losing the thread interleavings.
+#
+# Usage: scripts/ci.sh [jobs]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+JOBS="${1:-$(nproc)}"
+
+echo "=== release build ==="
+cmake -B build-ci -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo
+cmake --build build-ci -j "$JOBS"
+ctest --test-dir build-ci --output-on-failure -j "$JOBS"
+
+echo "=== thread-sanitizer build ==="
+cmake -B build-tsan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DDVP_SANITIZE=thread
+cmake --build build-tsan -j "$JOBS"
+DVP_TEST_DOCS=800 ctest --test-dir build-tsan --output-on-failure \
+    -j "$JOBS" -R 'test_parallel|test_util|test_adaptive'
+
+echo "ci.sh: all suites passed"

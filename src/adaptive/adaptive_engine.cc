@@ -41,18 +41,27 @@ AdaptiveEngine::quiesce()
 engine::ResultSet
 AdaptiveEngine::execute(const engine::Query &q)
 {
+    // One snapshot per query, not per morsel: the executor's lanes all
+    // scan the same tables, and the shared_ptr keeps them alive even if
+    // a background repartition swaps the engine's pointer mid-query.
     std::shared_ptr<engine::Database> current = snapshot();
     Timer timer;
-    engine::Executor exec(*current);
+    engine::Executor exec(*current, prm.threads);
     engine::ResultSet rs = exec.run(q);
     double seconds = timer.seconds();
 
     uint64_t scanned = data->docs.size();
-    wstats.record(q, seconds, rs.rowCount(), scanned);
-    if (prm.adapt && detector.observe(q)) {
-        ++adapt_stats.changesDetected;
-        maybeRepartition();
+    bool changed = false;
+    {
+        std::lock_guard<std::mutex> lock(stats_mutex);
+        wstats.record(q, seconds, rs.rowCount(), scanned);
+        if (prm.adapt && detector.observe(q)) {
+            ++adapt_stats.changesDetected;
+            changed = true;
+        }
     }
+    if (changed)
+        maybeRepartition();
     return rs;
 }
 
@@ -71,7 +80,11 @@ AdaptiveEngine::maybeRepartition()
     if (repartitioning.exchange(true))
         return; // one repartition in flight is enough
 
-    std::vector<engine::Query> workload = wstats.representatives();
+    std::vector<engine::Query> workload;
+    {
+        std::lock_guard<std::mutex> lock(stats_mutex);
+        workload = wstats.representatives();
+    }
     if (workload.empty()) {
         repartitioning.store(false);
         return;
@@ -128,8 +141,11 @@ AdaptiveEngine::repartitionNow(std::vector<engine::Query> workload)
         adapt_stats.lastLayoutTables = res.layout.partitionCount();
         ++adapt_stats.repartitions;
     }
-    wstats.reset();
-    detector.reset();
+    {
+        std::lock_guard<std::mutex> lock(stats_mutex);
+        wstats.reset();
+        detector.reset();
+    }
     adapt_stats.lastRepartitionSeconds = total.seconds();
     repartitioning.store(false);
 }

@@ -49,6 +49,9 @@ struct Params
 
     /** Master switch; off = run the initial layout forever. */
     bool adapt = true;
+
+    /** Worker lanes per query (see engine::Executor); 1 = serial. */
+    size_t threads = 1;
 };
 
 /** Repartition bookkeeping for reports and tests. */
@@ -107,6 +110,13 @@ class AdaptiveEngine
     mutable std::mutex db_mutex;   ///< guards db swaps and doc appends
     std::shared_ptr<engine::Database> db;
 
+    /**
+     * Guards the statistics collector and change detector.  execute()
+     * is safe to call from several threads at once (each call runs the
+     * query on its own snapshot) and concurrently with a background
+     * repartition resetting the collectors.
+     */
+    mutable std::mutex stats_mutex;
     stats::WorkloadStats wstats;
     stats::ChangeDetector detector;
     AdaptationStats adapt_stats;

@@ -2,10 +2,12 @@
 
 #include <algorithm>
 #include <climits>
+#include <iterator>
 #include <unordered_map>
 #include <vector>
 
 #include "util/logging.hh"
+#include "util/thread_pool.hh"
 
 namespace dvp::engine
 {
@@ -30,7 +32,10 @@ template <class Tracer>
 class Exec
 {
   public:
-    Exec(Database &db, Tracer tr) : db(db), tr(tr) {}
+    Exec(Database &db, Tracer tr, size_t threads, size_t morsel_rows)
+        : db(db), tr(tr), threads(threads), morsel_rows(morsel_rows)
+    {
+    }
 
     ResultSet
     run(const Query &q)
@@ -53,6 +58,8 @@ class Exec
   private:
     Database &db;
     Tracer tr;
+    size_t threads;     ///< lane cap for this query (1 = serial)
+    size_t morsel_rows; ///< driving-table rows per morsel
 
     /** Read a record's oid slot through the tracer. */
     int64_t
@@ -155,17 +162,127 @@ class Exec
                                : storage::kNoRow;
     }
 
+    // -----------------------------------------------------------------
+    // Morsel plumbing.  A parallel scan forks one Exec per pool lane
+    // (each on its own forked tracer), runs range kernels on the shared
+    // pool, then concatenates the ordered partial results and joins the
+    // lane tracers' counters back additively.
+    // -----------------------------------------------------------------
+
+    bool
+    parallel() const
+    {
+        return threads > 1;
+    }
+
+    /** One serial (threads=1) Exec per pool lane, on forked tracers. */
+    std::vector<Exec>
+    forkLanes()
+    {
+        size_t n = ThreadPool::shared().laneCount();
+        std::vector<Exec> lanes;
+        lanes.reserve(n);
+        for (size_t l = 0; l < n; ++l)
+            lanes.emplace_back(db, tr.fork(), size_t{1}, morsel_rows);
+        return lanes;
+    }
+
+    void
+    joinLanes(const std::vector<Exec> &lanes)
+    {
+        for (const Exec &l : lanes)
+            tr.join(l.tr);
+    }
+
     /**
-     * Merge-scan @p tables simultaneously by their sorted oid columns.
-     * @p cb is called once per oid present in at least one table with a
-     * row-index vector (kNoRow for absent tables).
+     * Oid-domain morsel boundaries: the driving (largest) table's oid
+     * column sampled every morsel_rows rows, extended to cover
+     * (-inf, +inf) so oids present only in sparser tables still land
+     * in exactly one morsel.  Boundaries are strictly increasing
+     * because oid columns are.
+     */
+    std::vector<int64_t>
+    oidBoundaries(const std::vector<const Table *> &tables) const
+    {
+        const Table *driving = nullptr;
+        for (const Table *t : tables)
+            if (driving == nullptr || t->rows() > driving->rows())
+                driving = t;
+        std::vector<int64_t> bounds{INT64_MIN};
+        if (driving != nullptr) {
+            for (size_t r = morsel_rows; r < driving->rows();
+                 r += morsel_rows)
+                bounds.push_back(driving->oid(r));
+        }
+        bounds.push_back(INT64_MAX);
+        return bounds;
+    }
+
+    /** Concatenate ordered partial results; XOR-merge checksums. */
+    static ResultSet
+    concat(std::vector<ResultSet> parts)
+    {
+        ResultSet rs;
+        size_t total = 0;
+        for (const ResultSet &p : parts)
+            total += p.rows.size();
+        rs.oids.reserve(total);
+        rs.rows.reserve(total);
+        for (ResultSet &p : parts) {
+            rs.checksum ^= p.checksum;
+            rs.oids.insert(rs.oids.end(), p.oids.begin(), p.oids.end());
+            std::move(p.rows.begin(), p.rows.end(),
+                      std::back_inserter(rs.rows));
+        }
+        return rs;
+    }
+
+    /** Run kernel(lane_exec, morsel_index) for each morsel. */
+    template <class Part, class Kernel>
+    std::vector<Part>
+    scatter(size_t n_morsels, Kernel kernel)
+    {
+        std::vector<Exec> lanes = forkLanes();
+        std::vector<Part> parts(n_morsels);
+        ThreadPool::shared().parallelFor(
+            n_morsels, threads, [&](size_t i, size_t lane) {
+                parts[i] = kernel(lanes[lane], i);
+            });
+        joinLanes(lanes);
+        return parts;
+    }
+
+    /** Flatten per-morsel match vectors (each sorted; ranges ordered). */
+    static std::vector<int64_t>
+    flatten(std::vector<std::vector<int64_t>> parts)
+    {
+        size_t total = 0;
+        for (const auto &p : parts)
+            total += p.size();
+        std::vector<int64_t> out;
+        out.reserve(total);
+        for (const auto &p : parts)
+            out.insert(out.end(), p.begin(), p.end());
+        return out;
+    }
+
+    /**
+     * Merge-scan @p tables simultaneously by their sorted oid columns,
+     * restricted to oids in [@p lo, @p hi).  @p cb is called once per
+     * oid present in at least one table with a row-index vector (kNoRow
+     * for absent tables).  The unbounded call (INT64_MIN, INT64_MAX)
+     * is the paper's full simultaneous scan, byte-for-byte.
      */
     template <class F>
     void
-    mergeScan(const std::vector<const Table *> &tables, F cb)
+    mergeScan(const std::vector<const Table *> &tables, int64_t lo,
+              int64_t hi, F cb)
     {
         size_t n = tables.size();
         std::vector<size_t> pos(n, 0);
+        if (lo != INT64_MIN)
+            for (size_t i = 0; i < n; ++i)
+                pos[i] = tables[i]->lowerBound(lo);
         std::vector<storage::RowIdx> rows(n);
         while (true) {
             int64_t min_oid = INT64_MAX;
@@ -175,7 +292,8 @@ class Exec
                     min_oid = std::min(min_oid, o);
                 }
             }
-            if (min_oid == INT64_MAX)
+            if (min_oid == INT64_MAX ||
+                (hi != INT64_MAX && min_oid >= hi))
                 break;
             for (size_t i = 0; i < n; ++i) {
                 bool at = pos[i] < tables[i]->rows() &&
@@ -190,49 +308,65 @@ class Exec
         }
     }
 
-    ResultSet
-    project(const Query &q)
+    /** Output-column mapping of a projection (shared by all morsels). */
+    struct ProjectPlan
+    {
+        std::vector<AttrId> attrs;
+        std::vector<const Table *> tables;
+        std::vector<int> tbl_slot;
+        std::vector<int> tbl_col;
+    };
+
+    ProjectPlan
+    planProject(const Query &q)
     {
         const auto &catalog = db.data().catalog;
-        std::vector<AttrId> attrs = q.selectionPart(catalog);
-        invariant(!attrs.empty(), "projection with no attributes");
+        ProjectPlan p;
+        p.attrs = q.selectionPart(catalog);
+        invariant(!p.attrs.empty(), "projection with no attributes");
 
         // Map output columns to (involved-table slot, column).
-        std::vector<const Table *> tables;
-        std::vector<int> tbl_slot(attrs.size(), -1);
-        std::vector<int> tbl_col(attrs.size(), -1);
-        std::vector<int> tbl_index; // db table idx -> slot in `tables`
-        tbl_index.assign(db.tableCount(), -1);
-        for (size_t i = 0; i < attrs.size(); ++i) {
-            AttrLoc loc = db.locate(attrs[i]);
+        p.tbl_slot.assign(p.attrs.size(), -1);
+        p.tbl_col.assign(p.attrs.size(), -1);
+        std::vector<int> tbl_index(db.tableCount(), -1);
+        for (size_t i = 0; i < p.attrs.size(); ++i) {
+            AttrLoc loc = db.locate(p.attrs[i]);
             if (loc.table < 0)
                 continue; // attribute unknown to this layout: all NULL
             if (tbl_index[loc.table] < 0) {
-                tbl_index[loc.table] = static_cast<int>(tables.size());
-                tables.push_back(&db.table(loc.table));
+                tbl_index[loc.table] =
+                    static_cast<int>(p.tables.size());
+                p.tables.push_back(&db.table(loc.table));
             }
-            tbl_slot[i] = tbl_index[loc.table];
-            tbl_col[i] = loc.col;
+            p.tbl_slot[i] = tbl_index[loc.table];
+            p.tbl_col[i] = loc.col;
         }
+        return p;
+    }
 
+    /** Project the oids in [@p lo, @p hi): one morsel's kernel. */
+    ResultSet
+    projectRange(const ProjectPlan &p, int64_t lo, int64_t hi)
+    {
         ResultSet rs;
-        if (tables.empty())
-            return rs;
-        std::vector<Slot> row(attrs.size(), kNullSlot);
-        mergeScan(tables, [&](int64_t oid,
-                              const std::vector<storage::RowIdx> &rows) {
+        std::vector<Slot> row(p.attrs.size(), kNullSlot);
+        mergeScan(p.tables, lo, hi,
+                  [&](int64_t oid,
+                      const std::vector<storage::RowIdx> &rows) {
             bool any = false;
-            for (size_t i = 0; i < attrs.size(); ++i) {
+            for (size_t i = 0; i < p.attrs.size(); ++i) {
                 row[i] = kNullSlot;
-                if (tbl_slot[i] < 0 || rows[tbl_slot[i]] == storage::kNoRow)
+                if (p.tbl_slot[i] < 0 ||
+                    rows[p.tbl_slot[i]] == storage::kNoRow)
                     continue;
-                Slot s = readCell(*tables[tbl_slot[i]],
-                                  static_cast<size_t>(rows[tbl_slot[i]]),
-                                  static_cast<size_t>(tbl_col[i]));
+                Slot s = readCell(
+                    *p.tables[p.tbl_slot[i]],
+                    static_cast<size_t>(rows[p.tbl_slot[i]]),
+                    static_cast<size_t>(p.tbl_col[i]));
                 row[i] = s;
                 if (!isNull(s)) {
                     any = true;
-                    rs.checksum ^= cellDigest(attrs[i], s);
+                    rs.checksum ^= cellDigest(p.attrs[i], s);
                 }
             }
             if (any) {
@@ -243,63 +377,72 @@ class Exec
         return rs;
     }
 
-    /** Collect matching oids for a query's WHERE clause. */
+    ResultSet
+    project(const Query &q)
+    {
+        ProjectPlan p = planProject(q);
+        if (p.tables.empty())
+            return ResultSet{};
+        if (parallel()) {
+            std::vector<int64_t> bounds = oidBoundaries(p.tables);
+            if (bounds.size() > 2)
+                return concat(scatter<ResultSet>(
+                    bounds.size() - 1, [&](Exec &lane, size_t i) {
+                        return lane.projectRange(p, bounds[i],
+                                                 bounds[i + 1]);
+                    }));
+        }
+        return projectRange(p, INT64_MIN, INT64_MAX);
+    }
+
+    /** Presence-union kernel: oids of [@p lo, @p hi) in any table. */
     std::vector<int64_t>
-    evalCondition(const Query &q)
+    presenceRange(const std::vector<const Table *> &tables, int64_t lo,
+                  int64_t hi)
     {
         std::vector<int64_t> matches;
-        const Condition &c = q.cond;
+        mergeScan(tables, lo, hi,
+                  [&](int64_t oid, const auto &) {
+            matches.push_back(oid);
+        });
+        return matches;
+    }
 
-        if (c.op == CondOp::None) {
-            // No predicate: every object qualifies.  Union of presence
-            // across all tables via a merge scan.
-            std::vector<const Table *> all;
-            for (size_t t = 0; t < db.tableCount(); ++t)
-                all.push_back(&db.table(t));
-            mergeScan(all, [&](int64_t oid, const auto &) {
-                matches.push_back(oid);
-            });
-            return matches;
+    /** Predicate kernel over rows [@p r0, @p r1) of one column. */
+    std::vector<int64_t>
+    condRange(const Table &t, int col, const Condition &c, size_t r0,
+              size_t r1)
+    {
+        std::vector<int64_t> matches;
+        for (size_t r = r0; r < r1; ++r) {
+            Slot s = readCell(t, r, static_cast<size_t>(col));
+            if (c.matches(s))
+                matches.push_back(readOid(t, r));
         }
+        return matches;
+    }
 
-        if (c.op == CondOp::Eq || c.op == CondOp::Between) {
-            AttrLoc loc = db.locate(c.attr);
-            if (loc.table < 0)
-                return matches; // unknown column: empty result
-            const Table &t = db.table(loc.table);
-            for (size_t r = 0; r < t.rows(); ++r) {
-                Slot s = readCell(t, r, loc.col);
-                if (c.matches(s))
-                    matches.push_back(readOid(t, r));
-            }
-            return matches;
-        }
-
-        // AnyEq: value = ANY flattened-array column.
-        invariant(c.op == CondOp::AnyEq, "unhandled condition op");
+    /** Flattened-array tables and their columns for an AnyEq scan. */
+    struct AnyPlan
+    {
         std::vector<const Table *> tables;
-        std::vector<std::vector<int>> cols; // per scanned table
-        std::vector<int> tbl_index(db.tableCount(), -1);
-        for (AttrId a : c.anyAttrs) {
-            AttrLoc loc = db.locate(a);
-            if (loc.table < 0)
-                continue;
-            if (tbl_index[loc.table] < 0) {
-                tbl_index[loc.table] = static_cast<int>(tables.size());
-                tables.push_back(&db.table(loc.table));
-                cols.emplace_back();
-            }
-            cols[tbl_index[loc.table]].push_back(loc.col);
-        }
-        if (tables.empty())
-            return matches;
-        mergeScan(tables, [&](int64_t oid,
-                              const std::vector<storage::RowIdx> &rows) {
-            for (size_t i = 0; i < tables.size(); ++i) {
+        std::vector<std::vector<int>> cols; ///< per scanned table
+    };
+
+    /** AnyEq kernel: oids in [@p lo, @p hi) matching any column. */
+    std::vector<int64_t>
+    anyEqRange(const AnyPlan &p, const Condition &c, int64_t lo,
+               int64_t hi)
+    {
+        std::vector<int64_t> matches;
+        mergeScan(p.tables, lo, hi,
+                  [&](int64_t oid,
+                      const std::vector<storage::RowIdx> &rows) {
+            for (size_t i = 0; i < p.tables.size(); ++i) {
                 if (rows[i] == storage::kNoRow)
                     continue;
-                for (int col : cols[i]) {
-                    Slot s = readCell(*tables[i],
+                for (int col : p.cols[i]) {
+                    Slot s = readCell(*p.tables[i],
                                       static_cast<size_t>(rows[i]),
                                       static_cast<size_t>(col));
                     if (c.matches(s)) {
@@ -313,11 +456,92 @@ class Exec
     }
 
     /**
-     * Retrieve rows for already-matched oids.  Matches must be in
-     * increasing oid order; per-table cursors then seek forward only.
+     * Collect matching oids for a query's WHERE clause.  With
+     * threads > 1 the scan morselizes (by oid range for merge scans,
+     * by row range for single-column predicates); per-morsel match
+     * vectors concatenate back into one globally sorted list, exactly
+     * the serial order.
+     */
+    std::vector<int64_t>
+    evalCondition(const Query &q)
+    {
+        const Condition &c = q.cond;
+
+        if (c.op == CondOp::None) {
+            // No predicate: every object qualifies.  Union of presence
+            // across all tables via a merge scan.
+            std::vector<const Table *> all;
+            for (size_t t = 0; t < db.tableCount(); ++t)
+                all.push_back(&db.table(t));
+            if (all.empty())
+                return {};
+            if (parallel()) {
+                std::vector<int64_t> bounds = oidBoundaries(all);
+                if (bounds.size() > 2)
+                    return flatten(scatter<std::vector<int64_t>>(
+                        bounds.size() - 1, [&](Exec &lane, size_t i) {
+                            return lane.presenceRange(all, bounds[i],
+                                                      bounds[i + 1]);
+                        }));
+            }
+            return presenceRange(all, INT64_MIN, INT64_MAX);
+        }
+
+        if (c.op == CondOp::Eq || c.op == CondOp::Between) {
+            AttrLoc loc = db.locate(c.attr);
+            if (loc.table < 0)
+                return {}; // unknown column: empty result
+            const Table &t = db.table(loc.table);
+            if (parallel() && t.rows() > morsel_rows) {
+                size_t nm = (t.rows() + morsel_rows - 1) / morsel_rows;
+                return flatten(scatter<std::vector<int64_t>>(
+                    nm, [&](Exec &lane, size_t i) {
+                        size_t r0 = i * lane.morsel_rows;
+                        size_t r1 = std::min(r0 + lane.morsel_rows,
+                                             t.rows());
+                        return lane.condRange(t, loc.col, c, r0, r1);
+                    }));
+            }
+            return condRange(t, loc.col, c, 0, t.rows());
+        }
+
+        // AnyEq: value = ANY flattened-array column.
+        invariant(c.op == CondOp::AnyEq, "unhandled condition op");
+        AnyPlan p;
+        std::vector<int> tbl_index(db.tableCount(), -1);
+        for (AttrId a : c.anyAttrs) {
+            AttrLoc loc = db.locate(a);
+            if (loc.table < 0)
+                continue;
+            if (tbl_index[loc.table] < 0) {
+                tbl_index[loc.table] =
+                    static_cast<int>(p.tables.size());
+                p.tables.push_back(&db.table(loc.table));
+                p.cols.emplace_back();
+            }
+            p.cols[tbl_index[loc.table]].push_back(loc.col);
+        }
+        if (p.tables.empty())
+            return {};
+        if (parallel()) {
+            std::vector<int64_t> bounds = oidBoundaries(p.tables);
+            if (bounds.size() > 2)
+                return flatten(scatter<std::vector<int64_t>>(
+                    bounds.size() - 1, [&](Exec &lane, size_t i) {
+                        return lane.anyEqRange(p, c, bounds[i],
+                                               bounds[i + 1]);
+                    }));
+        }
+        return anyEqRange(p, c, INT64_MIN, INT64_MAX);
+    }
+
+    /**
+     * Retrieve rows for @p count already-matched oids at @p matches.
+     * Matches must be in increasing oid order; per-table cursors then
+     * seek forward only.
      */
     ResultSet
-    retrieve(const Query &q, const std::vector<int64_t> &matches)
+    retrieveRange(const Query &q, const int64_t *matches, size_t count)
     {
         const auto &catalog = db.data().catalog;
         ResultSet rs;
@@ -325,7 +549,8 @@ class Exec
         if (q.selectAll) {
             size_t width = catalog.attrCount();
             std::vector<Cursor> cursor(db.tableCount());
-            for (int64_t oid : matches) {
+            for (size_t m = 0; m < count; ++m) {
+                int64_t oid = matches[m];
                 std::vector<Slot> row(width, kNullSlot);
                 for (size_t ti = 0; ti < db.tableCount(); ++ti) {
                     const Table &t = db.table(ti);
@@ -362,12 +587,13 @@ class Exec
                 continue;
             if (tbl_index[loc.table] < 0) {
                 tbl_index[loc.table] = static_cast<int>(groups.size());
-                groups.push_back(Group{&db.table(loc.table), {}, 0});
+                groups.push_back(Group{&db.table(loc.table), {}, {}});
             }
             groups[tbl_index[loc.table]].outCol.emplace_back(i, loc.col);
         }
 
-        for (int64_t oid : matches) {
+        for (size_t m = 0; m < count; ++m) {
+            int64_t oid = matches[m];
             std::vector<Slot> row(q.projected.size(), kNullSlot);
             for (auto &g : groups) {
                 if (probe(*g.table, g.cursor, oid) == storage::kNoRow)
@@ -384,6 +610,24 @@ class Exec
             rs.rows.push_back(std::move(row));
         }
         return rs;
+    }
+
+    /** Retrieve all matches, morselized over the match list. */
+    ResultSet
+    retrieve(const Query &q, const std::vector<int64_t> &matches)
+    {
+        if (parallel() && matches.size() > morsel_rows) {
+            size_t nm = (matches.size() + morsel_rows - 1) / morsel_rows;
+            return concat(scatter<ResultSet>(
+                nm, [&](Exec &lane, size_t i) {
+                    size_t m0 = i * lane.morsel_rows;
+                    size_t n = std::min(lane.morsel_rows,
+                                        matches.size() - m0);
+                    return lane.retrieveRange(q, matches.data() + m0,
+                                              n);
+                }));
+        }
+        return retrieveRange(q, matches.data(), matches.size());
     }
 
     ResultSet
@@ -447,7 +691,8 @@ class Exec
                   "join query needs both ON columns");
 
         // Build side: left records passing the WHERE clause, keyed by
-        // the left join attribute.
+        // the left join attribute.  (The WHERE scan morselizes; the
+        // build/probe/materialize phases stay on the caller's thread.)
         std::vector<int64_t> left = evalCondition(q);
         std::unordered_multimap<Slot, int64_t> build;
         AttrLoc lloc = db.locate(q.joinLeftAttr);
@@ -532,14 +777,16 @@ class Exec
 ResultSet
 Executor::run(const Query &q)
 {
-    Exec<NullTracer> exec(*db, NullTracer{});
+    Exec<NullTracer> exec(*db, NullTracer{}, threads_, morsel_rows);
     return exec.run(q);
 }
 
 ResultSet
 Executor::run(const Query &q, perf::MemoryHierarchy &mh)
 {
-    Exec<SimTracer> exec(*db, SimTracer{&mh});
+    // Trace-pinned: one thread, one hierarchy, the paper's exact
+    // access sequence (see executor.hh).
+    Exec<SimTracer> exec(*db, SimTracer{&mh, nullptr}, 1, morsel_rows);
     return exec.run(q);
 }
 

@@ -14,6 +14,18 @@
  *  - aggregation runs the selection part first, then folds groups;
  *  - the self-join hash-partitions matching left records and probes
  *    with a scan of the right join column.
+ *
+ * Morsel-driven parallelism: with threads > 1 the Project / Select /
+ * Aggregate scan phases split into fixed-size oid-range morsels of the
+ * driving table (the largest involved partition) and execute on the
+ * shared work-stealing pool; each worker lane runs on a forked tracer
+ * and produces an ordered partial ResultSet.  Partials concatenate in
+ * morsel order (so rows come back in exactly the serial order) and the
+ * XOR cell checksum merges order-independently, making results
+ * bit-identical at every thread count.  The simulation overload stays
+ * pinned to the serial path regardless of the thread knob: the paper's
+ * cache/TLB figures (Figs. 6-7) model one core observing one exact
+ * access sequence, which no parallel interleaving reproduces.
  */
 
 #ifndef DVP_ENGINE_EXECUTOR_HH
@@ -30,16 +42,42 @@ namespace dvp::engine
 class Executor
 {
   public:
-    explicit Executor(Database &db) : db(&db) {}
+    /**
+     * Driving-table rows per morsel.  ~2048 rows x a handful of 8-byte
+     * slots keeps a morsel well inside L2 while leaving dozens of
+     * morsels to steal at bench scale (100k docs -> ~49 per scan).
+     */
+    static constexpr size_t kDefaultMorselRows = 2048;
+
+    explicit Executor(Database &db, size_t threads = 1)
+        : db(&db), threads_(threads == 0 ? 1 : threads)
+    {
+    }
+
+    /** Max worker lanes (including the caller) a query may occupy. */
+    size_t threads() const { return threads_; }
+    void setThreads(size_t t) { threads_ = t == 0 ? 1 : t; }
+
+    /** Morsel granularity override (tests use small tables). */
+    void setMorselRows(size_t rows)
+    {
+        morsel_rows = rows == 0 ? kDefaultMorselRows : rows;
+    }
 
     /** Execute on the timing path (no simulation overhead). */
     ResultSet run(const Query &q);
 
-    /** Execute while feeding every table access into @p mh. */
+    /**
+     * Execute while feeding every table access into @p mh.  Always
+     * runs the serial path (see file comment) so simulated counters
+     * are exact and independent of the thread knob.
+     */
     ResultSet run(const Query &q, perf::MemoryHierarchy &mh);
 
   private:
     Database *db;
+    size_t threads_;
+    size_t morsel_rows = kDefaultMorselRows;
 };
 
 } // namespace dvp::engine

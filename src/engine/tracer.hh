@@ -8,12 +8,22 @@
  * hierarchy.  Only table storage is traced: query-local scratch (hash
  * tables, result buffers) is identical across layouts and would only add
  * identical offsets to every engine's counters.
+ *
+ * Morsel parallelism adds a fork/join protocol: fork() yields a
+ * per-worker-lane tracer instance (a private MemoryHierarchy for
+ * SimTracer, so no simulated structure is shared across threads) and
+ * join() merges a lane's counts back additively.  The additive merge is
+ * order-independent, hence deterministic regardless of which lane ran
+ * which morsel.  Note the simulation benches (Figs. 6-7) stay exact
+ * only at one thread: the Executor pins traced runs to the serial path
+ * so one hierarchy observes the paper's exact access sequence.
  */
 
 #ifndef DVP_ENGINE_TRACER_HH
 #define DVP_ENGINE_TRACER_HH
 
 #include <cstddef>
+#include <memory>
 
 #include "perf/memory_hierarchy.hh"
 
@@ -24,14 +34,34 @@ namespace dvp::engine
 struct NullTracer
 {
     void touch(const void *, size_t) const {}
+
+    NullTracer fork() const { return {}; }
+    void join(const NullTracer &) const {}
 };
 
 /** Tracer feeding the simulated memory hierarchy. */
 struct SimTracer
 {
     perf::MemoryHierarchy *mh;
+    std::shared_ptr<perf::MemoryHierarchy> owned; ///< set on forks
 
     void touch(const void *p, size_t n) const { mh->touch(p, n); }
+
+    /** Private same-geometry hierarchy for one worker lane. */
+    SimTracer
+    fork() const
+    {
+        auto fresh = std::make_shared<perf::MemoryHierarchy>(
+            mh->l1().config(), mh->l2().config(), mh->l3().config(),
+            mh->tlb().config());
+        return SimTracer{fresh.get(), fresh};
+    }
+
+    /** Fold a forked lane's counts into this tracer's hierarchy. */
+    void join(const SimTracer &lane) const
+    {
+        mh->absorb(lane.mh->counters());
+    }
 };
 
 } // namespace dvp::engine

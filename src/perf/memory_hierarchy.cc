@@ -62,7 +62,14 @@ MemoryHierarchy::counters() const
     c.l2Misses = l2_.misses();
     c.l3Misses = l3_.misses();
     c.tlbMisses = tlb_.misses();
+    c += absorbed_;
     return c;
+}
+
+void
+MemoryHierarchy::absorb(const PerfCounters &c)
+{
+    absorbed_ += c;
 }
 
 void
@@ -72,6 +79,7 @@ MemoryHierarchy::reset()
     l2_.reset();
     l3_.reset();
     tlb_.reset();
+    absorbed_ = PerfCounters{};
 }
 
 void
@@ -81,6 +89,7 @@ MemoryHierarchy::resetCounters()
     l2_.resetCounters();
     l3_.resetCounters();
     tlb_.resetCounters();
+    absorbed_ = PerfCounters{};
 }
 
 } // namespace dvp::perf

@@ -53,6 +53,15 @@ class MemoryHierarchy
     /** Current counter values. */
     PerfCounters counters() const;
 
+    /**
+     * Fold another hierarchy's counts into this one's totals.  Morsel
+     * workers simulate on private hierarchies (a shared one would make
+     * miss counts depend on thread interleaving); their per-worker
+     * counts merge additively here, which is order-independent and
+     * therefore deterministic.
+     */
+    void absorb(const PerfCounters &c);
+
     /** Clear contents and counters. */
     void reset();
 
@@ -71,6 +80,7 @@ class MemoryHierarchy
     Cache l2_;
     Cache l3_;
     Tlb tlb_;
+    PerfCounters absorbed_; ///< counts merged in from worker hierarchies
 };
 
 } // namespace dvp::perf

@@ -42,9 +42,19 @@ Table::reserve(size_t want_rows)
         return;
     size_t new_cap = std::max<size_t>(capacity * 2, 1024);
     new_cap = std::max(new_cap, want_rows);
-    AlignedBuffer bigger = arena->allocate(new_cap * strideBytes());
-    if (nrows > 0)
+    // Regrowth keeps the table's original cache-collision shift: a
+    // fresh rotation slot here would migrate the table onto cache sets
+    // another table already owns (and skew the rotation for future
+    // tables) every time the insert path doubles capacity.
+    AlignedBuffer bigger =
+        buf.valid() ? arena->reallocate(new_cap * strideBytes(),
+                                        buf.shift())
+                    : arena->allocate(new_cap * strideBytes());
+    if (nrows > 0) {
+        invariant(bigger.shift() == buf.shift(),
+                  "table regrowth must preserve the arena shift");
         std::memcpy(bigger.data(), buf.data(), nrows * strideBytes());
+    }
     buf = std::move(bigger);
     capacity = new_cap;
 }

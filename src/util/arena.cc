@@ -82,4 +82,12 @@ Arena::allocate(size_t bytes)
     return buf;
 }
 
+AlignedBuffer
+Arena::reallocate(size_t bytes, size_t shift_bytes)
+{
+    AlignedBuffer buf(bytes, shift_bytes);
+    total += bytes;
+    return buf;
+}
+
 } // namespace dvp

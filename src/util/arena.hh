@@ -81,6 +81,16 @@ class Arena
      */
     AlignedBuffer allocate(size_t bytes);
 
+    /**
+     * Allocate @p bytes at a fixed @p shift_bytes past the page
+     * boundary, without consuming a rotation slot.  Used when a table
+     * regrows: the replacement buffer must keep the table's original
+     * shift, or regrowth would both re-collide tables onto shared
+     * cache sets and burn rotation positions the next new table was
+     * entitled to.
+     */
+    AlignedBuffer reallocate(size_t bytes, size_t shift_bytes);
+
     /** Shift (in cache lines) that the next allocation will receive. */
     size_t nextShiftLines() const { return next_shift; }
 

@@ -1,0 +1,116 @@
+#include "util/thread_pool.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+
+namespace dvp
+{
+
+ThreadPool::ThreadPool(size_t workers)
+{
+    workers_.reserve(workers);
+    for (size_t w = 0; w < workers; ++w)
+        workers_.emplace_back([this, w] { workerLoop(w + 1); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex);
+        stopping = true;
+    }
+    work_cv.notify_all();
+    for (std::thread &t : workers_)
+        t.join();
+}
+
+void
+ThreadPool::drain(Batch &b, size_t lane)
+{
+    for (size_t i = b.next.fetch_add(1); i < b.n;
+         i = b.next.fetch_add(1)) {
+        (*b.fn)(i, lane);
+        // The final increment publishes every lane's writes to the
+        // waiting caller (release sequence on `done`).
+        if (b.done.fetch_add(1) + 1 == b.n) {
+            std::lock_guard<std::mutex> lock(b.done_mutex);
+            b.done_cv.notify_all();
+        }
+    }
+}
+
+void
+ThreadPool::workerLoop(size_t lane)
+{
+    std::unique_lock<std::mutex> lock(mutex);
+    while (true) {
+        if (stopping)
+            return;
+        std::shared_ptr<Batch> batch;
+        for (const auto &b : open) {
+            if (b->next.load() >= b->n)
+                continue; // drained; caller will unlist it
+            if (b->joined.fetch_add(1) >= b->worker_limit) {
+                b->joined.fetch_sub(1);
+                continue; // batch already at its lane cap
+            }
+            batch = b;
+            break;
+        }
+        if (!batch) {
+            work_cv.wait(lock);
+            continue;
+        }
+        lock.unlock();
+        drain(*batch, lane);
+        batch->joined.fetch_sub(1);
+        lock.lock();
+    }
+}
+
+void
+ThreadPool::parallelFor(size_t n, size_t max_lanes, const MorselFn &fn)
+{
+    if (n == 0)
+        return;
+    size_t lanes = max_lanes == 0 ? laneCount()
+                                  : std::min(max_lanes, laneCount());
+    if (lanes <= 1 || n == 1) {
+        for (size_t i = 0; i < n; ++i)
+            fn(i, 0);
+        return;
+    }
+
+    auto batch = std::make_shared<Batch>();
+    batch->fn = &fn;
+    batch->n = n;
+    batch->worker_limit = lanes - 1; // lane 0 is this caller
+    {
+        std::lock_guard<std::mutex> lock(mutex);
+        open.push_back(batch);
+    }
+    work_cv.notify_all();
+
+    drain(*batch, 0);
+
+    {
+        std::unique_lock<std::mutex> lock(batch->done_mutex);
+        batch->done_cv.wait(lock,
+                            [&] { return batch->done.load() == n; });
+    }
+    {
+        std::lock_guard<std::mutex> lock(mutex);
+        open.erase(std::find(open.begin(), open.end(), batch));
+    }
+}
+
+ThreadPool &
+ThreadPool::shared()
+{
+    static ThreadPool pool(
+        std::max<size_t>(std::thread::hardware_concurrency(), 8) - 1);
+    return pool;
+}
+
+} // namespace dvp

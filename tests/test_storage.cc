@@ -6,6 +6,11 @@
 
 #include <gtest/gtest.h>
 
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
 #include "json/parser.hh"
 #include "storage/catalog.hh"
 #include "storage/dictionary.hh"
@@ -351,6 +356,44 @@ TEST_F(TableTest, ColumnOf)
     EXPECT_EQ(t.columnOf(2), 2);
     EXPECT_EQ(t.columnOf(7), -1);
     EXPECT_EQ(t.columnOf(1000), -1);
+}
+
+TEST_F(TableTest, RegrowthPreservesCacheCollisionShift)
+{
+    // The arena staggers each table's base by one extra cache line so
+    // co-scanned tables do not collide on cache sets.  Regrowth must
+    // keep a table's original shift: before the fix, every capacity
+    // doubling consumed a fresh rotation slot, silently migrating the
+    // table onto another table's cache sets and skewing the rotation
+    // for tables created later.
+    constexpr size_t kTables = 16;
+    std::vector<std::unique_ptr<Table>> tables;
+    std::vector<size_t> born_offset;
+    for (size_t i = 0; i < kTables; ++i) {
+        tables.push_back(std::make_unique<Table>(
+            "t" + std::to_string(i), std::vector<AttrId>{0}, arena));
+        Slot v[] = {1};
+        tables[i]->append(0, v);
+        auto addr = reinterpret_cast<uintptr_t>(tables[i]->record(0));
+        born_offset.push_back(addr % kPageSize);
+    }
+
+    // Many appends -> several regrowths per table (initial capacity is
+    // 1024 rows), interleaved across tables like a real bulk build.
+    for (int64_t oid = 1; oid < 20000; ++oid) {
+        Slot v[] = {oid};
+        for (auto &t : tables)
+            t->append(oid, v);
+    }
+
+    std::set<size_t> offsets;
+    for (size_t i = 0; i < kTables; ++i) {
+        auto addr = reinterpret_cast<uintptr_t>(tables[i]->record(0));
+        EXPECT_EQ(addr % kPageSize, born_offset[i]) << "table " << i;
+        offsets.insert(addr % kPageSize);
+    }
+    // All 16 tables keep pairwise-distinct page offsets.
+    EXPECT_EQ(offsets.size(), kTables);
 }
 
 TEST_F(TableTest, StrictlyIncreasingOidsEnforced)

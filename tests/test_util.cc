@@ -12,6 +12,7 @@
 #include "util/pagemap.hh"
 #include "util/printer.hh"
 #include "util/random.hh"
+#include "util/thread_pool.hh"
 #include "util/timer.hh"
 
 namespace dvp
@@ -274,6 +275,97 @@ TEST(Timer, MeasuresElapsedTime)
     double b = t.seconds();
     EXPECT_GE(b, a);
     EXPECT_NEAR(t.milliseconds(), t.seconds() * 1e3, 1.0);
+}
+
+TEST(ThreadPool, RunsEveryMorselExactlyOnce)
+{
+    ThreadPool pool(3);
+    std::vector<std::atomic<int>> hits(1000);
+    pool.parallelFor(hits.size(), 0, [&](size_t i, size_t) {
+        hits[i].fetch_add(1);
+    });
+    for (size_t i = 0; i < hits.size(); ++i)
+        ASSERT_EQ(hits[i].load(), 1) << "morsel " << i;
+}
+
+TEST(ThreadPool, LaneIdsStayWithinBounds)
+{
+    ThreadPool pool(3);
+    std::atomic<size_t> bad{0};
+    pool.parallelFor(500, 0, [&](size_t, size_t lane) {
+        if (lane >= pool.laneCount())
+            bad.fetch_add(1);
+    });
+    EXPECT_EQ(bad.load(), 0u);
+}
+
+TEST(ThreadPool, MaxLanesOneRunsInline)
+{
+    ThreadPool pool(3);
+    std::thread::id caller = std::this_thread::get_id();
+    std::atomic<int> off_thread{0};
+    pool.parallelFor(64, 1, [&](size_t, size_t lane) {
+        if (std::this_thread::get_id() != caller || lane != 0)
+            off_thread.fetch_add(1);
+    });
+    EXPECT_EQ(off_thread.load(), 0);
+}
+
+TEST(ThreadPool, PerLaneScratchNeedsNoLocks)
+{
+    ThreadPool pool(3);
+    std::vector<uint64_t> per_lane(pool.laneCount(), 0);
+    pool.parallelFor(2000, 0, [&](size_t i, size_t lane) {
+        per_lane[lane] += i + 1; // lane-exclusive, hence unsynchronized
+    });
+    uint64_t total = 0;
+    for (uint64_t v : per_lane)
+        total += v;
+    EXPECT_EQ(total, 2000ull * 2001 / 2);
+}
+
+TEST(ThreadPool, ZeroMorselsReturnsImmediately)
+{
+    ThreadPool pool(2);
+    bool ran = false;
+    pool.parallelFor(0, 0, [&](size_t, size_t) { ran = true; });
+    EXPECT_FALSE(ran);
+}
+
+TEST(ThreadPool, ConcurrentBatchesFromManyCallers)
+{
+    // Work stealing is shared across batches: several caller threads
+    // submit simultaneously and every batch must still complete with
+    // each morsel run exactly once.
+    ThreadPool pool(3);
+    constexpr int kCallers = 4;
+    constexpr size_t kMorsels = 300;
+    std::vector<std::thread> callers;
+    std::vector<std::vector<std::atomic<int>>> hits(kCallers);
+    for (auto &h : hits) {
+        std::vector<std::atomic<int>> fresh(kMorsels);
+        h.swap(fresh);
+    }
+    for (int c = 0; c < kCallers; ++c) {
+        callers.emplace_back([&, c] {
+            pool.parallelFor(kMorsels, 0, [&, c](size_t i, size_t) {
+                hits[c][i].fetch_add(1);
+            });
+        });
+    }
+    for (auto &t : callers)
+        t.join();
+    for (int c = 0; c < kCallers; ++c)
+        for (size_t i = 0; i < kMorsels; ++i)
+            ASSERT_EQ(hits[c][i].load(), 1)
+                << "caller " << c << " morsel " << i;
+}
+
+TEST(ThreadPool, SharedPoolHasAtLeastEightLanes)
+{
+    // Tests and the scaling bench sweep up to 8 lanes; the shared pool
+    // guarantees they exist even on small machines.
+    EXPECT_GE(ThreadPool::shared().laneCount(), 8u);
 }
 
 } // namespace
