@@ -38,6 +38,7 @@ int
 run(int argc, char **argv)
 {
     Options opt = Options::parse(argc, argv, /*default_docs=*/10000);
+    JsonLog json(opt, "ablation_alpha_sparseness");
 
     // --- (a) alpha sweep -------------------------------------------
     {
@@ -61,6 +62,8 @@ run(int argc, char **argv)
             t.addRow({fmt(alpha, 2),
                       std::to_string(res.layout.partitionCount()),
                       fmt(res.finalCost, 4), fmt(sec, 2)});
+            json.value("DVP", "alpha" + fmt(alpha, 2),
+                       "workload_seconds", sec, "s");
             inform("  alpha=%.2f -> %zu partitions, %.2f s", alpha,
                    res.layout.partitionCount(), sec);
         }
@@ -90,10 +93,16 @@ run(int argc, char **argv)
             engine::Database hyr(data, *hl.run().layout, "Hyrise");
 
             std::string label = std::to_string(groups) + "%";
+            double dvp_s = workloadSeconds(dvp, log);
+            double hyr_s = workloadSeconds(hyr, log);
             t.addRow({label, "DVP", fmtMB(dvp.storageBytes()),
-                      fmt(workloadSeconds(dvp, log), 2)});
+                      fmt(dvp_s, 2)});
             t.addRow({label, "Hyrise", fmtMB(hyr.storageBytes()),
-                      fmt(workloadSeconds(hyr, log), 2)});
+                      fmt(hyr_s, 2)});
+            json.value("DVP", "sparseness" + label, "workload_seconds",
+                       dvp_s, "s");
+            json.value("hyrise", "sparseness" + label,
+                       "workload_seconds", hyr_s, "s");
             inform("  sparseness %d%% done", groups);
         }
         emit(t, "E9b: sparseness 1% vs 5% — DVP vs the sparse-blind "
@@ -120,11 +129,15 @@ run(int argc, char **argv)
             core::Partitioner p(data, reps, prm);
             core::SearchResult res = p.run();
             engine::Database db(data, res.layout, "DVP");
+            double sec = workloadSeconds(db, log);
             t.addRow({cluster ? "co-presence clustering"
                               : "columnar fallback",
                       std::to_string(res.layout.partitionCount()),
                       fmtMB(db.storageBytes()), fmtMB(db.nullBytes()),
-                      fmt(workloadSeconds(db, log), 2)});
+                      fmt(sec, 2)});
+            json.value("DVP",
+                       cluster ? "clustered" : "columnar_fallback",
+                       "workload_seconds", sec, "s");
         }
         emit(t, "E9c: sparse co-presence clustering ablation "
                 "(DESIGN.md 3b)",
@@ -156,6 +169,9 @@ run(int argc, char **argv)
             t.addRow({skewed ? "skewed (zipf-1)" : "uniform",
                       std::to_string(dvp.tableCount()), fmt(dvp_s, 2),
                       fmt(row_s, 2), fmt(dvp_s / row_s, 2)});
+            std::string mixname = skewed ? "skewed" : "uniform";
+            json.value("DVP", mixname, "workload_seconds", dvp_s, "s");
+            json.value("row", mixname, "workload_seconds", row_s, "s");
             inform("  %s mix done", skewed ? "skewed" : "uniform");
         }
         emit(t, "E9d: query-frequency mix (paper: results similar "

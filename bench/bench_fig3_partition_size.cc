@@ -41,6 +41,7 @@ run(int argc, char **argv)
     const size_t sizes[] = {1, 2, 3, 4, 6, 8, 10, 12, 16, 24,
                             32, 48, 64, 96, 120};
     TablePrinter t({"Partition size", "Tables", "exec time [ms]"});
+    JsonLog json(opt, "fig3_partition_size");
     double best = 1e300;
     size_t best_size = 0;
     for (size_t k : sizes) {
@@ -50,6 +51,7 @@ run(int argc, char **argv)
         double sec = timeMedian(opt.repeats, [&] { exec.run(q); });
         t.addRow({std::to_string(k), std::to_string(db.tableCount()),
                   fmt(sec * 1e3, 2)});
+        json.record("fixed" + std::to_string(k), q.name, sec, 1);
         if (sec < best) {
             best = sec;
             best_size = k;

@@ -28,6 +28,7 @@ run(int argc, char **argv)
     inform("replaying a %zu-query uniform log per engine...",
            log.size());
 
+    JsonLog json(opt, "fig5_total_time");
     std::vector<double> total(allEngines().size(), 0.0);
     for (size_t e = 0; e < allEngines().size(); ++e) {
         EngineKind kind = allEngines()[e];
@@ -41,6 +42,7 @@ run(int argc, char **argv)
             engines.run(kind, q);
         total[e] = t.seconds();
         inform("  %-12s %.2f s", engineName(kind), total[e]);
+        json.record(engineName(kind), "log_total", total[e]);
     }
 
     TablePrinter t({"Engine", "total [s]", "x Hybrid", "paper shape"});

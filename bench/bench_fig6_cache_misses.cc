@@ -32,6 +32,7 @@ run(int argc, char **argv)
     // per query, like per-query PMU sampling).
     TablePrinter per_query({"Query", "Engine", "L1 miss", "L2 miss",
                             "L3 miss"});
+    JsonLog json(opt, "fig6_cache_misses");
     std::vector<perf::PerfCounters> total(allEngines().size());
     for (size_t e = 0; e < allEngines().size(); ++e) {
         EngineKind kind = allEngines()[e];
@@ -44,6 +45,12 @@ run(int argc, char **argv)
                               fmtCount(c.l1Misses),
                               fmtCount(c.l2Misses),
                               fmtCount(c.l3Misses)});
+            json.value(engineName(kind), q.name, "l1_misses",
+                       static_cast<double>(c.l1Misses), "misses");
+            json.value(engineName(kind), q.name, "l2_misses",
+                       static_cast<double>(c.l2Misses), "misses");
+            json.value(engineName(kind), q.name, "l3_misses",
+                       static_cast<double>(c.l3Misses), "misses");
         }
         inform("  %-12s simulated", engineName(kind));
     }

@@ -29,6 +29,7 @@ run(int argc, char **argv)
         queries.push_back(engines.querySet().instantiate(t, rng));
 
     TablePrinter per_query({"Query", "Engine", "TLB misses"});
+    JsonLog json(opt, "fig7_tlb_misses");
     std::vector<uint64_t> total(allEngines().size(), 0);
     for (size_t e = 0; e < allEngines().size(); ++e) {
         EngineKind kind = allEngines()[e];
@@ -39,6 +40,8 @@ run(int argc, char **argv)
             total[e] += misses;
             per_query.addRow({q.name, engineName(kind),
                               fmtCount(misses)});
+            json.value(engineName(kind), q.name, "tlb_misses",
+                       static_cast<double>(misses), "misses");
         }
         inform("  %-12s simulated (%llu TLB misses)",
                engineName(kind),

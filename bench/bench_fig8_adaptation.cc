@@ -93,6 +93,7 @@ run(int argc, char **argv)
         inform("warm-up replay...");
         replay(warm, false);
     }
+    JsonLog json(opt, "fig8_adaptation");
     inform("replaying %zu queries with adaptation ON...", opt.logSize);
     RunOutcome on = replay(opt, true);
     inform("replaying %zu queries with adaptation OFF...",
@@ -104,10 +105,13 @@ run(int argc, char **argv)
     TablePrinter series({"query #", "moving avg ON [ms]",
                          "moving avg OFF [ms]"});
     for (size_t i = window; i <= opt.logSize; i += 25) {
-        series.addRow({std::to_string(i),
-                       fmt(windowAvg(on.perQueryMs, i - window, i), 3),
-                       fmt(windowAvg(off.perQueryMs, i - window, i),
-                           3)});
+        double avg_on = windowAvg(on.perQueryMs, i - window, i);
+        double avg_off = windowAvg(off.perQueryMs, i - window, i);
+        series.addRow({std::to_string(i), fmt(avg_on, 3),
+                       fmt(avg_off, 3)});
+        std::string at = "q" + std::to_string(i);
+        json.value("adaptive", at, "moving_avg_on_ms", avg_on, "ms");
+        json.value("static", at, "moving_avg_off_ms", avg_off, "ms");
     }
     emit(series, "Figure 8: moving average of query time across the "
                  "workload change (change at query " +
@@ -135,6 +139,13 @@ run(int argc, char **argv)
               fmt((1.0 - on_tail / off_tail) * 100.0, 1) + "%",
               "8-10%"});
     emit(s, "Figure 8 summary", opt.csv);
+
+    json.value("adaptive", "", "repartitions",
+               static_cast<double>(on.repartitions));
+    json.value("adaptive", "", "repartition_seconds",
+               on.repartitionSeconds, "s");
+    json.value("adaptive", "", "steady_state_ms", on_tail, "ms");
+    json.value("static", "", "steady_state_ms", off_tail, "ms");
     return 0;
 }
 

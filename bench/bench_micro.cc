@@ -9,6 +9,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "obs/export.hh"
+
 #include "dvp/cost_model.hh"
 #include "dvp/partitioner.hh"
 #include "engine/database.hh"
@@ -170,4 +172,18 @@ BENCHMARK(BM_Q1OnDvp)->Unit(benchmark::kMillisecond);
 } // namespace
 } // namespace dvp
 
-BENCHMARK_MAIN();
+// Custom main instead of BENCHMARK_MAIN(): strip --metrics/--trace
+// (which google-benchmark would reject as unrecognized) and arm the
+// observability dump before handing the remaining argv over.  Use
+// --benchmark_format=json for machine-readable benchmark results.
+int
+main(int argc, char **argv)
+{
+    dvp::obs::DumpScope obs_dump = dvp::obs::scanArgs(argc, argv);
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv))
+        return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+}

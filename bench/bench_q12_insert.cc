@@ -36,6 +36,7 @@ run(int argc, char **argv)
 
     TablePrinter t({"Engine", "batch [ms]", "docs/s",
                     "tables touched/doc"});
+    JsonLog json(opt, "q12_insert");
     for (EngineKind kind : allEngines()) {
         Timer timer;
         engines.run(kind, q12);
@@ -56,6 +57,9 @@ run(int argc, char **argv)
                   fmtCount(static_cast<uint64_t>(
                       batch / (ms / 1e3))),
                   fmt(touched, 1)});
+        json.value(engineName(kind), "Q12", "batch_ms", ms, "ms");
+        json.value(engineName(kind), "Q12", "docs_per_second",
+                   batch / (ms / 1e3), "docs/s");
         inform("  %-12s %.1f ms for %zu docs", engineName(kind), ms,
                batch);
     }

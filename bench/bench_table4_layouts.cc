@@ -23,6 +23,7 @@ run(int argc, char **argv)
 {
     Options opt = Options::parse(argc, argv);
     EngineSet engines(opt);
+    JsonLog json(opt, "table4_layouts");
 
     TablePrinter t({"Layout", "Tables", "Size [MB]",
                     "Amount of NULLs [MB]", "Build Time [s]"});
@@ -36,6 +37,15 @@ run(int argc, char **argv)
                   fmtMB(engines.storageBytes(kind)),
                   fmtMB(engines.nullBytes(kind)),
                   fmt(engines.buildSeconds(kind), 2)});
+        json.value(engineName(kind), "", "tables",
+                   static_cast<double>(engines.tableCount(kind)));
+        json.value(engineName(kind), "", "storage_bytes",
+                   static_cast<double>(engines.storageBytes(kind)),
+                   "B");
+        json.value(engineName(kind), "", "null_bytes",
+                   static_cast<double>(engines.nullBytes(kind)), "B");
+        json.value(engineName(kind), "", "build_seconds",
+                   engines.buildSeconds(kind), "s");
     }
     emit(t, "Table IV: memory-consumption characteristics (docs=" +
                 std::to_string(opt.docs) + ")",

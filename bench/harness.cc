@@ -8,6 +8,7 @@
 #include <malloc.h>
 #include <thread>
 
+#include "obs/export.hh"
 #include "util/logging.hh"
 
 namespace dvp::bench
@@ -52,11 +53,16 @@ Options::parse(int argc, char **argv, uint64_t default_docs,
             opt.threads = std::strtoull(need("--threads"), nullptr, 10);
         } else if (!std::strcmp(argv[i], "--json")) {
             opt.jsonPath = need("--json");
+        } else if (!std::strcmp(argv[i], "--metrics")) {
+            opt.metricsPath = need("--metrics");
+        } else if (!std::strcmp(argv[i], "--trace")) {
+            opt.tracePath = need("--trace");
         } else if (!std::strcmp(argv[i], "--help")) {
             std::printf(
                 "usage: %s [--docs N] [--seed S] [--log N]\n"
                 "          [--repeats N] [--sparse-groups N] [--csv]\n"
-                "          [--threads N] [--json PATH]\n",
+                "          [--threads N] [--json PATH]\n"
+                "          [--metrics PATH] [--trace PATH]\n",
                 argv[0]);
             std::exit(0);
         } else {
@@ -67,6 +73,16 @@ Options::parse(int argc, char **argv, uint64_t default_docs,
         fatal("--docs and --repeats must be positive");
     if (opt.threads == 0)
         opt.threads = 1;
+
+    if (!opt.metricsPath.empty() || !opt.tracePath.empty()) {
+        // Touch the global registry/tracer singletons before the static
+        // DumpScope below so static destruction runs the dump while
+        // they are still alive, then arm one process-wide dump-at-exit.
+        obs::Registry::global();
+        obs::Tracer::global();
+        static obs::DumpScope scope;
+        scope = obs::DumpScope(opt.metricsPath, opt.tracePath);
+    }
     return opt;
 }
 
@@ -130,6 +146,25 @@ JsonLog::record(const std::string &engine, const std::string &query,
                  static_cast<unsigned long long>(docs),
                  static_cast<unsigned long long>(seed));
     std::fflush(file); // line-buffered semantics for tail -f / crashes
+}
+
+void
+JsonLog::value(const std::string &engine, const std::string &query,
+               const std::string &metric, double v,
+               const std::string &unit)
+{
+    if (file == nullptr)
+        return;
+    std::fprintf(file,
+                 "{\"bench\":\"%s\",\"engine\":\"%s\",\"query\":\"%s\","
+                 "\"metric\":\"%s\",\"value\":%.9g,\"unit\":\"%s\","
+                 "\"threads\":%zu,\"docs\":%llu,\"seed\":%llu}\n",
+                 jsonEscape(bench).c_str(), jsonEscape(engine).c_str(),
+                 jsonEscape(query).c_str(), jsonEscape(metric).c_str(),
+                 v, jsonEscape(unit).c_str(), default_threads,
+                 static_cast<unsigned long long>(docs),
+                 static_cast<unsigned long long>(seed));
+    std::fflush(file);
 }
 
 nobench::Config

@@ -48,10 +48,17 @@ struct Options
     /** Append NDJSON records here ("" = disabled). */
     std::string jsonPath;
 
+    /** Write a Prometheus metrics dump here at exit ("" = disabled). */
+    std::string metricsPath;
+
+    /** Write a span-trace NDJSON dump here at exit ("" = disabled). */
+    std::string tracePath;
+
     /**
      * Parse argv; exits with usage on error.  @p default_docs and
      * @p default_log let simulation-heavy or adaptation benches pick
-     * their own default scales.
+     * their own default scales.  --metrics/--trace arm a process-wide
+     * dump written at exit, so individual benches need no obs wiring.
      */
     static Options parse(int argc, char **argv,
                          uint64_t default_docs = 50000,
@@ -62,9 +69,12 @@ struct Options
 
 /**
  * NDJSON result log (--json <path>): one self-describing record per
- * measured cell, appended as a single line
+ * measured cell, appended as a single line.  Timing cells use
  *   {"bench":...,"engine":...,"query":...,"seconds":...,
  *    "threads":...,"docs":...,"seed":...}
+ * and non-timing cells (sizes, counts, simulated miss rates) use
+ *   {"bench":...,"engine":...,"query":...,"metric":...,"value":...,
+ *    "unit":...,"threads":...,"docs":...,"seed":...}
  * so downstream plotting never re-parses the human tables.
  */
 class JsonLog
@@ -84,6 +94,11 @@ class JsonLog
                 double seconds);
     void record(const std::string &engine, const std::string &query,
                 double seconds, size_t threads);
+
+    /** Append one non-timing cell (named metric + unit). */
+    void value(const std::string &engine, const std::string &query,
+               const std::string &metric, double v,
+               const std::string &unit = "");
 
   private:
     std::FILE *file = nullptr;

@@ -6,12 +6,14 @@
  * miniature of the paper's Figure 8.
  *
  * Usage: adaptive_analytics [num_docs]       (default 8000)
+ *        (--metrics/--trace PATH dump counters and spans at exit)
  */
 
 #include <cstdio>
 #include <cstdlib>
 
 #include "adaptive/adaptive_engine.hh"
+#include "obs/export.hh"
 #include "nobench/generator.hh"
 #include "nobench/queries.hh"
 #include "nobench/workload.hh"
@@ -22,6 +24,7 @@ using namespace dvp;
 int
 main(int argc, char **argv)
 {
+    obs::DumpScope obs_dump = obs::scanArgs(argc, argv);
     uint64_t docs = argc > 1 ? std::strtoull(argv[1], nullptr, 10)
                              : 8000;
     nobench::Config cfg;
@@ -45,7 +48,7 @@ main(int argc, char **argv)
     std::printf("initial DVP layout: %zu tables (partitioned in %.2f "
                 "s)\n\n",
                 eng.snapshot()->tableCount(),
-                eng.adaptation().lastPartitionerSeconds);
+                eng.adaptation().lastPartitionerSeconds.load());
 
     const size_t total = 900, change_at = 450;
     double window_ms = 0;
@@ -90,7 +93,8 @@ main(int argc, char **argv)
                 static_cast<unsigned long long>(st.repartitions));
     std::printf("last repartition: %.2f s total (%.2f s partitioner), "
                 "layout now %zu tables over %zu documents\n",
-                st.lastRepartitionSeconds, st.lastPartitionerSeconds,
-                st.lastLayoutTables, eng.snapshot()->docCount());
+                st.lastRepartitionSeconds.load(),
+                st.lastPartitionerSeconds.load(),
+                st.lastLayoutTables.load(), eng.snapshot()->docCount());
     return 0;
 }

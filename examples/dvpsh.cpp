@@ -19,6 +19,7 @@
  * table (strings decoded through the dictionary).
  *
  * Usage: dvpsh [file.jsonl]        (also reads statements from stdin)
+ *        (--metrics/--trace PATH dump counters and spans at exit)
  */
 
 #include <cstdio>
@@ -28,6 +29,7 @@
 #include <string>
 
 #include "adaptive/adaptive_engine.hh"
+#include "obs/export.hh"
 #include "json/parser.hh"
 #include "nobench/generator.hh"
 #include "persist/snapshot.hh"
@@ -358,6 +360,7 @@ class Shell
 int
 main(int argc, char **argv)
 {
+    obs::DumpScope obs_dump = obs::scanArgs(argc, argv);
     Shell shell;
     if (argc > 1)
         shell.loadFile(argv[1]);

@@ -8,12 +8,14 @@
  * a debugging lens on everything §III computes.
  *
  * Usage: layout_explorer [num_docs]          (default 5000)
+ *        (--metrics/--trace PATH dump counters and spans at exit)
  */
 
 #include <cstdio>
 #include <cstdlib>
 
 #include "dvp/cost_model.hh"
+#include "obs/export.hh"
 #include "dvp/initial_partitioning.hh"
 #include "dvp/partitioner.hh"
 #include "hyrise/hyrise_layouter.hh"
@@ -26,6 +28,7 @@ using namespace dvp;
 int
 main(int argc, char **argv)
 {
+    obs::DumpScope obs_dump = obs::scanArgs(argc, argv);
     uint64_t docs = argc > 1 ? std::strtoull(argv[1], nullptr, 10)
                              : 5000;
     nobench::Config cfg;

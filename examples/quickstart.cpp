@@ -8,6 +8,8 @@
  *  4. Execute projections and selections; read decoded results.
  *
  * Build & run:   ./build/examples/quickstart
+ * Add `--metrics metrics.prom --trace trace.ndjson` to dump engine
+ * counters and query spans at exit.
  */
 
 #include <cstdio>
@@ -16,12 +18,14 @@
 #include "engine/database.hh"
 #include "engine/executor.hh"
 #include "json/parser.hh"
+#include "obs/export.hh"
 
 using namespace dvp;
 
 int
-main()
+main(int argc, char **argv)
 {
+    obs::DumpScope obs_dump = obs::scanArgs(argc, argv);
     // -- 1. Ingest schema-less JSON -----------------------------------
     const char *documents[] = {
         R"({"user":"ada",  "age":36, "city":"london",

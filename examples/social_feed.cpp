@@ -10,6 +10,7 @@
  * schema.
  *
  * Usage: social_feed [num_events]          (default 20000)
+ *        (--metrics/--trace PATH dump counters and spans at exit)
  */
 
 #include <cstdio>
@@ -18,6 +19,7 @@
 
 #include "dvp/partitioner.hh"
 #include "engine/database.hh"
+#include "obs/export.hh"
 #include "engine/executor.hh"
 #include "json/value.hh"
 #include "util/random.hh"
@@ -80,6 +82,7 @@ replay(engine::Database &db, const std::vector<engine::Query> &log)
 int
 main(int argc, char **argv)
 {
+    obs::DumpScope obs_dump = obs::scanArgs(argc, argv);
     size_t events = argc > 1 ? std::strtoull(argv[1], nullptr, 10)
                              : 20000;
     Rng rng(2026);

@@ -17,11 +17,33 @@ cmake -B build-ci -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo
 cmake --build build-ci -j "$JOBS"
 ctest --test-dir build-ci --output-on-failure -j "$JOBS"
 
+echo "=== observability smoke ==="
+# A tiny bench run must produce valid NDJSON, a parseable Prometheus
+# dump, and a span trace that ends with a summary record.
+OBS_TMP="$(mktemp -d)"
+trap 'rm -rf "$OBS_TMP"' EXIT
+./build-ci/bench/bench_fig3_partition_size --docs 400 --repeats 1 \
+    --json "$OBS_TMP/bench.ndjson" --metrics "$OBS_TMP/metrics.prom" \
+    --trace "$OBS_TMP/trace.ndjson" > /dev/null
+python3 - "$OBS_TMP" <<'EOF'
+import json, sys
+tmp = sys.argv[1]
+rows = [json.loads(l) for l in open(f"{tmp}/bench.ndjson")]
+assert rows and all(r["bench"] == "fig3_partition_size" for r in rows)
+prom = open(f"{tmp}/metrics.prom").read()
+assert "# TYPE dvp_queries_total counter" in prom, prom[:200]
+assert "dvp_rows_scanned_total" in prom
+spans = [json.loads(l) for l in open(f"{tmp}/trace.ndjson")]
+assert spans[-1]["type"] == "trace_summary" and spans[-1]["recorded"] > 0
+assert any(s.get("name") == "query" for s in spans)
+print(f"obs smoke: {len(rows)} bench rows, {len(spans)-1} spans ok")
+EOF
+
 echo "=== thread-sanitizer build ==="
 cmake -B build-tsan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
     -DDVP_SANITIZE=thread
 cmake --build build-tsan -j "$JOBS"
 DVP_TEST_DOCS=800 ctest --test-dir build-tsan --output-on-failure \
-    -j "$JOBS" -R 'test_parallel|test_util|test_adaptive'
+    -j "$JOBS" -R 'test_parallel|test_util|test_adaptive|test_obs'
 
 echo "ci.sh: all suites passed"

@@ -1,5 +1,7 @@
 #include "adaptive/adaptive_engine.hh"
 
+#include "obs/metrics.hh"
+#include "obs/trace.hh"
 #include "util/logging.hh"
 #include "util/timer.hh"
 
@@ -34,8 +36,10 @@ AdaptiveEngine::snapshot() const
 void
 AdaptiveEngine::quiesce()
 {
-    if (worker.joinable())
+    if (worker.joinable()) {
+        DVP_TRACE_SPAN(quiesce_span, "quiesce", "join repartition");
         worker.join();
+    }
 }
 
 engine::ResultSet
@@ -45,6 +49,10 @@ AdaptiveEngine::execute(const engine::Query &q)
     // scan the same tables, and the shared_ptr keeps them alive even if
     // a background repartition swaps the engine's pointer mid-query.
     std::shared_ptr<engine::Database> current = snapshot();
+    if (repartitioning.load(std::memory_order_relaxed)) {
+        ++adapt_stats.queriesDuringRepartition;
+        DVP_COUNTER_INC("dvp_queries_during_repartition_total");
+    }
     Timer timer;
     engine::Executor exec(*current, prm.threads);
     engine::ResultSet rs = exec.run(q);
@@ -60,8 +68,11 @@ AdaptiveEngine::execute(const engine::Query &q)
             changed = true;
         }
     }
-    if (changed)
+    if (changed) {
+        DVP_COUNTER_INC("dvp_changes_detected_total");
+        DVP_TRACE_SPAN(change_span, "change_detected", q.name.c_str());
         maybeRepartition();
+    }
     return rs;
 }
 
@@ -103,6 +114,7 @@ AdaptiveEngine::maybeRepartition()
 void
 AdaptiveEngine::repartitionNow(std::vector<engine::Query> workload)
 {
+    DVP_TRACE_SPAN(repartition_span, "repartition", nullptr);
     Timer total;
 
     // All shared state the rebuild needs is snapshotted up front: the
@@ -123,17 +135,24 @@ AdaptiveEngine::repartitionNow(std::vector<engine::Query> workload)
             *data, std::move(workload), prm.search);
     }
 
-    core::SearchResult res = partitioner->refine(current_layout);
+    core::SearchResult res = [&] {
+        DVP_TRACE_SPAN(part_span, "partitioner", "refine layout");
+        return partitioner->refine(current_layout);
+    }();
     adapt_stats.lastPartitionerSeconds = res.seconds;
 
     // Bulk-build the new tables from the snapshot.
-    auto fresh = std::make_shared<engine::Database>(
-        *data, res.layout, "DVP", /*allow_pad=*/true, &doc_snapshot);
+    auto fresh = [&] {
+        DVP_TRACE_SPAN(build_span, "build", "bulk-build tables");
+        return std::make_shared<engine::Database>(
+            *data, res.layout, "DVP", /*allow_pad=*/true, &doc_snapshot);
+    }();
 
     // Catch up with documents ingested during the build, then switch
     // through an atomic pointer swap (readers hold shared_ptrs, so a
     // query in flight keeps its tables alive).
     {
+        DVP_TRACE_SPAN(swap_span, "swap", "catch-up + pointer swap");
         std::lock_guard<std::mutex> lock(db_mutex);
         for (size_t i = fresh->docCount(); i < data->docs.size(); ++i)
             fresh->insert(data->docs[i]);
@@ -146,7 +165,15 @@ AdaptiveEngine::repartitionNow(std::vector<engine::Query> workload)
         wstats.reset();
         detector.reset();
     }
-    adapt_stats.lastRepartitionSeconds = total.seconds();
+    double seconds = total.seconds();
+    adapt_stats.lastRepartitionSeconds = seconds;
+    debug("repartition: %zu tables in %.3f s",
+          res.layout.partitionCount(), seconds);
+    DVP_COUNTER_INC("dvp_repartitions_total");
+    DVP_HISTOGRAM_OBSERVE("dvp_repartition_ns",
+                          static_cast<uint64_t>(seconds * 1e9));
+    DVP_GAUGE_SET("dvp_layout_tables",
+                  static_cast<int64_t>(res.layout.partitionCount()));
     repartitioning.store(false);
 }
 

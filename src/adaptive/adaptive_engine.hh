@@ -54,14 +54,23 @@ struct Params
     size_t threads = 1;
 };
 
-/** Repartition bookkeeping for reports and tests. */
+/**
+ * Repartition bookkeeping for reports and tests.
+ *
+ * Every field is atomic because readers poll these counters from the
+ * query thread while the background repartition thread writes them
+ * (previously plain fields — a data race, even if a benign-looking
+ * one).  Loads/stores are relaxed via the defaulted conversions; the
+ * counters are monotonic bookkeeping, not synchronization.
+ */
 struct AdaptationStats
 {
-    uint64_t repartitions = 0;
-    uint64_t changesDetected = 0;
-    double lastRepartitionSeconds = 0;
-    double lastPartitionerSeconds = 0;
-    size_t lastLayoutTables = 0;
+    std::atomic<uint64_t> repartitions{0};
+    std::atomic<uint64_t> changesDetected{0};
+    std::atomic<uint64_t> queriesDuringRepartition{0};
+    std::atomic<double> lastRepartitionSeconds{0};
+    std::atomic<double> lastPartitionerSeconds{0};
+    std::atomic<size_t> lastLayoutTables{0};
 };
 
 /** The engine. */

@@ -1,11 +1,15 @@
 #include "engine/executor.hh"
 
 #include <algorithm>
+#include <chrono>
 #include <climits>
+#include <cstdio>
 #include <iterator>
 #include <unordered_map>
 #include <vector>
 
+#include "obs/metrics.hh"
+#include "obs/trace.hh"
 #include "util/logging.hh"
 #include "util/thread_pool.hh"
 
@@ -55,11 +59,38 @@ class Exec
         panic("unknown query kind");
     }
 
+    // Work counters, accumulated as plain increments on whichever lane
+    // runs the kernel and merged additively at joinLanes (same
+    // discipline as the tracer), then flushed to the metrics registry
+    // once per query by Executor::run.  Plain (non-atomic) on purpose:
+    // each lane Exec is owned by exactly one pool lane at a time.
+    uint64_t obs_rows_scanned = 0;     ///< rows visited by scans
+    uint64_t obs_partition_touches = 0; ///< partitions hit on retrieval
+    uint64_t obs_morsels = 0;          ///< morsel kernels dispatched
+
   private:
     Database &db;
     Tracer tr;
     size_t threads;     ///< lane cap for this query (1 = serial)
     size_t morsel_rows; ///< driving-table rows per morsel
+
+    void
+    countRows(uint64_t n)
+    {
+#ifndef DVP_OBS_DISABLED
+        obs_rows_scanned += n;
+#else
+        (void)n;
+#endif
+    }
+
+    void
+    countTouch()
+    {
+#ifndef DVP_OBS_DISABLED
+        ++obs_partition_touches;
+#endif
+    }
 
     /** Read a record's oid slot through the tracer. */
     int64_t
@@ -150,16 +181,21 @@ class Exec
         }
         if (c.oid > target)
             return storage::kNoRow; // cursor already past: free check
-        if (c.oid == target)
+        if (c.oid == target) {
+            countTouch();
             return static_cast<storage::RowIdx>(c.pos);
+        }
         c.pos = seekFrom(t, c.pos, target);
         if (c.pos >= t.rows()) {
             c.oid = INT64_MAX;
             return storage::kNoRow;
         }
         c.oid = readOid(t, c.pos);
-        return c.oid == target ? static_cast<storage::RowIdx>(c.pos)
-                               : storage::kNoRow;
+        if (c.oid == target) {
+            countTouch();
+            return static_cast<storage::RowIdx>(c.pos);
+        }
+        return storage::kNoRow;
     }
 
     // -----------------------------------------------------------------
@@ -190,8 +226,11 @@ class Exec
     void
     joinLanes(const std::vector<Exec> &lanes)
     {
-        for (const Exec &l : lanes)
+        for (const Exec &l : lanes) {
             tr.join(l.tr);
+            obs_rows_scanned += l.obs_rows_scanned;
+            obs_partition_touches += l.obs_partition_touches;
+        }
     }
 
     /**
@@ -222,6 +261,7 @@ class Exec
     static ResultSet
     concat(std::vector<ResultSet> parts)
     {
+        DVP_TRACE_SPAN(merge_span, "merge", "concat partials");
         ResultSet rs;
         size_t total = 0;
         for (const ResultSet &p : parts)
@@ -237,11 +277,21 @@ class Exec
         return rs;
     }
 
-    /** Run kernel(lane_exec, morsel_index) for each morsel. */
+    /**
+     * Run kernel(lane_exec, morsel_index) for each morsel.  Only ever
+     * called on the top-level Exec (lanes run range kernels directly),
+     * so the scatter span nests under the caller's query span.
+     */
     template <class Part, class Kernel>
     std::vector<Part>
     scatter(size_t n_morsels, Kernel kernel)
     {
+#ifndef DVP_OBS_DISABLED
+        obs_morsels += n_morsels;
+        char detail[obs::SpanRecord::kDetailLen];
+        std::snprintf(detail, sizeof(detail), "%zu morsels", n_morsels);
+#endif
+        DVP_TRACE_SPAN(scatter_span, "scatter", detail);
         std::vector<Exec> lanes = forkLanes();
         std::vector<Part> parts(n_morsels);
         ThreadPool::shared().parallelFor(
@@ -256,6 +306,7 @@ class Exec
     static std::vector<int64_t>
     flatten(std::vector<std::vector<int64_t>> parts)
     {
+        DVP_TRACE_SPAN(merge_span, "merge", "flatten matches");
         size_t total = 0;
         for (const auto &p : parts)
             total += p.size();
@@ -301,6 +352,7 @@ class Exec
                 rows[i] = at ? static_cast<storage::RowIdx>(pos[i])
                              : storage::kNoRow;
             }
+            countRows(1);
             cb(min_oid, rows);
             for (size_t i = 0; i < n; ++i)
                 if (rows[i] != storage::kNoRow)
@@ -380,7 +432,11 @@ class Exec
     ResultSet
     project(const Query &q)
     {
-        ProjectPlan p = planProject(q);
+        ProjectPlan p;
+        {
+            DVP_TRACE_SPAN(plan_span, "plan", q.name.c_str());
+            p = planProject(q);
+        }
         if (p.tables.empty())
             return ResultSet{};
         if (parallel()) {
@@ -392,6 +448,7 @@ class Exec
                                                  bounds[i + 1]);
                     }));
         }
+        DVP_TRACE_SPAN(scan_span, "scan", "serial project");
         return projectRange(p, INT64_MIN, INT64_MAX);
     }
 
@@ -413,6 +470,7 @@ class Exec
     condRange(const Table &t, int col, const Condition &c, size_t r0,
               size_t r1)
     {
+        countRows(r1 - r0);
         std::vector<int64_t> matches;
         for (size_t r = r0; r < r1; ++r) {
             Slot s = readCell(t, r, static_cast<size_t>(col));
@@ -465,6 +523,7 @@ class Exec
     std::vector<int64_t>
     evalCondition(const Query &q)
     {
+        DVP_TRACE_SPAN(scan_span, "scan", "condition scan");
         const Condition &c = q.cond;
 
         if (c.op == CondOp::None) {
@@ -616,6 +675,7 @@ class Exec
     ResultSet
     retrieve(const Query &q, const std::vector<int64_t> &matches)
     {
+        DVP_TRACE_SPAN(retrieve_span, "retrieve", nullptr);
         if (parallel() && matches.size() > morsel_rows) {
             size_t nm = (matches.size() + morsel_rows - 1) / morsel_rows;
             return concat(scatter<ResultSet>(
@@ -658,6 +718,7 @@ class Exec
         }
         ResultSet selected = select(sub);
 
+        DVP_TRACE_SPAN(fold_span, "merge", "aggregate fold");
         ResultSet rs;
         rs.checksum = selected.checksum;
         std::unordered_map<Slot, uint64_t> counts;
@@ -718,21 +779,26 @@ class Exec
         if (rloc.table < 0)
             return rs;
         const Table &rt = db.table(rloc.table);
+        countRows(rt.rows());
         std::vector<std::pair<int64_t, int64_t>> pairs;
-        for (size_t r = 0; r < rt.rows(); ++r) {
-            Slot key = readCell(rt, r, static_cast<size_t>(rloc.col));
-            if (isNull(key))
-                continue;
-            auto [lo, hi] = build.equal_range(key);
-            if (lo == hi)
-                continue;
-            int64_t roid = readOid(rt, r);
-            for (auto it = lo; it != hi; ++it)
-                pairs.emplace_back(it->second, roid);
+        {
+            DVP_TRACE_SPAN(probe_span, "scan", "join probe");
+            for (size_t r = 0; r < rt.rows(); ++r) {
+                Slot key = readCell(rt, r, static_cast<size_t>(rloc.col));
+                if (isNull(key))
+                    continue;
+                auto [lo, hi] = build.equal_range(key);
+                if (lo == hi)
+                    continue;
+                int64_t roid = readOid(rt, r);
+                for (auto it = lo; it != hi; ++it)
+                    pairs.emplace_back(it->second, roid);
+            }
         }
 
         // SELECT *: materialize both full records for every pair (this
         // retrieval is what stresses the column layout's TLB, §VI-B).
+        DVP_TRACE_SPAN(retrieve_span, "retrieve", "join materialize");
         for (auto [loid, roid] : pairs) {
             for (int64_t oid : {loid, roid}) {
                 for (size_t ti = 0; ti < db.tableCount(); ++ti) {
@@ -747,6 +813,7 @@ class Exec
                     }
                     if (row == storage::kNoRow)
                         continue;
+                    countTouch();
                     const Slot *rec =
                         readRecord(t, static_cast<size_t>(row));
                     const auto &schema = t.schema();
@@ -777,8 +844,31 @@ class Exec
 ResultSet
 Executor::run(const Query &q)
 {
+#ifndef DVP_OBS_DISABLED
+    DVP_TRACE_SPAN(query_span, "query", q.name.c_str());
+    auto t0 = std::chrono::steady_clock::now();
+#endif
     Exec<NullTracer> exec(*db, NullTracer{}, threads_, morsel_rows);
-    return exec.run(q);
+    ResultSet rs = exec.run(q);
+#ifndef DVP_OBS_DISABLED
+    // One registry flush per query: the runtime-labelled names below
+    // cost a mutex + map lookup each, which is noise next to a query's
+    // execution but would not be next to a morsel kernel's.
+    auto ns = static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - t0)
+            .count());
+    auto &reg = obs::Registry::global();
+    reg.counter("dvp_queries_total").add(1);
+    reg.histogram("dvp_query_ns{query=\"" + q.name + "\"}").observe(ns);
+    const std::string &layout = db->name();
+    reg.counter("dvp_rows_scanned_total{layout=\"" + layout + "\"}")
+        .add(exec.obs_rows_scanned);
+    reg.counter("dvp_partition_touches_total{layout=\"" + layout + "\"}")
+        .add(exec.obs_partition_touches);
+    reg.counter("dvp_morsels_total").add(exec.obs_morsels);
+#endif
+    return rs;
 }
 
 ResultSet

@@ -1,0 +1,147 @@
+#include "obs/trace.hh"
+
+#include <algorithm>
+#include <chrono>
+
+namespace dvp::obs
+{
+
+namespace
+{
+
+/** Per-thread stack of open span ids (RAII keeps it balanced). */
+thread_local std::vector<uint64_t> t_span_stack;
+
+/** Per-thread small index, assigned on the thread's first span. */
+thread_local uint32_t t_thread_index = 0;
+
+} // namespace
+
+uint64_t
+Tracer::nowNs()
+{
+    // steady_clock epoch is arbitrary; anchor to the first use so the
+    // exported timestamps are small and line up with the logging
+    // timestamps (both count from process start, near enough).
+    static const auto t0 = std::chrono::steady_clock::now();
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - t0)
+            .count());
+}
+
+void
+Tracer::enable(size_t capacity)
+{
+    std::lock_guard<std::mutex> lock(mu);
+    if (!enabled_.load(std::memory_order_relaxed)) {
+        ring.assign(capacity == 0 ? kDefaultCapacity : capacity,
+                    SpanRecord{});
+        head = 0;
+        total = 0;
+    }
+    enabled_.store(true, std::memory_order_relaxed);
+}
+
+void
+Tracer::disable()
+{
+    enabled_.store(false, std::memory_order_relaxed);
+}
+
+void
+Tracer::clear()
+{
+    std::lock_guard<std::mutex> lock(mu);
+    for (auto &r : ring)
+        r = SpanRecord{};
+    head = 0;
+    total = 0;
+    next_id.store(1, std::memory_order_relaxed);
+}
+
+uint64_t
+Tracer::currentSpan()
+{
+    return t_span_stack.empty() ? 0 : t_span_stack.back();
+}
+
+uint32_t
+Tracer::threadIndex()
+{
+    if (t_thread_index == 0)
+        t_thread_index =
+            next_thread.fetch_add(1, std::memory_order_relaxed);
+    return t_thread_index;
+}
+
+uint64_t
+Tracer::beginSpan()
+{
+    uint64_t id = next_id.fetch_add(1, std::memory_order_relaxed);
+    t_span_stack.push_back(id);
+    return id;
+}
+
+void
+Tracer::endSpan(uint64_t id, uint64_t parent, uint64_t startNs,
+                const char *name, const char *detail)
+{
+    uint64_t end = nowNs();
+    if (!t_span_stack.empty() && t_span_stack.back() == id)
+        t_span_stack.pop_back();
+
+    SpanRecord rec;
+    rec.id = id;
+    rec.parent = parent;
+    rec.startNs = startNs;
+    rec.endNs = end;
+    rec.thread = threadIndex();
+    std::strncpy(rec.name, name, sizeof(rec.name) - 1);
+    std::strncpy(rec.detail, detail, sizeof(rec.detail) - 1);
+
+    std::lock_guard<std::mutex> lock(mu);
+    if (ring.empty())
+        return; // disabled before ever enabled
+    ring[head] = rec;
+    head = (head + 1) % ring.size();
+    ++total;
+}
+
+std::vector<SpanRecord>
+Tracer::snapshot() const
+{
+    std::lock_guard<std::mutex> lock(mu);
+    std::vector<SpanRecord> out;
+    size_t n = std::min<uint64_t>(total, ring.size());
+    out.reserve(n);
+    // Oldest-first: when the ring wrapped, the oldest record is at
+    // `head`; otherwise records start at index 0.
+    size_t start = total > ring.size() ? head : 0;
+    for (size_t i = 0; i < n; ++i)
+        out.push_back(ring[(start + i) % ring.size()]);
+    return out;
+}
+
+uint64_t
+Tracer::dropped() const
+{
+    std::lock_guard<std::mutex> lock(mu);
+    return total > ring.size() ? total - ring.size() : 0;
+}
+
+uint64_t
+Tracer::recorded() const
+{
+    std::lock_guard<std::mutex> lock(mu);
+    return total;
+}
+
+Tracer &
+Tracer::global()
+{
+    static Tracer t;
+    return t;
+}
+
+} // namespace dvp::obs

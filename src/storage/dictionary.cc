@@ -1,5 +1,8 @@
 #include "storage/dictionary.hh"
 
+#include <utility>
+
+#include "obs/metrics.hh"
 #include "util/logging.hh"
 
 namespace dvp::storage
@@ -7,6 +10,67 @@ namespace dvp::storage
 
 Dictionary::Dictionary() : index(64, kEmpty)
 {
+}
+
+Dictionary::~Dictionary()
+{
+    flushObs();
+}
+
+Dictionary::Dictionary(const Dictionary &other)
+    : strings(other.strings), index(other.index)
+{
+    // Pending counts stay with `other`; it flushes its own probes.
+}
+
+Dictionary &
+Dictionary::operator=(const Dictionary &other)
+{
+    if (this != &other) {
+        flushObs();
+        strings = other.strings;
+        index = other.index;
+    }
+    return *this;
+}
+
+Dictionary::Dictionary(Dictionary &&other) noexcept
+    : strings(std::move(other.strings)), index(std::move(other.index)),
+      pending_probes(other.pending_probes),
+      pending_slots(other.pending_slots)
+{
+    other.pending_probes = 0;
+    other.pending_slots = 0;
+}
+
+Dictionary &
+Dictionary::operator=(Dictionary &&other) noexcept
+{
+    if (this != &other) {
+        flushObs();
+        strings = std::move(other.strings);
+        index = std::move(other.index);
+        pending_probes = other.pending_probes;
+        pending_slots = other.pending_slots;
+        other.pending_probes = 0;
+        other.pending_slots = 0;
+    }
+    return *this;
+}
+
+void
+Dictionary::flushObs() const
+{
+#ifndef DVP_OBS_DISABLED
+    if (pending_probes == 0)
+        return;
+    DVP_COUNTER_ADD("dvp_dict_probes_total", pending_probes);
+    DVP_COUNTER_ADD("dvp_dict_probe_slots_total", pending_slots);
+    pending_probes = 0;
+    pending_slots = 0;
+    DVP_GAUGE_SET("dvp_dict_entries",
+                  static_cast<int64_t>(strings.size()));
+#endif
 }
 
 uint64_t
@@ -29,8 +93,17 @@ Dictionary::probe(std::string_view s, uint64_t hash) const
 {
     size_t mask = index.size() - 1;
     size_t i = hash & mask;
-    while (index[i] != kEmpty && strings[index[i]] != s)
+    uint64_t slots = 1;
+    while (index[i] != kEmpty && strings[index[i]] != s) {
         i = (i + 1) & mask;
+        ++slots;
+    }
+#ifndef DVP_OBS_DISABLED
+    ++pending_probes;
+    pending_slots += slots;
+#else
+    (void)slots;
+#endif
     return i;
 }
 

@@ -30,6 +30,17 @@ class Dictionary
 {
   public:
     Dictionary();
+    ~Dictionary();
+
+    /**
+     * Copies/moves keep pending (not yet flushed) metric counts with
+     * the object that performed the probes, so every probe is reported
+     * exactly once.
+     */
+    Dictionary(const Dictionary &other);
+    Dictionary &operator=(const Dictionary &other);
+    Dictionary(Dictionary &&other) noexcept;
+    Dictionary &operator=(Dictionary &&other) noexcept;
 
     /** Intern @p s, returning its id (existing or freshly assigned). */
     StringId intern(std::string_view s);
@@ -55,12 +66,26 @@ class Dictionary
   private:
     void grow();
     size_t probe(std::string_view s, uint64_t hash) const;
+    void flushObs() const;
 
     static uint64_t hashBytes(std::string_view s);
 
     std::vector<std::string> strings;       ///< id -> text
     std::vector<uint32_t> index;            ///< open-addressed id slots
     static constexpr uint32_t kEmpty = UINT32_MAX;
+
+    /**
+     * Probe metrics accumulate in plain members and flush to the
+     * registry only at destruction (and assignment), so the per-probe
+     * cost is two plain increments rather than atomic RMWs, and flush
+     * points are deterministic.  Exit-time dumps still see exact
+     * totals: DumpScope is armed before any DataSet exists, so it is
+     * destroyed after every dictionary has flushed.  Plain (not
+     * atomic) matches the class contract: the dictionary is written
+     * single-threaded at load time.
+     */
+    mutable uint64_t pending_probes = 0;
+    mutable uint64_t pending_slots = 0;
 };
 
 } // namespace dvp::storage

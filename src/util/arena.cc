@@ -2,6 +2,7 @@
 
 #include <cstring>
 
+#include "obs/metrics.hh"
 #include "util/logging.hh"
 #include "util/pagemap.hh"
 
@@ -79,6 +80,7 @@ Arena::allocate(size_t bytes)
     AlignedBuffer buf(bytes, next_shift * kCacheLineSize);
     next_shift = (next_shift + 1) % (kPageSize / kCacheLineSize);
     total += bytes;
+    DVP_COUNTER_ADD("dvp_arena_allocated_bytes_total", bytes);
     return buf;
 }
 
@@ -87,6 +89,8 @@ Arena::reallocate(size_t bytes, size_t shift_bytes)
 {
     AlignedBuffer buf(bytes, shift_bytes);
     total += bytes;
+    DVP_COUNTER_ADD("dvp_arena_allocated_bytes_total", bytes);
+    DVP_COUNTER_INC("dvp_arena_regrowths_total");
     return buf;
 }
 

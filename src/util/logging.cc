@@ -1,5 +1,8 @@
 #include "util/logging.hh"
 
+#include <strings.h>
+
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 
@@ -8,11 +11,54 @@ namespace dvp
 
 namespace
 {
-LogLevel g_level = LogLevel::Inform;
+
+/** DVP_LOG_LEVEL: name or number; unknown values keep the default. */
+LogLevel
+levelFromEnv()
+{
+    const char *env = std::getenv("DVP_LOG_LEVEL");
+    if (env == nullptr || env[0] == '\0')
+        return LogLevel::Inform;
+    if (strcasecmp(env, "silent") == 0 || strcasecmp(env, "0") == 0)
+        return LogLevel::Silent;
+    if (strcasecmp(env, "warn") == 0 || strcasecmp(env, "1") == 0)
+        return LogLevel::Warn;
+    if (strcasecmp(env, "inform") == 0 || strcasecmp(env, "2") == 0)
+        return LogLevel::Inform;
+    if (strcasecmp(env, "debug") == 0 || strcasecmp(env, "3") == 0)
+        return LogLevel::Debug;
+    std::fprintf(stderr,
+                 "warn: unknown DVP_LOG_LEVEL '%s' "
+                 "(want silent|warn|inform|debug)\n",
+                 env);
+    return LogLevel::Inform;
+}
+
+LogLevel g_level = levelFromEnv();
+
+bool
+timestampsFromEnv()
+{
+    const char *env = std::getenv("DVP_LOG_TIMESTAMPS");
+    return env != nullptr && env[0] != '\0' &&
+           !(env[0] == '0' && env[1] == '\0');
+}
+
+const bool g_timestamps = timestampsFromEnv();
 
 void
 vreport(const char *tag, const char *fmt, va_list ap)
 {
+    if (g_timestamps) {
+        // Monotonic seconds since the first message; matches the trace
+        // exporter's anchored clock closely enough to line logs up
+        // with spans by eye.
+        static const auto t0 = std::chrono::steady_clock::now();
+        double s = std::chrono::duration<double>(
+                       std::chrono::steady_clock::now() - t0)
+                       .count();
+        std::fprintf(stderr, "[%10.6f] ", s);
+    }
     std::fprintf(stderr, "%s: ", tag);
     std::vfprintf(stderr, fmt, ap);
     std::fprintf(stderr, "\n");
@@ -70,6 +116,17 @@ inform(const char *fmt, ...)
     va_list ap;
     va_start(ap, fmt);
     vreport("info", fmt, ap);
+    va_end(ap);
+}
+
+void
+debug(const char *fmt, ...)
+{
+    if (g_level < LogLevel::Debug)
+        return;
+    va_list ap;
+    va_start(ap, fmt);
+    vreport("debug", fmt, ap);
     va_end(ap);
 }
 

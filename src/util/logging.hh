@@ -20,7 +20,13 @@ namespace dvp
 /** Verbosity threshold; messages below it are suppressed. */
 enum class LogLevel { Silent, Warn, Inform, Debug };
 
-/** Set the global verbosity (default: Inform). */
+/**
+ * Set the global verbosity (default: Inform).  The initial level can
+ * also be set from the environment: DVP_LOG_LEVEL=silent|warn|inform|
+ * debug (or 0-3), read once before the first message.  Setting
+ * DVP_LOG_TIMESTAMPS=1 prefixes every line with monotonic seconds
+ * since the first message, aligning the log with exported trace spans.
+ */
 void setLogLevel(LogLevel level);
 
 /** Current global verbosity. */
@@ -45,6 +51,9 @@ void warn(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
 
 /** Report normal operational status. */
 void inform(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Report developer-level detail (visible at LogLevel::Debug only). */
+void debug(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
 
 /**
  * Assert an internal invariant; panics with @p msg when @p cond is false.

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/metrics.hh"
 #include "util/logging.hh"
 
 namespace dvp
@@ -28,15 +29,25 @@ ThreadPool::~ThreadPool()
 void
 ThreadPool::drain(Batch &b, size_t lane)
 {
+    uint64_t ran = 0;
     for (size_t i = b.next.fetch_add(1); i < b.n;
          i = b.next.fetch_add(1)) {
         (*b.fn)(i, lane);
+        ++ran;
         // The final increment publishes every lane's writes to the
         // waiting caller (release sequence on `done`).
         if (b.done.fetch_add(1) + 1 == b.n) {
             std::lock_guard<std::mutex> lock(b.done_mutex);
             b.done_cv.notify_all();
         }
+    }
+    // Batched: one registry update per drain, not per morsel.  Tasks
+    // pulled by pool workers (lane != 0) are steals from the caller's
+    // point of view.
+    if (ran != 0) {
+        DVP_COUNTER_ADD("dvp_pool_tasks_total", ran);
+        if (lane != 0)
+            DVP_COUNTER_ADD("dvp_pool_steals_total", ran);
     }
 }
 
@@ -89,6 +100,8 @@ ThreadPool::parallelFor(size_t n, size_t max_lanes, const MorselFn &fn)
     {
         std::lock_guard<std::mutex> lock(mutex);
         open.push_back(batch);
+        DVP_GAUGE_HIGH("dvp_pool_open_batches_high",
+                       static_cast<int64_t>(open.size()));
     }
     work_cv.notify_all();
 

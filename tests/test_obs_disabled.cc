@@ -1,0 +1,33 @@
+/**
+ * @file
+ * Compiled into test_obs with DVP_OBS_DISABLED defined for this
+ * translation unit only: exercises every instrumentation macro in
+ * disabled form.  Mixing modes in one binary is safe by design — the
+ * header's inline functions are identical in both modes, only the
+ * macros change (metrics.hh: "mixed translation units are ODR-safe").
+ * test_obs.cc asserts that none of the names below ever reach the
+ * global registry or tracer.
+ */
+
+#define DVP_OBS_DISABLED 1
+
+#include "obs/metrics.hh"
+#include "obs/trace.hh"
+
+namespace dvp::obs::testing
+{
+
+void
+recordDisabledMetrics()
+{
+    uint64_t n = 7;
+    DVP_COUNTER_ADD("dvp_test_disabled_total", n);
+    DVP_COUNTER_INC("dvp_test_disabled_inc_total");
+    DVP_GAUGE_SET("dvp_test_disabled_gauge", 3);
+    DVP_GAUGE_ADD("dvp_test_disabled_gauge", 2);
+    DVP_GAUGE_HIGH("dvp_test_disabled_gauge", 9);
+    DVP_HISTOGRAM_OBSERVE("dvp_test_disabled_ns", n);
+    DVP_TRACE_SPAN(span, "dvp_test_disabled_span", "never recorded");
+}
+
+} // namespace dvp::obs::testing
