@@ -10,7 +10,7 @@
  *   \layout          show the current partitions
  *   \stats           show workload statistics
  *   \repartition     force a repartition from observed statistics
- *   \explain <sql>   show which tables/columns a query would touch
+ *   \explain <sql>   show the bound physical plan + cache provenance
  *   \save <file>     snapshot data + layout to a binary image
  *   \open <file>     replace the session with a saved snapshot
  *   \quit
@@ -33,6 +33,7 @@
 #include "json/parser.hh"
 #include "nobench/generator.hh"
 #include "persist/snapshot.hh"
+#include "sql/explain.hh"
 #include "sql/parser.hh"
 #include "util/printer.hh"
 #include "util/timer.hh"
@@ -171,33 +172,10 @@ class Shell
         }
         auto db = engine->snapshot();
         std::printf("plan for: %s\n", text.c_str());
-        std::printf("  kind: %d, selectAll: %d, est. selectivity "
-                    "%.4f\n",
-                    static_cast<int>(r.query.kind),
-                    r.query.selectAll ? 1 : 0, r.query.selectivity);
-        auto show_loc = [&](const char *role, storage::AttrId a) {
-            if (a == storage::kNoAttr)
-                return;
-            dvp::engine::AttrLoc loc = db->locate(a);
-            if (loc.table < 0)
-                std::printf("  %s %s: not materialized (all NULL)\n",
-                            role, data.catalog.name(a).c_str());
-            else
-                std::printf("  %s %s -> table %d (%zu attrs, %zu "
-                            "rows)\n",
-                            role, data.catalog.name(a).c_str(),
-                            loc.table,
-                            db->table(loc.table).attrCount(),
-                            db->table(loc.table).rows());
-        };
-        for (storage::AttrId a : r.query.projected)
-            show_loc("project", a);
-        for (storage::AttrId a : r.query.conditionPart())
-            show_loc("condition", a);
-        if (r.query.selectAll)
-            std::printf("  SELECT *: retrieves across all %zu tables "
-                        "via the oid index\n",
-                        db->tableCount());
+        std::printf("est. selectivity %.4f\n", r.query.selectivity);
+        std::printf("%s", sql::explain(*db, r.query,
+                                       &engine->planCache())
+                              .c_str());
     }
 
     void

@@ -1,10 +1,12 @@
 #!/usr/bin/env bash
 # CI entry point: a plain release build + full test suite, then a
-# ThreadSanitizer build + full test suite (the morsel executor and the
-# adaptive engine's background repartition are the race surface).
+# ThreadSanitizer build (the morsel executor and the adaptive engine's
+# background repartition are the race surface) and an AddressSanitizer
+# build (plan-cache lifetime: cached plans vs database swaps).
 #
-# TSan is ~10-20x slower, so the parallel tests read DVP_TEST_DOCS to
-# scale their data set down without losing the thread interleavings.
+# Sanitizer runs are ~10-20x slower, so the heavier tests read
+# DVP_TEST_DOCS to scale their data set down without losing the thread
+# interleavings.
 #
 # Usage: scripts/ci.sh [jobs]
 set -euo pipefail
@@ -44,6 +46,16 @@ cmake -B build-tsan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
     -DDVP_SANITIZE=thread
 cmake --build build-tsan -j "$JOBS"
 DVP_TEST_DOCS=800 ctest --test-dir build-tsan --output-on-failure \
-    -j "$JOBS" -R 'test_parallel|test_util|test_adaptive|test_obs'
+    -j "$JOBS" -R 'test_parallel|test_util|test_adaptive|test_obs|test_plan'
+
+echo "=== address-sanitizer build ==="
+# ASan catches lifetime bugs the plan cache could introduce: a cached
+# plan outliving its Database (epoch guard), swap invalidation racing
+# executions, and layout mutations under randomized move sequences.
+cmake -B build-asan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DDVP_SANITIZE=address
+cmake --build build-asan -j "$JOBS"
+DVP_TEST_DOCS=800 ctest --test-dir build-asan --output-on-failure \
+    -j "$JOBS" -R 'test_plan|test_adaptive|test_layout'
 
 echo "ci.sh: all suites passed"

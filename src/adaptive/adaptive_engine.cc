@@ -12,6 +12,8 @@ AdaptiveEngine::AdaptiveEngine(engine::DataSet &data,
                                const std::vector<engine::Query> &initial,
                                Params params)
     : data(&data), prm(params),
+      threads_(params.threads == 0 ? 1 : params.threads),
+      morsel_rows_(params.morselRows),
       detector(params.window, params.changeThreshold)
 {
     core::Partitioner partitioner(data, initial, prm.search);
@@ -54,7 +56,9 @@ AdaptiveEngine::execute(const engine::Query &q)
         DVP_COUNTER_INC("dvp_queries_during_repartition_total");
     }
     Timer timer;
-    engine::Executor exec(*current, prm.threads);
+    engine::Executor exec(*current, threads());
+    exec.setMorselRows(morselRows());
+    exec.setPlanCache(&plan_cache);
     engine::ResultSet rs = exec.run(q);
     double seconds = timer.seconds();
 

@@ -52,6 +52,9 @@ struct Params
 
     /** Worker lanes per query (see engine::Executor); 1 = serial. */
     size_t threads = 1;
+
+    /** Driving-table rows per morsel; 0 = the executor's default. */
+    size_t morselRows = 0;
 };
 
 /**
@@ -109,15 +112,48 @@ class AdaptiveEngine
     const AdaptationStats &adaptation() const { return adapt_stats; }
     const stats::WorkloadStats &workloadStats() const { return wstats; }
 
+    /**
+     * Execution knobs, applied uniformly to every executor the engine
+     * creates — including queries racing a background swap, which keep
+     * the configured values on both the old and the new database.
+     */
+    void setThreads(size_t t)
+    {
+        threads_.store(t == 0 ? 1 : t, std::memory_order_relaxed);
+    }
+    size_t threads() const
+    {
+        return threads_.load(std::memory_order_relaxed);
+    }
+    void setMorselRows(size_t rows)
+    {
+        morsel_rows_.store(rows, std::memory_order_relaxed);
+    }
+    size_t morselRows() const
+    {
+        return morsel_rows_.load(std::memory_order_relaxed);
+    }
+
+    /**
+     * The engine's plan cache.  Entries are keyed by template signature
+     * and epoch-stamped, so the atomic swap a repartition performs
+     * invalidates every cached plan for free (see plan_cache.hh).
+     */
+    engine::PlanCache &planCache() { return plan_cache; }
+    const engine::PlanCache &planCache() const { return plan_cache; }
+
   private:
     void maybeRepartition();
     void repartitionNow(std::vector<engine::Query> workload);
 
     engine::DataSet *data;
     Params prm;
+    std::atomic<size_t> threads_{1};
+    std::atomic<size_t> morsel_rows_{0};
 
     mutable std::mutex db_mutex;   ///< guards db swaps and doc appends
     std::shared_ptr<engine::Database> db;
+    engine::PlanCache plan_cache;
 
     /**
      * Guards the statistics collector and change detector.  execute()

@@ -6,6 +6,7 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "engine/operators.hh"
 #include "util/logging.hh"
 
 namespace dvp::argo
@@ -23,29 +24,17 @@ using storage::Slot;
 namespace
 {
 
+/**
+ * The Argo execution backend.  Its public surface (project / matches /
+ * retrieve / join / insertDoc) is the ops::runQuery Backend concept
+ * shared with the partitioned engine, so the kind switch, aggregate
+ * orchestration, and insert loop live in engine/operators.hh once.
+ */
 template <class Tracer>
 class Exec
 {
   public:
     Exec(ArgoStore &store, Tracer tr) : store(store), tr(tr) {}
-
-    ResultSet
-    run(const Query &q)
-    {
-        switch (q.kind) {
-          case QueryKind::Project:
-            return project(q);
-          case QueryKind::Select:
-            return select(q);
-          case QueryKind::Aggregate:
-            return aggregate(q);
-          case QueryKind::Join:
-            return join(q);
-          case QueryKind::Insert:
-            return insert(q);
-        }
-        panic("unknown query kind");
-    }
 
   private:
     ArgoStore &store;
@@ -184,6 +173,7 @@ class Exec
         }
     }
 
+  public:
     ResultSet
     project(const Query &q)
     {
@@ -234,7 +224,7 @@ class Exec
 
     /** Matches of the WHERE clause, in increasing oid order. */
     std::vector<Match>
-    evalCondition(const Query &q)
+    matches(const Query &q)
     {
         std::vector<Match> matches;
         const engine::Condition &c = q.cond;
@@ -286,10 +276,10 @@ class Exec
         return matches;
     }
 
+    /** Materialize the already-matched objects. */
     ResultSet
-    select(const Query &q)
+    retrieve(const Query &q, const std::vector<Match> &matches)
     {
-        std::vector<Match> matches = evalCondition(q);
         const auto &catalog = store.data().catalog;
         ResultSet rs;
 
@@ -344,45 +334,9 @@ class Exec
     }
 
     ResultSet
-    aggregate(const Query &q)
-    {
-        // Matching the partitioned engine (paper Q10): run the
-        // selection part — materializing the retrieved records — then
-        // aggregate over the result.
-        Query sub = q;
-        if (!sub.selectAll &&
-            std::find(sub.projected.begin(), sub.projected.end(),
-                      sub.groupBy) == sub.projected.end()) {
-            sub.projected.push_back(sub.groupBy);
-        }
-        ResultSet selected = select(sub);
-
-        ResultSet rs;
-        rs.checksum = selected.checksum;
-        size_t group_col = SIZE_MAX;
-        if (sub.selectAll) {
-            group_col = sub.groupBy;
-        } else {
-            for (size_t i = 0; i < sub.projected.size(); ++i)
-                if (sub.projected[i] == sub.groupBy)
-                    group_col = i;
-        }
-        std::unordered_map<Slot, uint64_t> counts;
-        for (const auto &row : selected.rows) {
-            Slot key = kNullSlot;
-            if (group_col < row.size())
-                key = row[group_col];
-            ++counts[key];
-        }
-        for (const auto &[key, count] : counts)
-            rs.rows.push_back({key, static_cast<Slot>(count)});
-        return rs;
-    }
-
-    ResultSet
     join(const Query &q)
     {
-        std::vector<Match> left = evalCondition(q);
+        std::vector<Match> left = matches(q);
 
         // Build: left oids keyed by the left join attribute's value.
         std::unordered_multimap<Slot, int64_t> build;
@@ -441,14 +395,10 @@ class Exec
         return rs;
     }
 
-    ResultSet
-    insert(const Query &q)
+    void
+    insertDoc(const storage::Document &doc)
     {
-        invariant(q.insertDocs != nullptr,
-                  "insert query without a payload");
-        for (const auto &doc : *q.insertDocs)
-            store.insert(doc);
-        return ResultSet{};
+        store.insert(doc);
     }
 };
 
@@ -458,14 +408,14 @@ ResultSet
 ArgoExecutor::run(const Query &q)
 {
     Exec<engine::NullTracer> exec(*store, engine::NullTracer{});
-    return exec.run(q);
+    return engine::ops::runQuery(exec, q);
 }
 
 ResultSet
 ArgoExecutor::run(const Query &q, perf::MemoryHierarchy &mh)
 {
     Exec<engine::SimTracer> exec(*store, engine::SimTracer{&mh});
-    return exec.run(q);
+    return engine::ops::runQuery(exec, q);
 }
 
 } // namespace dvp::argo

@@ -1,5 +1,7 @@
 #include "engine/database.hh"
 
+#include <atomic>
+
 #include "util/logging.hh"
 #include "util/timer.hh"
 
@@ -32,8 +34,12 @@ Database::Database(const DataSet &data, layout::Layout layout,
                    const std::vector<storage::Document> *docs_override)
     : data_(&data), layout_(std::move(layout)), name_(std::move(name))
 {
+    static std::atomic<uint64_t> next_epoch{1};
+    epoch_ = next_epoch.fetch_add(1, std::memory_order_relaxed);
+
     Timer timer;
     layout_.validate();
+    layout_fingerprint_ = layout_.fingerprint();
 
     tables_.reserve(layout_.partitionCount());
     size_t max_attr = 0;

@@ -75,6 +75,17 @@ class Database
     const DataSet &data() const { return *data_; }
     const std::string &name() const { return name_; }
 
+    /**
+     * Layout epoch: a process-wide monotone stamp taken at
+     * construction.  Every adaptive swap installs a freshly built
+     * Database and therefore a new epoch, which is what keys — and
+     * invalidates for free — cached physical plans (see plan_cache.hh).
+     */
+    uint64_t epoch() const { return epoch_; }
+
+    /** Layout::fingerprint() of this database, computed once. */
+    uint64_t layoutFingerprint() const { return layout_fingerprint_; }
+
     size_t tableCount() const { return tables_.size(); }
     const storage::Table &table(size_t i) const { return tables_[i]; }
 
@@ -105,6 +116,8 @@ class Database
     std::vector<AttrLoc> locs_; ///< dense AttrId -> location
     size_t ndocs = 0;
     double build_seconds = 0;
+    uint64_t epoch_ = 0;
+    uint64_t layout_fingerprint_ = 0;
 };
 
 } // namespace dvp::engine

@@ -8,6 +8,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "engine/operators.hh"
 #include "obs/metrics.hh"
 #include "obs/trace.hh"
 #include "util/logging.hh"
@@ -32,31 +33,26 @@ cellDigest(AttrId attr, Slot s)
     return resultCellDigest(attr, s);
 }
 
+/**
+ * The plan-driven execution backend for one query.  All partition ids,
+ * column offsets, and the driving table come pre-resolved from the
+ * PhysicalPlan; only literals (Condition::lo/hi) and insert payloads
+ * are read from the Query.  Table indices resolve to pointers against
+ * this Exec's Database snapshot, so a plan bound on the same epoch is
+ * always safe to walk.
+ *
+ * The public surface (project / matches / retrieve / join / insertDoc)
+ * is the ops::runQuery Backend concept shared with the Argo executor.
+ */
 template <class Tracer>
 class Exec
 {
   public:
-    Exec(Database &db, Tracer tr, size_t threads, size_t morsel_rows)
-        : db(db), tr(tr), threads(threads), morsel_rows(morsel_rows)
+    Exec(Database &db, const PhysicalPlan &plan, Tracer tr,
+         size_t threads, size_t morsel_rows)
+        : db(db), plan(plan), tr(tr), threads(threads),
+          morsel_rows(morsel_rows)
     {
-    }
-
-    ResultSet
-    run(const Query &q)
-    {
-        switch (q.kind) {
-          case QueryKind::Project:
-            return project(q);
-          case QueryKind::Select:
-            return select(q);
-          case QueryKind::Aggregate:
-            return aggregate(q);
-          case QueryKind::Join:
-            return join(q);
-          case QueryKind::Insert:
-            return insert(q);
-        }
-        panic("unknown query kind");
     }
 
     // Work counters, accumulated as plain increments on whichever lane
@@ -68,8 +64,212 @@ class Exec
     uint64_t obs_partition_touches = 0; ///< partitions hit on retrieval
     uint64_t obs_morsels = 0;          ///< morsel kernels dispatched
 
+    ResultSet
+    project(const Query &)
+    {
+        const MergeScanProjectOp &op = plan.project;
+        if (op.tables.empty())
+            return ResultSet{};
+        std::vector<const Table *> tables = resolve(op.tables);
+        if (parallel()) {
+            std::vector<int64_t> bounds =
+                oidBoundaries(tablePtr(op.driving));
+            if (bounds.size() > 2)
+                return concat(scatter<ResultSet>(
+                    bounds.size() - 1, [&](Exec &lane, size_t i) {
+                        return lane.projectRange(op, tables, bounds[i],
+                                                 bounds[i + 1]);
+                    }));
+        }
+        DVP_TRACE_SPAN(scan_span, "scan", "serial project");
+        return projectRange(op, tables, INT64_MIN, INT64_MAX);
+    }
+
+    /**
+     * Collect matching oids for the query's WHERE clause, per the bound
+     * FilterScan.  With threads > 1 the scan morselizes (by oid range
+     * for merge scans, by row range for single-column predicates);
+     * per-morsel match vectors concatenate back into one globally
+     * sorted list, exactly the serial order.
+     */
+    std::vector<int64_t>
+    matches(const Query &q)
+    {
+        DVP_TRACE_SPAN(scan_span, "scan", "condition scan");
+        const Condition &c = q.cond;
+        const FilterScanOp &f = plan.filter;
+
+        switch (f.mode) {
+          case FilterMode::Empty:
+            return {}; // condition column unknown: empty result
+
+          case FilterMode::Presence: {
+            // No predicate: every object qualifies.  Union of presence
+            // across all tables via a merge scan.
+            std::vector<const Table *> all;
+            for (size_t t = 0; t < db.tableCount(); ++t)
+                all.push_back(&db.table(t));
+            if (all.empty())
+                return {};
+            if (parallel()) {
+                std::vector<int64_t> bounds =
+                    oidBoundaries(tablePtr(f.driving));
+                if (bounds.size() > 2)
+                    return flatten(scatter<std::vector<int64_t>>(
+                        bounds.size() - 1, [&](Exec &lane, size_t i) {
+                            return lane.presenceRange(all, bounds[i],
+                                                      bounds[i + 1]);
+                        }));
+            }
+            return presenceRange(all, INT64_MIN, INT64_MAX);
+          }
+
+          case FilterMode::ColumnPredicate: {
+            const Table &t = db.table(f.table);
+            if (parallel() && t.rows() > morsel_rows) {
+                size_t nm = (t.rows() + morsel_rows - 1) / morsel_rows;
+                return flatten(scatter<std::vector<int64_t>>(
+                    nm, [&](Exec &lane, size_t i) {
+                        size_t r0 = i * lane.morsel_rows;
+                        size_t r1 = std::min(r0 + lane.morsel_rows,
+                                             t.rows());
+                        return lane.condRange(t, f.col, c, r0, r1);
+                    }));
+            }
+            return condRange(t, f.col, c, 0, t.rows());
+          }
+
+          case FilterMode::AnyEq: {
+            // AnyEq: value = ANY flattened-array column.
+            std::vector<const Table *> tables = resolve(f.tables);
+            if (parallel()) {
+                std::vector<int64_t> bounds =
+                    oidBoundaries(tablePtr(f.driving));
+                if (bounds.size() > 2)
+                    return flatten(scatter<std::vector<int64_t>>(
+                        bounds.size() - 1, [&](Exec &lane, size_t i) {
+                            return lane.anyEqRange(tables, f.cols, c,
+                                                   bounds[i],
+                                                   bounds[i + 1]);
+                        }));
+            }
+            return anyEqRange(tables, f.cols, c, INT64_MIN, INT64_MAX);
+          }
+        }
+        panic("unhandled filter mode");
+    }
+
+    /** Retrieve all matches, morselized over the match list. */
+    ResultSet
+    retrieve(const Query &, const std::vector<int64_t> &matches)
+    {
+        DVP_TRACE_SPAN(retrieve_span, "retrieve", nullptr);
+        if (parallel() && matches.size() > morsel_rows) {
+            size_t nm = (matches.size() + morsel_rows - 1) / morsel_rows;
+            return concat(scatter<ResultSet>(
+                nm, [&](Exec &lane, size_t i) {
+                    size_t m0 = i * lane.morsel_rows;
+                    size_t n = std::min(lane.morsel_rows,
+                                        matches.size() - m0);
+                    return lane.retrieveRange(matches.data() + m0, n);
+                }));
+        }
+        return retrieveRange(matches.data(), matches.size());
+    }
+
+    ResultSet
+    join(const Query &q)
+    {
+        invariant(q.joinLeftAttr != storage::kNoAttr &&
+                      q.joinRightAttr != storage::kNoAttr,
+                  "join query needs both ON columns");
+        const HashSelfJoinOp &jn = plan.join;
+
+        // Build side: left records passing the WHERE clause, keyed by
+        // the left join attribute.  (The WHERE scan morselizes; the
+        // build/probe/materialize phases stay on the caller's thread.)
+        std::vector<int64_t> left = matches(q);
+        std::unordered_multimap<Slot, int64_t> build;
+        if (jn.buildTable >= 0) {
+            const Table &t = db.table(jn.buildTable);
+            Cursor cursor;
+            for (int64_t oid : left) {
+                if (probe(t, cursor, oid) == storage::kNoRow)
+                    continue;
+                Slot key = readCell(t, cursor.pos,
+                                    static_cast<size_t>(jn.buildCol));
+                if (!isNull(key))
+                    build.emplace(key, oid);
+            }
+        }
+
+        ResultSet rs;
+        if (build.empty())
+            return rs;
+
+        // Probe side: scan the right join column.
+        if (jn.probeTable < 0)
+            return rs;
+        const Table &rt = db.table(jn.probeTable);
+        countRows(rt.rows());
+        std::vector<std::pair<int64_t, int64_t>> pairs;
+        {
+            DVP_TRACE_SPAN(probe_span, "scan", "join probe");
+            for (size_t r = 0; r < rt.rows(); ++r) {
+                Slot key = readCell(rt, r,
+                                    static_cast<size_t>(jn.probeCol));
+                if (isNull(key))
+                    continue;
+                auto [lo, hi] = build.equal_range(key);
+                if (lo == hi)
+                    continue;
+                int64_t roid = readOid(rt, r);
+                for (auto it = lo; it != hi; ++it)
+                    pairs.emplace_back(it->second, roid);
+            }
+        }
+
+        // SELECT *: materialize both full records for every pair (this
+        // retrieval is what stresses the column layout's TLB, §VI-B).
+        DVP_TRACE_SPAN(retrieve_span, "retrieve", "join materialize");
+        for (auto [loid, roid] : pairs) {
+            for (int64_t oid : {loid, roid}) {
+                for (size_t ti = 0; ti < db.tableCount(); ++ti) {
+                    const Table &t = db.table(ti);
+                    size_t pos = t.lowerBound(oid);
+                    storage::RowIdx row = storage::kNoRow;
+                    if (pos < t.rows()) {
+                        // Deciding membership touches the oid slot.
+                        tr.touch(t.record(pos), 8);
+                        if (t.oid(pos) == oid)
+                            row = static_cast<storage::RowIdx>(pos);
+                    }
+                    if (row == storage::kNoRow)
+                        continue;
+                    countTouch();
+                    const Slot *rec =
+                        readRecord(t, static_cast<size_t>(row));
+                    const auto &schema = t.schema();
+                    for (size_t c = 0; c < schema.size(); ++c)
+                        if (!isNull(rec[1 + c]))
+                            rs.checksum ^=
+                                cellDigest(schema[c], rec[1 + c]);
+                }
+            }
+            rs.rows.push_back({loid, roid});
+        }
+        return rs;
+    }
+
+    void
+    insertDoc(const storage::Document &doc)
+    {
+        db.insert(doc);
+    }
+
   private:
     Database &db;
+    const PhysicalPlan &plan;
     Tracer tr;
     size_t threads;     ///< lane cap for this query (1 = serial)
     size_t morsel_rows; ///< driving-table rows per morsel
@@ -90,6 +290,23 @@ class Exec
 #ifndef DVP_OBS_DISABLED
         ++obs_partition_touches;
 #endif
+    }
+
+    /** Resolve a plan's table indices against this Database snapshot. */
+    std::vector<const Table *>
+    resolve(const std::vector<int> &ids) const
+    {
+        std::vector<const Table *> out;
+        out.reserve(ids.size());
+        for (int t : ids)
+            out.push_back(&db.table(t));
+        return out;
+    }
+
+    const Table *
+    tablePtr(int id) const
+    {
+        return id < 0 ? nullptr : &db.table(static_cast<size_t>(id));
     }
 
     /** Read a record's oid slot through the tracer. */
@@ -219,7 +436,8 @@ class Exec
         std::vector<Exec> lanes;
         lanes.reserve(n);
         for (size_t l = 0; l < n; ++l)
-            lanes.emplace_back(db, tr.fork(), size_t{1}, morsel_rows);
+            lanes.emplace_back(db, plan, tr.fork(), size_t{1},
+                               morsel_rows);
         return lanes;
     }
 
@@ -234,19 +452,15 @@ class Exec
     }
 
     /**
-     * Oid-domain morsel boundaries: the driving (largest) table's oid
-     * column sampled every morsel_rows rows, extended to cover
+     * Oid-domain morsel boundaries: the plan's driving (largest) table's
+     * oid column sampled every morsel_rows rows, extended to cover
      * (-inf, +inf) so oids present only in sparser tables still land
      * in exactly one morsel.  Boundaries are strictly increasing
      * because oid columns are.
      */
     std::vector<int64_t>
-    oidBoundaries(const std::vector<const Table *> &tables) const
+    oidBoundaries(const Table *driving) const
     {
-        const Table *driving = nullptr;
-        for (const Table *t : tables)
-            if (driving == nullptr || t->rows() > driving->rows())
-                driving = t;
         std::vector<int64_t> bounds{INT64_MIN};
         if (driving != nullptr) {
             for (size_t r = morsel_rows; r < driving->rows();
@@ -360,65 +574,31 @@ class Exec
         }
     }
 
-    /** Output-column mapping of a projection (shared by all morsels). */
-    struct ProjectPlan
-    {
-        std::vector<AttrId> attrs;
-        std::vector<const Table *> tables;
-        std::vector<int> tbl_slot;
-        std::vector<int> tbl_col;
-    };
-
-    ProjectPlan
-    planProject(const Query &q)
-    {
-        const auto &catalog = db.data().catalog;
-        ProjectPlan p;
-        p.attrs = q.selectionPart(catalog);
-        invariant(!p.attrs.empty(), "projection with no attributes");
-
-        // Map output columns to (involved-table slot, column).
-        p.tbl_slot.assign(p.attrs.size(), -1);
-        p.tbl_col.assign(p.attrs.size(), -1);
-        std::vector<int> tbl_index(db.tableCount(), -1);
-        for (size_t i = 0; i < p.attrs.size(); ++i) {
-            AttrLoc loc = db.locate(p.attrs[i]);
-            if (loc.table < 0)
-                continue; // attribute unknown to this layout: all NULL
-            if (tbl_index[loc.table] < 0) {
-                tbl_index[loc.table] =
-                    static_cast<int>(p.tables.size());
-                p.tables.push_back(&db.table(loc.table));
-            }
-            p.tbl_slot[i] = tbl_index[loc.table];
-            p.tbl_col[i] = loc.col;
-        }
-        return p;
-    }
-
     /** Project the oids in [@p lo, @p hi): one morsel's kernel. */
     ResultSet
-    projectRange(const ProjectPlan &p, int64_t lo, int64_t hi)
+    projectRange(const MergeScanProjectOp &op,
+                 const std::vector<const Table *> &tables, int64_t lo,
+                 int64_t hi)
     {
         ResultSet rs;
-        std::vector<Slot> row(p.attrs.size(), kNullSlot);
-        mergeScan(p.tables, lo, hi,
+        std::vector<Slot> row(op.attrs.size(), kNullSlot);
+        mergeScan(tables, lo, hi,
                   [&](int64_t oid,
                       const std::vector<storage::RowIdx> &rows) {
             bool any = false;
-            for (size_t i = 0; i < p.attrs.size(); ++i) {
+            for (size_t i = 0; i < op.attrs.size(); ++i) {
                 row[i] = kNullSlot;
-                if (p.tbl_slot[i] < 0 ||
-                    rows[p.tbl_slot[i]] == storage::kNoRow)
+                if (op.tbl_slot[i] < 0 ||
+                    rows[op.tbl_slot[i]] == storage::kNoRow)
                     continue;
                 Slot s = readCell(
-                    *p.tables[p.tbl_slot[i]],
-                    static_cast<size_t>(rows[p.tbl_slot[i]]),
-                    static_cast<size_t>(p.tbl_col[i]));
+                    *tables[op.tbl_slot[i]],
+                    static_cast<size_t>(rows[op.tbl_slot[i]]),
+                    static_cast<size_t>(op.tbl_col[i]));
                 row[i] = s;
                 if (!isNull(s)) {
                     any = true;
-                    rs.checksum ^= cellDigest(p.attrs[i], s);
+                    rs.checksum ^= cellDigest(op.attrs[i], s);
                 }
             }
             if (any) {
@@ -427,29 +607,6 @@ class Exec
             }
         });
         return rs;
-    }
-
-    ResultSet
-    project(const Query &q)
-    {
-        ProjectPlan p;
-        {
-            DVP_TRACE_SPAN(plan_span, "plan", q.name.c_str());
-            p = planProject(q);
-        }
-        if (p.tables.empty())
-            return ResultSet{};
-        if (parallel()) {
-            std::vector<int64_t> bounds = oidBoundaries(p.tables);
-            if (bounds.size() > 2)
-                return concat(scatter<ResultSet>(
-                    bounds.size() - 1, [&](Exec &lane, size_t i) {
-                        return lane.projectRange(p, bounds[i],
-                                                 bounds[i + 1]);
-                    }));
-        }
-        DVP_TRACE_SPAN(scan_span, "scan", "serial project");
-        return projectRange(p, INT64_MIN, INT64_MAX);
     }
 
     /** Presence-union kernel: oids of [@p lo, @p hi) in any table. */
@@ -480,27 +637,21 @@ class Exec
         return matches;
     }
 
-    /** Flattened-array tables and their columns for an AnyEq scan. */
-    struct AnyPlan
-    {
-        std::vector<const Table *> tables;
-        std::vector<std::vector<int>> cols; ///< per scanned table
-    };
-
     /** AnyEq kernel: oids in [@p lo, @p hi) matching any column. */
     std::vector<int64_t>
-    anyEqRange(const AnyPlan &p, const Condition &c, int64_t lo,
-               int64_t hi)
+    anyEqRange(const std::vector<const Table *> &tables,
+               const std::vector<std::vector<int>> &cols,
+               const Condition &c, int64_t lo, int64_t hi)
     {
         std::vector<int64_t> matches;
-        mergeScan(p.tables, lo, hi,
+        mergeScan(tables, lo, hi,
                   [&](int64_t oid,
                       const std::vector<storage::RowIdx> &rows) {
-            for (size_t i = 0; i < p.tables.size(); ++i) {
+            for (size_t i = 0; i < tables.size(); ++i) {
                 if (rows[i] == storage::kNoRow)
                     continue;
-                for (int col : p.cols[i]) {
-                    Slot s = readCell(*p.tables[i],
+                for (int col : cols[i]) {
+                    Slot s = readCell(*tables[i],
                                       static_cast<size_t>(rows[i]),
                                       static_cast<size_t>(col));
                     if (c.matches(s)) {
@@ -514,99 +665,20 @@ class Exec
     }
 
     /**
-     * Collect matching oids for a query's WHERE clause.  With
-     * threads > 1 the scan morselizes (by oid range for merge scans,
-     * by row range for single-column predicates); per-morsel match
-     * vectors concatenate back into one globally sorted list, exactly
-     * the serial order.
-     */
-    std::vector<int64_t>
-    evalCondition(const Query &q)
-    {
-        DVP_TRACE_SPAN(scan_span, "scan", "condition scan");
-        const Condition &c = q.cond;
-
-        if (c.op == CondOp::None) {
-            // No predicate: every object qualifies.  Union of presence
-            // across all tables via a merge scan.
-            std::vector<const Table *> all;
-            for (size_t t = 0; t < db.tableCount(); ++t)
-                all.push_back(&db.table(t));
-            if (all.empty())
-                return {};
-            if (parallel()) {
-                std::vector<int64_t> bounds = oidBoundaries(all);
-                if (bounds.size() > 2)
-                    return flatten(scatter<std::vector<int64_t>>(
-                        bounds.size() - 1, [&](Exec &lane, size_t i) {
-                            return lane.presenceRange(all, bounds[i],
-                                                      bounds[i + 1]);
-                        }));
-            }
-            return presenceRange(all, INT64_MIN, INT64_MAX);
-        }
-
-        if (c.op == CondOp::Eq || c.op == CondOp::Between) {
-            AttrLoc loc = db.locate(c.attr);
-            if (loc.table < 0)
-                return {}; // unknown column: empty result
-            const Table &t = db.table(loc.table);
-            if (parallel() && t.rows() > morsel_rows) {
-                size_t nm = (t.rows() + morsel_rows - 1) / morsel_rows;
-                return flatten(scatter<std::vector<int64_t>>(
-                    nm, [&](Exec &lane, size_t i) {
-                        size_t r0 = i * lane.morsel_rows;
-                        size_t r1 = std::min(r0 + lane.morsel_rows,
-                                             t.rows());
-                        return lane.condRange(t, loc.col, c, r0, r1);
-                    }));
-            }
-            return condRange(t, loc.col, c, 0, t.rows());
-        }
-
-        // AnyEq: value = ANY flattened-array column.
-        invariant(c.op == CondOp::AnyEq, "unhandled condition op");
-        AnyPlan p;
-        std::vector<int> tbl_index(db.tableCount(), -1);
-        for (AttrId a : c.anyAttrs) {
-            AttrLoc loc = db.locate(a);
-            if (loc.table < 0)
-                continue;
-            if (tbl_index[loc.table] < 0) {
-                tbl_index[loc.table] =
-                    static_cast<int>(p.tables.size());
-                p.tables.push_back(&db.table(loc.table));
-                p.cols.emplace_back();
-            }
-            p.cols[tbl_index[loc.table]].push_back(loc.col);
-        }
-        if (p.tables.empty())
-            return {};
-        if (parallel()) {
-            std::vector<int64_t> bounds = oidBoundaries(p.tables);
-            if (bounds.size() > 2)
-                return flatten(scatter<std::vector<int64_t>>(
-                    bounds.size() - 1, [&](Exec &lane, size_t i) {
-                        return lane.anyEqRange(p, c, bounds[i],
-                                               bounds[i + 1]);
-                    }));
-        }
-        return anyEqRange(p, c, INT64_MIN, INT64_MAX);
-    }
-
-    /**
      * Retrieve rows for @p count already-matched oids at @p matches.
      * Matches must be in increasing oid order; per-table cursors then
      * seek forward only.
      */
     ResultSet
-    retrieveRange(const Query &q, const int64_t *matches, size_t count)
+    retrieveRange(const int64_t *matches, size_t count)
     {
-        const auto &catalog = db.data().catalog;
+        const IndexRetrieveOp &op = plan.retrieve;
         ResultSet rs;
 
-        if (q.selectAll) {
-            size_t width = catalog.attrCount();
+        if (op.selectAll) {
+            // Probes every partition; widths come from the live db so
+            // catalog growth within an epoch is still visible.
+            size_t width = db.data().catalog.attrCount();
             std::vector<Cursor> cursor(db.tableCount());
             for (size_t m = 0; m < count; ++m) {
                 int64_t oid = matches[m];
@@ -631,38 +703,30 @@ class Exec
             return rs;
         }
 
-        // Explicit projection list: group output columns by table.
+        // Explicit projection list: the bound groups, one cursor each.
         struct Group
         {
             const Table *table;
-            std::vector<std::pair<size_t, int>> outCol; // (row idx, col)
+            const std::vector<IndexRetrieveOp::Col> *cols;
             Cursor cursor;
         };
         std::vector<Group> groups;
-        std::vector<int> tbl_index(db.tableCount(), -1);
-        for (size_t i = 0; i < q.projected.size(); ++i) {
-            AttrLoc loc = db.locate(q.projected[i]);
-            if (loc.table < 0)
-                continue;
-            if (tbl_index[loc.table] < 0) {
-                tbl_index[loc.table] = static_cast<int>(groups.size());
-                groups.push_back(Group{&db.table(loc.table), {}, {}});
-            }
-            groups[tbl_index[loc.table]].outCol.emplace_back(i, loc.col);
-        }
+        groups.reserve(op.groups.size());
+        for (const auto &g : op.groups)
+            groups.push_back(Group{&db.table(g.table), &g.cols, {}});
 
         for (size_t m = 0; m < count; ++m) {
             int64_t oid = matches[m];
-            std::vector<Slot> row(q.projected.size(), kNullSlot);
+            std::vector<Slot> row(op.outWidth, kNullSlot);
             for (auto &g : groups) {
                 if (probe(*g.table, g.cursor, oid) == storage::kNoRow)
                     continue;
-                for (auto [out, col] : g.outCol) {
+                for (const auto &pc : *g.cols) {
                     Slot s = readCell(*g.table, g.cursor.pos,
-                                      static_cast<size_t>(col));
-                    row[out] = s;
+                                      static_cast<size_t>(pc.col));
+                    row[pc.out] = s;
                     if (!isNull(s))
-                        rs.checksum ^= cellDigest(q.projected[out], s);
+                        rs.checksum ^= cellDigest(pc.attr, s);
                 }
             }
             rs.oids.push_back(oid);
@@ -670,176 +734,44 @@ class Exec
         }
         return rs;
     }
-
-    /** Retrieve all matches, morselized over the match list. */
-    ResultSet
-    retrieve(const Query &q, const std::vector<int64_t> &matches)
-    {
-        DVP_TRACE_SPAN(retrieve_span, "retrieve", nullptr);
-        if (parallel() && matches.size() > morsel_rows) {
-            size_t nm = (matches.size() + morsel_rows - 1) / morsel_rows;
-            return concat(scatter<ResultSet>(
-                nm, [&](Exec &lane, size_t i) {
-                    size_t m0 = i * lane.morsel_rows;
-                    size_t n = std::min(lane.morsel_rows,
-                                        matches.size() - m0);
-                    return lane.retrieveRange(q, matches.data() + m0,
-                                              n);
-                }));
-        }
-        return retrieveRange(q, matches.data(), matches.size());
-    }
-
-    ResultSet
-    select(const Query &q)
-    {
-        std::vector<int64_t> matches = evalCondition(q);
-        return retrieve(q, matches);
-    }
-
-    ResultSet
-    aggregate(const Query &q)
-    {
-        invariant(q.groupBy != storage::kNoAttr,
-                  "aggregate query needs a GROUP BY column");
-
-        // Paper Q10 semantics: "the engine first executes the
-        // selection part of the query, and then it does the
-        // aggregation over the retrieved result of the selection
-        // part" (§VI-B) — a SELECT * aggregation materializes full
-        // records first, which is what penalizes the NULL-laden
-        // layouts (row, Hyrise) during the aggregation pass.
-        Query sub = q;
-        if (!sub.selectAll &&
-            std::find(sub.projected.begin(), sub.projected.end(),
-                      sub.groupBy) == sub.projected.end()) {
-            // COUNT(*) retrieves at least the grouping column.
-            sub.projected.push_back(sub.groupBy);
-        }
-        ResultSet selected = select(sub);
-
-        DVP_TRACE_SPAN(fold_span, "merge", "aggregate fold");
-        ResultSet rs;
-        rs.checksum = selected.checksum;
-        std::unordered_map<Slot, uint64_t> counts;
-        AttrLoc loc = db.locate(q.groupBy);
-        size_t group_col = SIZE_MAX;
-        if (sub.selectAll) {
-            group_col = sub.groupBy; // rows are dense in AttrId order
-        } else {
-            for (size_t i = 0; i < sub.projected.size(); ++i)
-                if (sub.projected[i] == sub.groupBy)
-                    group_col = i;
-        }
-
-        for (const auto &row : selected.rows) {
-            Slot key = kNullSlot;
-            if (loc.table >= 0 && group_col < row.size())
-                key = row[group_col];
-            ++counts[key];
-        }
-
-        for (const auto &[key, count] : counts)
-            rs.rows.push_back({key, static_cast<Slot>(count)});
-        return rs;
-    }
-
-    ResultSet
-    join(const Query &q)
-    {
-        invariant(q.joinLeftAttr != storage::kNoAttr &&
-                      q.joinRightAttr != storage::kNoAttr,
-                  "join query needs both ON columns");
-
-        // Build side: left records passing the WHERE clause, keyed by
-        // the left join attribute.  (The WHERE scan morselizes; the
-        // build/probe/materialize phases stay on the caller's thread.)
-        std::vector<int64_t> left = evalCondition(q);
-        std::unordered_multimap<Slot, int64_t> build;
-        AttrLoc lloc = db.locate(q.joinLeftAttr);
-        if (lloc.table >= 0) {
-            const Table &t = db.table(lloc.table);
-            Cursor cursor;
-            for (int64_t oid : left) {
-                if (probe(t, cursor, oid) == storage::kNoRow)
-                    continue;
-                Slot key = readCell(t, cursor.pos,
-                                    static_cast<size_t>(lloc.col));
-                if (!isNull(key))
-                    build.emplace(key, oid);
-            }
-        }
-
-        ResultSet rs;
-        if (build.empty())
-            return rs;
-
-        // Probe side: scan the right join column.
-        AttrLoc rloc = db.locate(q.joinRightAttr);
-        if (rloc.table < 0)
-            return rs;
-        const Table &rt = db.table(rloc.table);
-        countRows(rt.rows());
-        std::vector<std::pair<int64_t, int64_t>> pairs;
-        {
-            DVP_TRACE_SPAN(probe_span, "scan", "join probe");
-            for (size_t r = 0; r < rt.rows(); ++r) {
-                Slot key = readCell(rt, r, static_cast<size_t>(rloc.col));
-                if (isNull(key))
-                    continue;
-                auto [lo, hi] = build.equal_range(key);
-                if (lo == hi)
-                    continue;
-                int64_t roid = readOid(rt, r);
-                for (auto it = lo; it != hi; ++it)
-                    pairs.emplace_back(it->second, roid);
-            }
-        }
-
-        // SELECT *: materialize both full records for every pair (this
-        // retrieval is what stresses the column layout's TLB, §VI-B).
-        DVP_TRACE_SPAN(retrieve_span, "retrieve", "join materialize");
-        for (auto [loid, roid] : pairs) {
-            for (int64_t oid : {loid, roid}) {
-                for (size_t ti = 0; ti < db.tableCount(); ++ti) {
-                    const Table &t = db.table(ti);
-                    size_t pos = t.lowerBound(oid);
-                    storage::RowIdx row = storage::kNoRow;
-                    if (pos < t.rows()) {
-                        // Deciding membership touches the oid slot.
-                        tr.touch(t.record(pos), 8);
-                        if (t.oid(pos) == oid)
-                            row = static_cast<storage::RowIdx>(pos);
-                    }
-                    if (row == storage::kNoRow)
-                        continue;
-                    countTouch();
-                    const Slot *rec =
-                        readRecord(t, static_cast<size_t>(row));
-                    const auto &schema = t.schema();
-                    for (size_t c = 0; c < schema.size(); ++c)
-                        if (!isNull(rec[1 + c]))
-                            rs.checksum ^=
-                                cellDigest(schema[c], rec[1 + c]);
-                }
-            }
-            rs.rows.push_back({loid, roid});
-        }
-        return rs;
-    }
-
-    ResultSet
-    insert(const Query &q)
-    {
-        invariant(q.insertDocs != nullptr,
-                  "insert query without a payload");
-        for (const auto &doc : *q.insertDocs)
-            db.insert(doc);
-        return ResultSet{};
-    }
 };
 
+#ifndef DVP_OBS_DISABLED
+/**
+ * One registry flush per query: the runtime-labelled names below cost a
+ * mutex + map lookup each, which is noise next to a query's execution
+ * but would not be next to a morsel kernel's.
+ */
+void
+flushQueryMetrics(const Database &db, const Query &q, uint64_t ns,
+                  const Exec<NullTracer> &exec)
+{
+    auto &reg = obs::Registry::global();
+    reg.counter("dvp_queries_total").add(1);
+    reg.histogram("dvp_query_ns{query=\"" + q.name + "\"}").observe(ns);
+    const std::string &layout = db.name();
+    reg.counter("dvp_rows_scanned_total{layout=\"" + layout + "\"}")
+        .add(exec.obs_rows_scanned);
+    reg.counter("dvp_partition_touches_total{layout=\"" + layout + "\"}")
+        .add(exec.obs_partition_touches);
+    reg.counter("dvp_morsels_total").add(exec.obs_morsels);
+}
+#endif
+
 } // namespace
+
+const PhysicalPlan *
+Executor::bound(const Query &q, std::shared_ptr<const PhysicalPlan> &keep,
+                PhysicalPlan &local)
+{
+    DVP_TRACE_SPAN(plan_span, "plan", q.name.c_str());
+    if (plan_cache != nullptr) {
+        keep = plan_cache->bind(*db, q);
+        return keep.get();
+    }
+    local = bindPlan(*db, q);
+    return &local;
+}
 
 ResultSet
 Executor::run(const Query &q)
@@ -848,25 +780,18 @@ Executor::run(const Query &q)
     DVP_TRACE_SPAN(query_span, "query", q.name.c_str());
     auto t0 = std::chrono::steady_clock::now();
 #endif
-    Exec<NullTracer> exec(*db, NullTracer{}, threads_, morsel_rows);
-    ResultSet rs = exec.run(q);
+    std::shared_ptr<const PhysicalPlan> keep;
+    PhysicalPlan local;
+    const PhysicalPlan *plan = bound(q, keep, local);
+    Exec<NullTracer> exec(*db, *plan, NullTracer{}, threads_,
+                          morsel_rows);
+    ResultSet rs = ops::runQuery(exec, q);
 #ifndef DVP_OBS_DISABLED
-    // One registry flush per query: the runtime-labelled names below
-    // cost a mutex + map lookup each, which is noise next to a query's
-    // execution but would not be next to a morsel kernel's.
     auto ns = static_cast<uint64_t>(
         std::chrono::duration_cast<std::chrono::nanoseconds>(
             std::chrono::steady_clock::now() - t0)
             .count());
-    auto &reg = obs::Registry::global();
-    reg.counter("dvp_queries_total").add(1);
-    reg.histogram("dvp_query_ns{query=\"" + q.name + "\"}").observe(ns);
-    const std::string &layout = db->name();
-    reg.counter("dvp_rows_scanned_total{layout=\"" + layout + "\"}")
-        .add(exec.obs_rows_scanned);
-    reg.counter("dvp_partition_touches_total{layout=\"" + layout + "\"}")
-        .add(exec.obs_partition_touches);
-    reg.counter("dvp_morsels_total").add(exec.obs_morsels);
+    flushQueryMetrics(*db, q, ns, exec);
 #endif
     return rs;
 }
@@ -875,9 +800,36 @@ ResultSet
 Executor::run(const Query &q, perf::MemoryHierarchy &mh)
 {
     // Trace-pinned: one thread, one hierarchy, the paper's exact
-    // access sequence (see executor.hh).
-    Exec<SimTracer> exec(*db, SimTracer{&mh, nullptr}, 1, morsel_rows);
-    return exec.run(q);
+    // access sequence (see executor.hh).  Binding performs no table
+    // reads, so the simulated counters match the unbound executor's.
+    std::shared_ptr<const PhysicalPlan> keep;
+    PhysicalPlan local;
+    const PhysicalPlan *plan = bound(q, keep, local);
+    Exec<SimTracer> exec(*db, *plan, SimTracer{&mh, nullptr}, 1,
+                         morsel_rows);
+    return ops::runQuery(exec, q);
+}
+
+ResultSet
+Executor::execute(const PhysicalPlan &plan, const Query &q)
+{
+    invariant(plan.epoch == db->epoch(),
+              "plan bound against a different database");
+#ifndef DVP_OBS_DISABLED
+    DVP_TRACE_SPAN(query_span, "query", q.name.c_str());
+    auto t0 = std::chrono::steady_clock::now();
+#endif
+    Exec<NullTracer> exec(*db, plan, NullTracer{}, threads_,
+                          morsel_rows);
+    ResultSet rs = ops::runQuery(exec, q);
+#ifndef DVP_OBS_DISABLED
+    auto ns = static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - t0)
+            .count());
+    flushQueryMetrics(*db, q, ns, exec);
+#endif
+    return rs;
 }
 
 } // namespace dvp::engine

@@ -32,13 +32,23 @@
 #define DVP_ENGINE_EXECUTOR_HH
 
 #include "engine/database.hh"
+#include "engine/plan.hh"
+#include "engine/plan_cache.hh"
 #include "engine/query.hh"
 #include "engine/tracer.hh"
 
 namespace dvp::engine
 {
 
-/** Executes queries against one Database. */
+/**
+ * Executes queries against one Database.
+ *
+ * Execution is a bind -> execute pipeline: run(q) first obtains a
+ * PhysicalPlan — from the attached PlanCache when one is set (and
+ * fresh), by calling bindPlan() otherwise — then walks the bound
+ * operators.  The cached hot path performs no catalog or attribute-
+ * index lookups at all.
+ */
 class Executor
 {
   public:
@@ -63,6 +73,14 @@ class Executor
     {
         morsel_rows = rows == 0 ? kDefaultMorselRows : rows;
     }
+    size_t morselRows() const { return morsel_rows; }
+
+    /**
+     * Serve plans from @p cache (owned by the caller; may be shared by
+     * many executors).  Null detaches.  Without a cache every run()
+     * binds a private plan.
+     */
+    void setPlanCache(PlanCache *cache) { plan_cache = cache; }
 
     /** Execute on the timing path (no simulation overhead). */
     ResultSet run(const Query &q);
@@ -74,10 +92,22 @@ class Executor
      */
     ResultSet run(const Query &q, perf::MemoryHierarchy &mh);
 
+    /**
+     * Execute a pre-bound plan.  @p plan must have been bound against
+     * this executor's Database (checked via the epoch stamp).
+     */
+    ResultSet execute(const PhysicalPlan &plan, const Query &q);
+
   private:
+    /** Plan for @p q: cached when possible, else bound into @p local. */
+    const PhysicalPlan *
+    bound(const Query &q, std::shared_ptr<const PhysicalPlan> &keep,
+          PhysicalPlan &local);
+
     Database *db;
     size_t threads_;
     size_t morsel_rows = kDefaultMorselRows;
+    PlanCache *plan_cache = nullptr;
 };
 
 } // namespace dvp::engine

@@ -121,6 +121,41 @@ Layout::equivalentTo(const Layout &other) const
     return canon(*this) == canon(other);
 }
 
+namespace
+{
+
+/** splitmix64 finalizer; decorrelates ids before commutative sums. */
+uint64_t
+mix64(uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ull;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+    return x ^ (x >> 31);
+}
+
+} // namespace
+
+uint64_t
+Layout::fingerprint() const
+{
+    // Commutative sums at both levels mirror equivalentTo()'s
+    // set-of-sets comparison: neither attribute order within a
+    // partition nor partition order within the layout can change the
+    // value, while the mix64 around each partition's sum keeps
+    // {a,b}{c} distinct from {a}{b,c}.  Partitions are non-empty and
+    // disjoint (validate), so the sets are never duplicated and the
+    // sum behaves as a set union.
+    uint64_t fp = 0x5bf03635d78c491dull;
+    for (const auto &p : parts) {
+        uint64_t ph = 0;
+        for (AttrId a : p)
+            ph += mix64(a);
+        fp += mix64(ph + p.size());
+    }
+    return mix64(fp + parts.size());
+}
+
 std::string
 Layout::describe() const
 {

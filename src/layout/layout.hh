@@ -74,6 +74,15 @@ class Layout
     /** Structural equality up to partition and attribute order. */
     bool equivalentTo(const Layout &other) const;
 
+    /**
+     * Order-insensitive 64-bit hash of the partition sets: equivalent
+     * layouts (equivalentTo) hash identically, and non-equivalent ones
+     * collide only with ordinary 64-bit-hash probability.  The plan
+     * cache keys cached physical plans on this together with the
+     * database epoch.
+     */
+    uint64_t fingerprint() const;
+
     /** Human-readable dump ("{a,b}{c}" with attribute ids). */
     std::string describe() const;
 

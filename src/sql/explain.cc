@@ -1,0 +1,36 @@
+#include "sql/explain.hh"
+
+#include <cinttypes>
+#include <cstdio>
+
+#include "engine/plan.hh"
+
+namespace dvp::sql
+{
+
+std::string
+explain(const engine::Database &db, const engine::Query &q,
+        const engine::PlanCache *cache)
+{
+    char line[128];
+    if (cache == nullptr) {
+        std::snprintf(line, sizeof(line),
+                      "plan cache: none (ad-hoc bind)\n");
+        return line + engine::bindPlan(db, q).describe(db);
+    }
+
+    uint64_t uses = 0;
+    if (auto cached = cache->peek(db, q, &uses)) {
+        std::snprintf(line, sizeof(line),
+                      "plan cache: HIT (epoch %" PRIu64
+                      ", served %" PRIu64 "x)\n",
+                      cached->epoch, uses);
+        return line + cached->describe(db);
+    }
+
+    std::snprintf(line, sizeof(line),
+                  "plan cache: MISS (next execution cold-binds)\n");
+    return line + engine::bindPlan(db, q).describe(db);
+}
+
+} // namespace dvp::sql

@@ -1,0 +1,35 @@
+/**
+ * @file
+ * EXPLAIN rendering: the bound physical plan for a parsed query, with
+ * plan-cache provenance (was this template already cached, and how
+ * often has the cached plan been served?).
+ */
+
+#ifndef DVP_SQL_EXPLAIN_HH
+#define DVP_SQL_EXPLAIN_HH
+
+#include <string>
+
+#include "engine/database.hh"
+#include "engine/plan_cache.hh"
+#include "engine/query.hh"
+
+namespace dvp::sql
+{
+
+/**
+ * Human-readable EXPLAIN body for @p q against @p db: one provenance
+ * line, then PhysicalPlan::describe().
+ *
+ * With @p cache the provenance reports HIT (a fresh cached plan exists;
+ * it is reused, and its epoch and served count are shown) or MISS (the
+ * next execution will cold-bind).  The probe uses PlanCache::peek(), so
+ * EXPLAIN never perturbs the cache or its counters.  Without a cache
+ * the plan is bound ad hoc.
+ */
+std::string explain(const engine::Database &db, const engine::Query &q,
+                    const engine::PlanCache *cache = nullptr);
+
+} // namespace dvp::sql
+
+#endif // DVP_SQL_EXPLAIN_HH

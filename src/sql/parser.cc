@@ -355,6 +355,11 @@ class Parser
             if (cur().kind != TokKind::Ident)
                 return fail("expected grouping column");
             group_by = column(cur().text);
+            if (group_by == storage::kNoAttr)
+                // Unlike WHERE/SELECT columns (all-NULL semantics), a
+                // grouping column must exist: the engine's aggregate
+                // fold requires one.
+                return fail("unknown GROUP BY column");
             advance();
         }
         eatPunct(';');
@@ -365,6 +370,8 @@ class Parser
             q.kind = QueryKind::Join;
             q.selectAll = true; // the dialect's joins are SELECT *
         } else if (count) {
+            if (!has_group_by)
+                return fail("COUNT(*) requires GROUP BY");
             q.kind = QueryKind::Aggregate;
             q.selectAll = true;
             q.groupBy = group_by;

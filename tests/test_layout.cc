@@ -5,6 +5,8 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "layout/layout.hh"
 #include "util/random.hh"
 
@@ -123,6 +125,88 @@ TEST(LayoutDeath, DuplicateAttributeRejected)
 TEST(LayoutDeath, EmptyPartitionRejected)
 {
     EXPECT_DEATH(Layout({{0}, {}}), "empty partition");
+}
+
+// ---------------------------------------------------------------------
+// fingerprint(): the plan cache's order-insensitive layout hash.
+// ---------------------------------------------------------------------
+
+/** Random partitioning of n attributes into at most k parts. */
+Layout
+randomLayout(Rng &rng, size_t n, size_t k)
+{
+    std::vector<std::vector<AttrId>> parts(1 + rng.below(k));
+    for (size_t a = 0; a < n; ++a)
+        parts[rng.below(parts.size())].push_back(
+            static_cast<AttrId>(a));
+    parts.erase(std::remove_if(parts.begin(), parts.end(),
+                               [](const auto &p) { return p.empty(); }),
+                parts.end());
+    return Layout(std::move(parts));
+}
+
+/** The same partition sets, in scrambled partition and attr order. */
+Layout
+scrambled(const Layout &l, Rng &rng)
+{
+    std::vector<std::vector<AttrId>> parts = l.partitions();
+    for (auto &p : parts)
+        rng.shuffle(p);
+    rng.shuffle(parts);
+    return Layout(std::move(parts));
+}
+
+TEST(LayoutFingerprint, OrderInsensitive)
+{
+    Layout l({{0, 1, 2}, {3}, {4, 5}});
+    Layout reordered({{5, 4}, {2, 0, 1}, {3}});
+    ASSERT_TRUE(l.equivalentTo(reordered));
+    EXPECT_EQ(l.fingerprint(), reordered.fingerprint());
+}
+
+TEST(LayoutFingerprint, DistinguishesGrouping)
+{
+    // Same attributes, different grouping: sum-based hashes are an
+    // easy way to get this wrong ({0,1}{2} vs {0}{1,2}).
+    Layout a({{0, 1}, {2}});
+    Layout b({{0}, {1, 2}});
+    ASSERT_FALSE(a.equivalentTo(b));
+    EXPECT_NE(a.fingerprint(), b.fingerprint());
+    EXPECT_NE(Layout::rowBased(attrs(6)).fingerprint(),
+              Layout::columnBased(attrs(6)).fingerprint());
+}
+
+TEST(LayoutFingerprint, RandomizedEquivalenceIff)
+{
+    // Property: equivalentTo(a, b) <=> fingerprint(a) == fingerprint(b)
+    // over random layouts, their scrambled copies, and random
+    // single-move mutations.
+    Rng rng(20260805);
+    for (int round = 0; round < 200; ++round) {
+        size_t n = 2 + rng.below(40);
+        Layout l = randomLayout(rng, n, 8);
+
+        // Scrambling partition/attr order never changes the print.
+        Layout same = scrambled(l, rng);
+        ASSERT_TRUE(l.equivalentTo(same));
+        EXPECT_EQ(l.fingerprint(), same.fingerprint());
+
+        // Moving one attribute somewhere else always changes it.
+        Layout moved = l;
+        auto a = static_cast<AttrId>(rng.below(n));
+        auto target = static_cast<PartIdx>(
+            rng.below(moved.partitionCount() + 1));
+        if (target == moved.partitionOf(a))
+            continue;
+        if (target == moved.partitionCount() &&
+            moved.partition(moved.partitionOf(a)).size() == 1)
+            continue; // singleton to fresh partition: no-op
+        moved.moveAttr(a, target);
+        ASSERT_FALSE(l.equivalentTo(moved));
+        EXPECT_NE(l.fingerprint(), moved.fingerprint());
+        EXPECT_EQ(moved.fingerprint(), scrambled(moved, rng)
+                                           .fingerprint());
+    }
 }
 
 TEST(Layout, RandomMoveSequenceKeepsInvariant)
