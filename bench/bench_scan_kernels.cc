@@ -1,0 +1,279 @@
+/**
+ * @file
+ * Scan-kernel microbench (DESIGN.md §12, EXPERIMENTS.md): what the
+ * batched SelVec kernels and zone-map block skipping buy over the
+ * row-at-a-time predicate loop, on one NoBench row-layout table.
+ *
+ * Two stages, both emitted as human tables and (--json) NDJSON:
+ *
+ *  - kernel stage: single-thread match-phase throughput (rows/sec) of
+ *    the old row loop (cell read + Condition::matches + push_back, the
+ *    pre-kernel executor inner loop) vs the branch-free scalar kernel
+ *    vs the AVX2 kernel, over predicates spanning the interesting
+ *    regimes: string Eq (Q5-style), 0.1%-selectivity BETWEEN
+ *    (Q6-style), ~50% BETWEEN (branch-misprediction worst case),
+ *    sparse-column Eq (Q9-style, mostly NULL), and a clustered BETWEEN
+ *    on `id` where zone maps prune almost every block;
+ *
+ *  - end-to-end stage: full Executor Select latency with the
+ *    vectorized path off vs on, plus the block-skip ratio observed in
+ *    the metrics registry.
+ *
+ * All forms must produce identical match vectors; the bench aborts on
+ * any disagreement (it doubles as a coarse differential check at full
+ * data scale).
+ */
+
+#include "harness.hh"
+
+#include "engine/kernels.hh"
+#include "obs/metrics.hh"
+#include "util/logging.hh"
+
+namespace dvp::bench
+{
+namespace
+{
+
+using engine::Condition;
+using engine::CondOp;
+using engine::Query;
+using engine::QueryKind;
+using storage::kZoneRows;
+using storage::Slot;
+using storage::Table;
+namespace k = engine::kernels;
+
+/** One measured predicate: a name and a bound WHERE clause. */
+struct ScanCase
+{
+    std::string name;
+    Condition cond;
+};
+
+/** The pre-kernel executor inner loop, verbatim. */
+std::vector<int64_t>
+rowLoopScan(const Table &t, int col, const Condition &c)
+{
+    std::vector<int64_t> matches;
+    for (size_t r = 0; r < t.rows(); ++r) {
+        Slot s = t.cell(r, static_cast<size_t>(col));
+        if (c.matches(s))
+            matches.push_back(t.oid(r));
+    }
+    return matches;
+}
+
+/** The kernel scan: zone-map skip + batched SelVec form @p fn. */
+std::vector<int64_t>
+kernelScan(const Table &t, int col, const Condition &c, k::KernelFn fn,
+           uint64_t *scanned = nullptr, uint64_t *skipped = nullptr)
+{
+    const k::Pred p = k::fromCondition(c);
+    const size_t ucol = static_cast<size_t>(col);
+    size_t bound = 0;
+    for (size_t b = 0; b < t.blockCount(); ++b)
+        if (k::zoneCanMatch(p, t.zone(b, ucol)))
+            bound += t.zone(b, ucol).nonnull;
+    std::vector<int64_t> matches;
+    matches.reserve(bound);
+    k::SelVec sel;
+    for (size_t b = 0; b < t.blockCount(); ++b) {
+        if (!k::zoneCanMatch(p, t.zone(b, ucol))) {
+            if (skipped)
+                ++*skipped;
+            continue;
+        }
+        if (scanned)
+            ++*scanned;
+        size_t s0 = b * kZoneRows;
+        size_t n = t.blockRows(b);
+        fn(t.record(s0) + 1 + ucol, t.strideSlots(), n, p.lo, p.hi,
+           sel);
+        for (uint32_t i = 0; i < sel.n; ++i)
+            matches.push_back(t.oid(s0 + sel.idx[i]));
+    }
+    return matches;
+}
+
+int
+run(int argc, char **argv)
+{
+    Options opt = Options::parse(argc, argv, /*default_docs=*/100000);
+    nobench::Config cfg = opt.nobenchConfig();
+    engine::DataSet data = nobench::generateDataSet(cfg);
+    nobench::QuerySet qs(data, cfg);
+    // Row layout: wide stride, the scan streams whole records and is
+    // bandwidth-bound.  Column layout: 2-slot stride, the regime the
+    // Q1/Q2/Q3-style column scans put the kernels in.
+    engine::Database row_db(
+        data, layout::Layout::rowBased(data.catalog.allAttrs()), "row");
+    engine::Database col_db(
+        data, layout::Layout::columnBased(data.catalog.allAttrs()),
+        "column");
+
+    Rng rng(opt.seed + 40);
+    std::vector<ScanCase> cases;
+    cases.push_back({"eq_str(Q5)", qs.instantiate(nobench::kQ5, rng).cond});
+    cases.push_back(
+        {"between_0.1%(Q6)", qs.instantiate(nobench::kQ6, rng).cond});
+    Condition mid = cases.back().cond; // ~50% selectivity: the branch-
+    mid.lo = 0;                        // misprediction worst case the
+    mid.hi = cfg.numRange / 2;         // branch-free form sidesteps
+    cases.push_back({"between_50%", mid});
+    cases.push_back(
+        {"eq_sparse(Q9)", qs.instantiate(nobench::kQ9, rng).cond});
+    // Clustered: id == oid, so a 0.1% range prunes every other block.
+    Condition clustered;
+    clustered.op = CondOp::Between;
+    clustered.attr = data.catalog.find("id");
+    clustered.lo = 100;
+    clustered.hi = 100 + static_cast<Slot>(opt.docs / 1000);
+    cases.push_back({"between_id", clustered});
+
+    JsonLog json(opt, "scan_kernels");
+
+    TablePrinter t({"Layout", "Predicate", "row loop [Mr/s]",
+                    "scalar [Mr/s]", "simd [Mr/s]", "scalar x",
+                    "simd x", "skip %"});
+    for (engine::Database *dbp : {&col_db, &row_db}) {
+      engine::Database &db = *dbp;
+      for (const ScanCase &c : cases) {
+        engine::AttrLoc loc = db.locate(c.cond.attr);
+        if (loc.table < 0)
+            continue;
+        const Table &tab = db.table(static_cast<size_t>(loc.table));
+        const double nrows = static_cast<double>(tab.rows());
+
+        std::vector<int64_t> ref = rowLoopScan(tab, loc.col, c.cond);
+        double base_s = timeMedian(opt.repeats, [&] {
+            volatile size_t sink =
+                rowLoopScan(tab, loc.col, c.cond).size();
+            (void)sink;
+        });
+
+        k::KernelFn scalar =
+            k::scalarKernel(k::fromCondition(c.cond).op);
+        uint64_t scanned = 0, skipped = 0;
+        std::vector<int64_t> got = kernelScan(tab, loc.col, c.cond,
+                                              scalar, &scanned,
+                                              &skipped);
+        if (got != ref)
+            panic("scalar kernel scan disagrees with the row loop");
+        double scalar_s = timeMedian(opt.repeats, [&] {
+            volatile size_t sink =
+                kernelScan(tab, loc.col, c.cond, scalar).size();
+            (void)sink;
+        });
+
+        double simd_s = 0;
+        if (k::KernelFn simd =
+                k::simdKernel(k::fromCondition(c.cond).op)) {
+            if (kernelScan(tab, loc.col, c.cond, simd) != ref)
+                panic("simd kernel scan disagrees with the row loop");
+            simd_s = timeMedian(opt.repeats, [&] {
+                volatile size_t sink =
+                    kernelScan(tab, loc.col, c.cond, simd).size();
+                (void)sink;
+            });
+        }
+
+        double skip_ratio =
+            scanned + skipped
+                ? static_cast<double>(skipped) /
+                      static_cast<double>(scanned + skipped)
+                : 0.0;
+        double base_rps = nrows / base_s;
+        double scalar_rps = nrows / scalar_s;
+        double simd_rps = simd_s > 0 ? nrows / simd_s : 0.0;
+        t.addRow({db.name(), c.name, fmt(base_rps / 1e6, 1),
+                  fmt(scalar_rps / 1e6, 1),
+                  simd_s > 0 ? fmt(simd_rps / 1e6, 1) : "-",
+                  fmt(scalar_rps / base_rps, 2),
+                  simd_s > 0 ? fmt(simd_rps / base_rps, 2) : "-",
+                  fmt(skip_ratio * 100, 1)});
+        json.value(db.name(), c.name, "rows_per_sec_baseline",
+                   base_rps, "rows/s");
+        json.value(db.name(), c.name, "rows_per_sec_scalar",
+                   scalar_rps, "rows/s");
+        if (simd_s > 0)
+            json.value(db.name(), c.name, "rows_per_sec_simd",
+                       simd_rps, "rows/s");
+        json.value(db.name(), c.name, "speedup_scalar",
+                   scalar_rps / base_rps);
+        if (simd_s > 0)
+            json.value(db.name(), c.name, "speedup_simd",
+                       simd_rps / base_rps);
+        json.value(db.name(), c.name, "block_skip_ratio", skip_ratio);
+        json.value(db.name(), c.name, "matches",
+                   static_cast<double>(ref.size()));
+      }
+    }
+    emit(t,
+         "Match-phase scan throughput, single thread (docs=" +
+             std::to_string(opt.docs) +
+             ", dispatch=" + k::activeForm() + ")",
+         opt.csv);
+
+    // End-to-end: the full Select (scan + retrieve) with the vectorized
+    // path off vs on, single thread, plus the observed skip ratio.
+    TablePrinter e({"Query", "row loop [ms]", "vectorized [ms]",
+                    "speedup", "skip %"});
+    Query qsel;
+    qsel.name = "between_id";
+    qsel.kind = QueryKind::Select;
+    qsel.projected = {data.catalog.find("id"),
+                      data.catalog.find("num")};
+    qsel.cond = clustered;
+    Rng qrng(opt.seed + 41);
+    std::vector<Query> e2e{qs.instantiate(nobench::kQ6, qrng),
+                           qs.instantiate(nobench::kQ9, qrng), qsel};
+    auto &reg = obs::Registry::global();
+    for (const Query &q : e2e) {
+        engine::Executor off(row_db);
+        off.setVectorized(false);
+        engine::ResultSet ref = off.run(q);
+        double off_s = timeMedian(opt.repeats, [&] { off.run(q); });
+
+        engine::Executor on(row_db);
+        uint64_t scanned0 =
+            reg.counter("dvp_blocks_scanned_total").value();
+        uint64_t skipped0 =
+            reg.counter("dvp_blocks_skipped_total").value();
+        engine::ResultSet got = on.run(q);
+        uint64_t scanned =
+            reg.counter("dvp_blocks_scanned_total").value() - scanned0;
+        uint64_t skipped =
+            reg.counter("dvp_blocks_skipped_total").value() - skipped0;
+        if (!got.equals(ref) || got.checksum != ref.checksum)
+            panic("vectorized Select disagrees with the row loop");
+        double on_s = timeMedian(opt.repeats, [&] { on.run(q); });
+
+        double skip_ratio =
+            scanned + skipped
+                ? static_cast<double>(skipped) /
+                      static_cast<double>(scanned + skipped)
+                : 0.0;
+        e.addRow({q.name, fmt(off_s * 1e3, 3), fmt(on_s * 1e3, 3),
+                  fmt(off_s / on_s, 2), fmt(skip_ratio * 100, 1)});
+        json.value("row", q.name, "e2e_ms_rowloop", off_s * 1e3, "ms");
+        json.value("row", q.name, "e2e_ms_vectorized", on_s * 1e3,
+                   "ms");
+        json.value("row", q.name, "e2e_speedup", off_s / on_s);
+        json.value("row", q.name, "e2e_block_skip_ratio", skip_ratio);
+    }
+    emit(e,
+         "End-to-end Select, row loop vs vectorized (single thread, "
+         "dispatch=" + std::string(k::activeForm()) + ")",
+         opt.csv);
+    return 0;
+}
+
+} // namespace
+} // namespace dvp::bench
+
+int
+main(int argc, char **argv)
+{
+    return dvp::bench::run(argc, argv);
+}

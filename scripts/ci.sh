@@ -41,12 +41,33 @@ assert any(s.get("name") == "query" for s in spans)
 print(f"obs smoke: {len(rows)} bench rows, {len(spans)-1} spans ok")
 EOF
 
+echo "=== scan kernels ==="
+# The kernel suite registers twice in ctest (default dispatch and
+# DVP_FORCE_SCALAR=1); run both registrations explicitly so a filter
+# change elsewhere can never silently drop one dispatch outcome, then
+# smoke the kernel bench: every form must reproduce the row-loop match
+# vector (the bench aborts on disagreement) and emit parseable NDJSON.
+ctest --test-dir build-ci --output-on-failure -R 'test_kernels'
+./build-ci/bench/bench_scan_kernels --docs 4000 --repeats 1 \
+    --json "$OBS_TMP/kernels.ndjson" > /dev/null
+DVP_FORCE_SCALAR=1 ./build-ci/bench/bench_scan_kernels --docs 4000 \
+    --repeats 1 > /dev/null
+python3 - "$OBS_TMP" <<'EOF'
+import json, sys
+rows = [json.loads(l) for l in open(f"{sys.argv[1]}/kernels.ndjson")]
+assert rows and all(r["bench"] == "scan_kernels" for r in rows)
+metrics = {r["metric"] for r in rows}
+assert {"rows_per_sec_baseline", "rows_per_sec_scalar",
+        "speedup_scalar", "block_skip_ratio"} <= metrics, metrics
+print(f"scan kernels smoke: {len(rows)} NDJSON rows ok")
+EOF
+
 echo "=== thread-sanitizer build ==="
 cmake -B build-tsan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
     -DDVP_SANITIZE=thread
 cmake --build build-tsan -j "$JOBS"
 DVP_TEST_DOCS=800 ctest --test-dir build-tsan --output-on-failure \
-    -j "$JOBS" -R 'test_parallel|test_util|test_adaptive|test_obs|test_plan'
+    -j "$JOBS" -R 'test_parallel|test_util|test_adaptive|test_obs|test_plan|test_kernels'
 
 echo "=== address-sanitizer build ==="
 # ASan catches lifetime bugs the plan cache could introduce: a cached
@@ -56,6 +77,6 @@ cmake -B build-asan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
     -DDVP_SANITIZE=address
 cmake --build build-asan -j "$JOBS"
 DVP_TEST_DOCS=800 ctest --test-dir build-asan --output-on-failure \
-    -j "$JOBS" -R 'test_plan|test_adaptive|test_layout'
+    -j "$JOBS" -R 'test_plan|test_adaptive|test_layout|test_kernels'
 
 echo "ci.sh: all suites passed"

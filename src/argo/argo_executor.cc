@@ -237,6 +237,7 @@ class Exec
                     seen.insert(readHead(*t, r).first);
             std::vector<int64_t> oids(seen.begin(), seen.end());
             std::sort(oids.begin(), oids.end());
+            matches.reserve(oids.size());
             for (int64_t oid : oids)
                 matches.push_back({oid, nullptr, 0});
             return matches;
@@ -282,6 +283,10 @@ class Exec
     {
         const auto &catalog = store.data().catalog;
         ResultSet rs;
+        // Reserves cost no traced accesses, so the simulated counters
+        // are unchanged.
+        rs.oids.reserve(matches.size());
+        rs.rows.reserve(matches.size());
 
         if (q.selectAll) {
             for (const Match &m : matches) {

@@ -5,9 +5,11 @@
 #include <climits>
 #include <cstdio>
 #include <iterator>
+#include <type_traits>
 #include <unordered_map>
 #include <vector>
 
+#include "engine/kernels.hh"
 #include "engine/operators.hh"
 #include "obs/metrics.hh"
 #include "obs/trace.hh"
@@ -49,9 +51,9 @@ class Exec
 {
   public:
     Exec(Database &db, const PhysicalPlan &plan, Tracer tr,
-         size_t threads, size_t morsel_rows)
+         size_t threads, size_t morsel_rows, bool vectorized)
         : db(db), plan(plan), tr(tr), threads(threads),
-          morsel_rows(morsel_rows)
+          morsel_rows(morsel_rows), vectorized(vectorized)
     {
     }
 
@@ -63,6 +65,8 @@ class Exec
     uint64_t obs_rows_scanned = 0;     ///< rows visited by scans
     uint64_t obs_partition_touches = 0; ///< partitions hit on retrieval
     uint64_t obs_morsels = 0;          ///< morsel kernels dispatched
+    uint64_t obs_blocks_scanned = 0;   ///< zone-map blocks scanned
+    uint64_t obs_blocks_skipped = 0;   ///< zone-map blocks skipped
 
     ResultSet
     project(const Query &)
@@ -273,6 +277,8 @@ class Exec
     Tracer tr;
     size_t threads;     ///< lane cap for this query (1 = serial)
     size_t morsel_rows; ///< driving-table rows per morsel
+    bool vectorized;    ///< use the batched kernels (timing path only)
+    kernels::SelVec sel; ///< per-lane selection vector (reused per batch)
 
     void
     countRows(uint64_t n)
@@ -289,6 +295,19 @@ class Exec
     {
 #ifndef DVP_OBS_DISABLED
         ++obs_partition_touches;
+#endif
+    }
+
+    void
+    countBlock(bool skipped)
+    {
+#ifndef DVP_OBS_DISABLED
+        if (skipped)
+            ++obs_blocks_skipped;
+        else
+            ++obs_blocks_scanned;
+#else
+        (void)skipped;
 #endif
     }
 
@@ -437,7 +456,7 @@ class Exec
         lanes.reserve(n);
         for (size_t l = 0; l < n; ++l)
             lanes.emplace_back(db, plan, tr.fork(), size_t{1},
-                               morsel_rows);
+                               morsel_rows, vectorized);
         return lanes;
     }
 
@@ -448,6 +467,8 @@ class Exec
             tr.join(l.tr);
             obs_rows_scanned += l.obs_rows_scanned;
             obs_partition_touches += l.obs_partition_touches;
+            obs_blocks_scanned += l.obs_blocks_scanned;
+            obs_blocks_skipped += l.obs_blocks_skipped;
         }
     }
 
@@ -574,6 +595,26 @@ class Exec
         }
     }
 
+    /**
+     * Largest single-table row span over oids in [@p lo, @p hi): a
+     * reserve() estimate for merge-scan outputs.  The union is at least
+     * this and usually close to it (the driving table dominates).
+     * Table::lowerBound is untraced, so the estimate adds no simulated
+     * accesses.
+     */
+    size_t
+    spanEstimate(const std::vector<const Table *> &tables, int64_t lo,
+                 int64_t hi) const
+    {
+        size_t est = 0;
+        for (const Table *t : tables) {
+            size_t a = lo == INT64_MIN ? 0 : t->lowerBound(lo);
+            size_t b = hi == INT64_MAX ? t->rows() : t->lowerBound(hi);
+            est = std::max(est, b - a);
+        }
+        return est;
+    }
+
     /** Project the oids in [@p lo, @p hi): one morsel's kernel. */
     ResultSet
     projectRange(const MergeScanProjectOp &op,
@@ -581,6 +622,9 @@ class Exec
                  int64_t hi)
     {
         ResultSet rs;
+        size_t est = spanEstimate(tables, lo, hi);
+        rs.oids.reserve(est);
+        rs.rows.reserve(est);
         std::vector<Slot> row(op.attrs.size(), kNullSlot);
         mergeScan(tables, lo, hi,
                   [&](int64_t oid,
@@ -615,6 +659,7 @@ class Exec
                   int64_t hi)
     {
         std::vector<int64_t> matches;
+        matches.reserve(spanEstimate(tables, lo, hi));
         mergeScan(tables, lo, hi,
                   [&](int64_t oid, const auto &) {
             matches.push_back(oid);
@@ -622,17 +667,79 @@ class Exec
         return matches;
     }
 
-    /** Predicate kernel over rows [@p r0, @p r1) of one column. */
+    /**
+     * Predicate kernel over rows [@p r0, @p r1) of one column.  On the
+     * timing path (NullTracer) with vectorization enabled this runs the
+     * batched SelVec kernels with zone-map block skipping; the SimTracer
+     * instantiation never takes that branch, so the simulated access
+     * sequence (Figs. 6-7) is the original row loop, byte-for-byte.
+     */
     std::vector<int64_t>
     condRange(const Table &t, int col, const Condition &c, size_t r0,
               size_t r1)
     {
+        if constexpr (std::is_same_v<Tracer, NullTracer>) {
+            if (vectorized)
+                return condRangeVec(t, col, c, r0, r1);
+        }
         countRows(r1 - r0);
         std::vector<int64_t> matches;
         for (size_t r = r0; r < r1; ++r) {
             Slot s = readCell(t, r, static_cast<size_t>(col));
             if (c.matches(s))
                 matches.push_back(readOid(t, r));
+        }
+        return matches;
+    }
+
+    /**
+     * Vectorized form of condRange: per zone-map block overlapping
+     * [@p r0, @p r1), either skip it outright (zoneCanMatch is false
+     * for the *whole* block, hence conservative for any sub-range) or
+     * run the dispatched batch kernel over the overlap and translate
+     * the SelVec's in-batch indices to oids.  The match vector is
+     * reserved from the surviving blocks' non-null counts, and
+     * obs_rows_scanned counts only scanned blocks' rows — both
+     * deterministic in the block partition, so counters stay identical
+     * across thread counts and morsel sizes.
+     */
+    std::vector<int64_t>
+    condRangeVec(const Table &t, int col, const Condition &c, size_t r0,
+                 size_t r1)
+    {
+        using storage::kZoneRows;
+        const kernels::Pred p = kernels::fromCondition(c);
+        const kernels::KernelFn fn = kernels::kernel(p.op);
+        const bool simd = kernels::simdActive();
+        const size_t ucol = static_cast<size_t>(col);
+        const size_t stride = t.strideSlots();
+
+        const size_t b0 = r0 / kZoneRows;
+        const size_t b1 = (r1 + kZoneRows - 1) / kZoneRows;
+
+        size_t bound = 0;
+        for (size_t b = b0; b < b1; ++b) {
+            const storage::ZoneEntry &z = t.zone(b, ucol);
+            if (kernels::zoneCanMatch(p, z))
+                bound += z.nonnull;
+        }
+        std::vector<int64_t> matches;
+        matches.reserve(bound);
+
+        for (size_t b = b0; b < b1; ++b) {
+            if (!kernels::zoneCanMatch(p, t.zone(b, ucol))) {
+                countBlock(true);
+                continue;
+            }
+            countBlock(false);
+            size_t s0 = std::max(r0, b * kZoneRows);
+            size_t s1 = std::min(r1, b * kZoneRows + t.blockRows(b));
+            countRows(s1 - s0);
+            const Slot *colp = t.record(s0) + 1 + ucol;
+            fn(colp, stride, s1 - s0, p.lo, p.hi, sel);
+            kernels::countInvocation(p.op, simd);
+            for (uint32_t i = 0; i < sel.n; ++i)
+                matches.push_back(t.oid(s0 + sel.idx[i]));
         }
         return matches;
     }
@@ -674,6 +781,8 @@ class Exec
     {
         const IndexRetrieveOp &op = plan.retrieve;
         ResultSet rs;
+        rs.oids.reserve(count);
+        rs.rows.reserve(count);
 
         if (op.selectAll) {
             // Probes every partition; widths come from the live db so
@@ -755,6 +864,8 @@ flushQueryMetrics(const Database &db, const Query &q, uint64_t ns,
     reg.counter("dvp_partition_touches_total{layout=\"" + layout + "\"}")
         .add(exec.obs_partition_touches);
     reg.counter("dvp_morsels_total").add(exec.obs_morsels);
+    reg.counter("dvp_blocks_scanned_total").add(exec.obs_blocks_scanned);
+    reg.counter("dvp_blocks_skipped_total").add(exec.obs_blocks_skipped);
 }
 #endif
 
@@ -784,7 +895,7 @@ Executor::run(const Query &q)
     PhysicalPlan local;
     const PhysicalPlan *plan = bound(q, keep, local);
     Exec<NullTracer> exec(*db, *plan, NullTracer{}, threads_,
-                          morsel_rows);
+                          morsel_rows, vectorized_);
     ResultSet rs = ops::runQuery(exec, q);
 #ifndef DVP_OBS_DISABLED
     auto ns = static_cast<uint64_t>(
@@ -806,7 +917,7 @@ Executor::run(const Query &q, perf::MemoryHierarchy &mh)
     PhysicalPlan local;
     const PhysicalPlan *plan = bound(q, keep, local);
     Exec<SimTracer> exec(*db, *plan, SimTracer{&mh, nullptr}, 1,
-                         morsel_rows);
+                         morsel_rows, false);
     return ops::runQuery(exec, q);
 }
 
@@ -820,7 +931,7 @@ Executor::execute(const PhysicalPlan &plan, const Query &q)
     auto t0 = std::chrono::steady_clock::now();
 #endif
     Exec<NullTracer> exec(*db, plan, NullTracer{}, threads_,
-                          morsel_rows);
+                          morsel_rows, vectorized_);
     ResultSet rs = ops::runQuery(exec, q);
 #ifndef DVP_OBS_DISABLED
     auto ns = static_cast<uint64_t>(

@@ -76,6 +76,17 @@ class Executor
     size_t morselRows() const { return morsel_rows; }
 
     /**
+     * Toggle the vectorized predicate scan (engine/kernels.hh) with
+     * zone-map block skipping.  On by default; off falls back to the
+     * original row-at-a-time loop, which tests and benches use as the
+     * oracle/baseline.  Either way results are bit-identical; the knob
+     * only applies to the timing path — the simulation overload always
+     * runs the scalar row loop (see the file comment).
+     */
+    void setVectorized(bool on) { vectorized_ = on; }
+    bool vectorized() const { return vectorized_; }
+
+    /**
      * Serve plans from @p cache (owned by the caller; may be shared by
      * many executors).  Null detaches.  Without a cache every run()
      * binds a private plan.
@@ -107,6 +118,7 @@ class Executor
     Database *db;
     size_t threads_;
     size_t morsel_rows = kDefaultMorselRows;
+    bool vectorized_ = true;
     PlanCache *plan_cache = nullptr;
 };
 

@@ -1,0 +1,461 @@
+#include "engine/kernels.hh"
+
+#include <cstdlib>
+
+#include "obs/metrics.hh"
+#include "util/logging.hh"
+
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+#define DVP_KERNELS_X86 1
+#include <immintrin.h>
+#endif
+
+namespace dvp::engine::kernels
+{
+
+using storage::kNullSlot;
+using storage::Slot;
+
+namespace
+{
+
+/** Bits 63..62 == 01: positive with the string tag (isStringSlot). */
+constexpr bool
+slotIsStr(Slot s)
+{
+    return (static_cast<uint64_t>(s) >> 62) == 1;
+}
+
+constexpr bool
+slotIsNum(Slot s)
+{
+    return s != kNullSlot && !slotIsStr(s);
+}
+
+// ---------------------------------------------------------------------
+// Predicate policies: one branch-free slot test per op, shared by the
+// scalar kernels, the AVX2 tails, and matchOne (so every form agrees
+// by construction).
+// ---------------------------------------------------------------------
+
+struct EqP
+{
+    static bool ok(Slot s, Slot lo, Slot) { return s != kNullSlot && s == lo; }
+};
+struct NeP
+{
+    static bool ok(Slot s, Slot lo, Slot) { return s != kNullSlot && s != lo; }
+};
+struct LtP
+{
+    static bool ok(Slot s, Slot lo, Slot) { return slotIsNum(s) && s < lo; }
+};
+struct LeP
+{
+    static bool ok(Slot s, Slot lo, Slot) { return slotIsNum(s) && s <= lo; }
+};
+struct GtP
+{
+    static bool ok(Slot s, Slot lo, Slot) { return slotIsNum(s) && s > lo; }
+};
+struct GeP
+{
+    static bool ok(Slot s, Slot lo, Slot) { return slotIsNum(s) && s >= lo; }
+};
+struct BetweenP
+{
+    static bool
+    ok(Slot s, Slot lo, Slot hi)
+    {
+        return slotIsNum(s) && s >= lo && s <= hi;
+    }
+};
+struct IsNullP
+{
+    static bool ok(Slot s, Slot, Slot) { return s == kNullSlot; }
+};
+struct NotNullP
+{
+    static bool ok(Slot s, Slot, Slot) { return s != kNullSlot; }
+};
+
+/**
+ * Scalar form: the candidate index is stored unconditionally and the
+ * output cursor advances by the match bit, so the loop carries no
+ * data-dependent branch (the compiler lowers P::ok to setcc/cmov).
+ */
+template <class P>
+void
+scalarScan(const Slot *col, size_t stride, size_t n, Slot lo, Slot hi,
+           SelVec &sel)
+{
+    invariant(n <= kBatchRows, "kernel batch exceeds kBatchRows");
+    uint32_t k = 0;
+    for (size_t i = 0; i < n; ++i) {
+        Slot s = col[i * stride];
+        sel.idx[k] = static_cast<uint32_t>(i);
+        k += P::ok(s, lo, hi) ? 1u : 0u;
+    }
+    sel.n = k;
+}
+
+#ifdef DVP_KERNELS_X86
+
+#define DVP_AVX2 __attribute__((target("avx2")))
+
+/**
+ * Lane-compaction LUT: kCompactLut[mask] lists the set bit positions of
+ * the 4-bit movemask densely (unused tail entries are overwritten by
+ * the next store).
+ */
+alignas(16) constexpr uint32_t kCompactLut[16][4] = {
+    {0, 0, 0, 0}, {0, 0, 0, 0}, {1, 0, 0, 0}, {0, 1, 0, 0},
+    {2, 0, 0, 0}, {0, 2, 0, 0}, {1, 2, 0, 0}, {0, 1, 2, 0},
+    {3, 0, 0, 0}, {0, 3, 0, 0}, {1, 3, 0, 0}, {0, 1, 3, 0},
+    {2, 3, 0, 0}, {0, 2, 3, 0}, {1, 2, 3, 0}, {0, 1, 2, 3}};
+
+/** Load 4 consecutive stripe elements starting at element @p i. */
+DVP_AVX2 inline __m256i
+load4(const Slot *col, size_t stride, size_t i)
+{
+    if (stride == 1)
+        return _mm256_loadu_si256(
+            reinterpret_cast<const __m256i *>(col + i));
+    const __m256i vidx = _mm256_setr_epi64x(
+        0, static_cast<int64_t>(stride),
+        static_cast<int64_t>(2 * stride),
+        static_cast<int64_t>(3 * stride));
+    return _mm256_i64gather_epi64(
+        reinterpret_cast<const long long *>(col + i * stride), vidx, 8);
+}
+
+/** All-ones per matching lane -> dense indices appended to sel. */
+DVP_AVX2 inline uint32_t
+compact4(__m256i match, size_t i, uint32_t k, SelVec &sel)
+{
+    int bits = _mm256_movemask_pd(_mm256_castsi256_pd(match));
+    __m128i lanes = _mm_add_epi32(
+        _mm_set1_epi32(static_cast<int>(i)),
+        _mm_load_si128(
+            reinterpret_cast<const __m128i *>(kCompactLut[bits])));
+    _mm_storeu_si128(reinterpret_cast<__m128i *>(&sel.idx[k]), lanes);
+    return k + static_cast<uint32_t>(__builtin_popcount(
+                   static_cast<unsigned>(bits)));
+}
+
+/** numeric(s): not the NULL sentinel and not string-tagged. */
+DVP_AVX2 inline __m256i
+numericMask(__m256i v, __m256i vnull, __m256i vone)
+{
+    __m256i is_null = _mm256_cmpeq_epi64(v, vnull);
+    __m256i is_str =
+        _mm256_cmpeq_epi64(_mm256_srli_epi64(v, 62), vone);
+    return _mm256_andnot_si256(_mm256_or_si256(is_null, is_str),
+                               _mm256_set1_epi64x(-1));
+}
+
+/*
+ * One AVX2 kernel per op: 4-slot steps of load/gather, vector compare,
+ * movemask + LUT compaction; the sub-4 tail reuses the scalar policy.
+ * MASK sees v / vlo / vhi / vnull / vone / vall bound in scope.
+ */
+#define DVP_DEFINE_AVX2_KERNEL(NAME, POLICY, MASK)                      \
+    DVP_AVX2 void NAME(const Slot *col, size_t stride, size_t n,        \
+                       Slot lo, Slot hi, SelVec &sel)                   \
+    {                                                                   \
+        invariant(n <= kBatchRows, "kernel batch exceeds kBatchRows");  \
+        const __m256i vlo = _mm256_set1_epi64x(lo);                     \
+        const __m256i vhi = _mm256_set1_epi64x(hi);                     \
+        const __m256i vnull = _mm256_set1_epi64x(kNullSlot);            \
+        const __m256i vone = _mm256_set1_epi64x(1);                     \
+        const __m256i vall = _mm256_set1_epi64x(-1);                    \
+        (void)vhi;                                                      \
+        (void)vone;                                                     \
+        (void)vall;                                                     \
+        uint32_t k = 0;                                                 \
+        size_t i = 0;                                                   \
+        for (; i + 4 <= n; i += 4) {                                    \
+            __m256i v = load4(col, stride, i);                          \
+            __m256i m = (MASK);                                         \
+            k = compact4(m, i, k, sel);                                 \
+        }                                                               \
+        for (; i < n; ++i) {                                            \
+            Slot s = col[i * stride];                                   \
+            sel.idx[k] = static_cast<uint32_t>(i);                      \
+            k += POLICY::ok(s, lo, hi) ? 1u : 0u;                       \
+        }                                                               \
+        sel.n = k;                                                      \
+    }
+
+DVP_DEFINE_AVX2_KERNEL(
+    avx2Eq, EqP,
+    _mm256_andnot_si256(_mm256_cmpeq_epi64(v, vnull),
+                        _mm256_cmpeq_epi64(v, vlo)))
+DVP_DEFINE_AVX2_KERNEL(
+    avx2Ne, NeP,
+    _mm256_andnot_si256(
+        _mm256_cmpeq_epi64(v, vnull),
+        _mm256_andnot_si256(_mm256_cmpeq_epi64(v, vlo), vall)))
+DVP_DEFINE_AVX2_KERNEL(
+    avx2Lt, LtP,
+    _mm256_and_si256(_mm256_cmpgt_epi64(vlo, v),
+                     numericMask(v, vnull, vone)))
+DVP_DEFINE_AVX2_KERNEL(
+    avx2Le, LeP,
+    _mm256_andnot_si256(_mm256_cmpgt_epi64(v, vlo),
+                        numericMask(v, vnull, vone)))
+DVP_DEFINE_AVX2_KERNEL(
+    avx2Gt, GtP,
+    _mm256_and_si256(_mm256_cmpgt_epi64(v, vlo),
+                     numericMask(v, vnull, vone)))
+DVP_DEFINE_AVX2_KERNEL(
+    avx2Ge, GeP,
+    _mm256_andnot_si256(_mm256_cmpgt_epi64(vlo, v),
+                        numericMask(v, vnull, vone)))
+DVP_DEFINE_AVX2_KERNEL(
+    avx2Between, BetweenP,
+    _mm256_and_si256(
+        _mm256_andnot_si256(
+            _mm256_or_si256(_mm256_cmpgt_epi64(vlo, v),
+                            _mm256_cmpgt_epi64(v, vhi)),
+            vall),
+        numericMask(v, vnull, vone)))
+DVP_DEFINE_AVX2_KERNEL(avx2IsNull, IsNullP,
+                       _mm256_cmpeq_epi64(v, vnull))
+DVP_DEFINE_AVX2_KERNEL(
+    avx2NotNull, NotNullP,
+    _mm256_andnot_si256(_mm256_cmpeq_epi64(v, vnull), vall))
+
+#undef DVP_DEFINE_AVX2_KERNEL
+
+#endif // DVP_KERNELS_X86
+
+constexpr KernelFn kScalar[kPredOps] = {
+    scalarScan<EqP>,      // Eq
+    scalarScan<NeP>,      // Ne
+    scalarScan<LtP>,      // Lt
+    scalarScan<LeP>,      // Le
+    scalarScan<GtP>,      // Gt
+    scalarScan<GeP>,      // Ge
+    scalarScan<BetweenP>, // Between
+    scalarScan<EqP>,      // StrEq: same compare as Eq
+    scalarScan<IsNullP>,  // IsNull
+    scalarScan<NotNullP>, // NotNull
+};
+
+#ifdef DVP_KERNELS_X86
+constexpr KernelFn kAvx2[kPredOps] = {
+    avx2Eq, avx2Ne,      avx2Lt, avx2Le,     avx2Gt,
+    avx2Ge, avx2Between, avx2Eq, avx2IsNull, avx2NotNull,
+};
+#endif
+
+/** True when the CPU reports AVX2 (independent of the env override). */
+bool
+cpuHasAvx2()
+{
+#ifdef DVP_KERNELS_X86
+    return __builtin_cpu_supports("avx2") != 0;
+#else
+    return false;
+#endif
+}
+
+/**
+ * Dispatch decision, made once per process: the AVX2 forms when the
+ * CPU supports them and DVP_FORCE_SCALAR is unset/empty/"0".
+ */
+struct Dispatch
+{
+    bool simd;
+
+    Dispatch() : simd(cpuHasAvx2())
+    {
+        const char *force = std::getenv("DVP_FORCE_SCALAR");
+        if (force != nullptr && force[0] != '\0' && force[0] != '0')
+            simd = false;
+    }
+};
+
+const Dispatch &
+dispatch()
+{
+    static const Dispatch d;
+    return d;
+}
+
+} // namespace
+
+const char *
+predName(PredOp op)
+{
+    switch (op) {
+      case PredOp::Eq:
+        return "eq";
+      case PredOp::Ne:
+        return "ne";
+      case PredOp::Lt:
+        return "lt";
+      case PredOp::Le:
+        return "le";
+      case PredOp::Gt:
+        return "gt";
+      case PredOp::Ge:
+        return "ge";
+      case PredOp::Between:
+        return "between";
+      case PredOp::StrEq:
+        return "str_eq";
+      case PredOp::IsNull:
+        return "is_null";
+      case PredOp::NotNull:
+        return "not_null";
+    }
+    return "?";
+}
+
+Pred
+fromCondition(const Condition &c)
+{
+    switch (c.op) {
+      case CondOp::Eq:
+      case CondOp::AnyEq:
+        return Pred{storage::isStringSlot(c.lo) ? PredOp::StrEq
+                                                : PredOp::Eq,
+                    c.lo, c.lo};
+      case CondOp::Between:
+        return Pred{PredOp::Between, c.lo, c.hi};
+      case CondOp::None:
+        break;
+    }
+    panic("fromCondition needs an Eq/AnyEq/Between condition");
+}
+
+bool
+matchOne(const Pred &p, Slot s)
+{
+    switch (p.op) {
+      case PredOp::Eq:
+      case PredOp::StrEq:
+        return EqP::ok(s, p.lo, p.hi);
+      case PredOp::Ne:
+        return NeP::ok(s, p.lo, p.hi);
+      case PredOp::Lt:
+        return LtP::ok(s, p.lo, p.hi);
+      case PredOp::Le:
+        return LeP::ok(s, p.lo, p.hi);
+      case PredOp::Gt:
+        return GtP::ok(s, p.lo, p.hi);
+      case PredOp::Ge:
+        return GeP::ok(s, p.lo, p.hi);
+      case PredOp::Between:
+        return BetweenP::ok(s, p.lo, p.hi);
+      case PredOp::IsNull:
+        return IsNullP::ok(s, p.lo, p.hi);
+      case PredOp::NotNull:
+        return NotNullP::ok(s, p.lo, p.hi);
+    }
+    return false;
+}
+
+KernelFn
+scalarKernel(PredOp op)
+{
+    return kScalar[static_cast<size_t>(op)];
+}
+
+KernelFn
+simdKernel(PredOp op)
+{
+#ifdef DVP_KERNELS_X86
+    if (cpuHasAvx2())
+        return kAvx2[static_cast<size_t>(op)];
+#endif
+    (void)op;
+    return nullptr;
+}
+
+KernelFn
+kernel(PredOp op)
+{
+#ifdef DVP_KERNELS_X86
+    if (dispatch().simd)
+        return kAvx2[static_cast<size_t>(op)];
+#endif
+    return kScalar[static_cast<size_t>(op)];
+}
+
+bool
+simdActive()
+{
+    return dispatch().simd;
+}
+
+const char *
+activeForm()
+{
+    return dispatch().simd ? "avx2" : "scalar";
+}
+
+void
+countInvocation(PredOp op, bool simd)
+{
+#ifndef DVP_OBS_DISABLED
+    // Handles resolved once per (op, form); hot path is one relaxed add.
+    struct Handles
+    {
+        obs::Counter *c[kPredOps][2];
+
+        Handles()
+        {
+            auto &reg = obs::Registry::global();
+            for (size_t i = 0; i < kPredOps; ++i) {
+                auto op_i = static_cast<PredOp>(i);
+                for (int f = 0; f < 2; ++f) {
+                    std::string name =
+                        std::string("dvp_kernel_invocations_total{"
+                                    "kernel=\"") +
+                        predName(op_i) + "\",form=\"" +
+                        (f != 0 ? "avx2" : "scalar") + "\"}";
+                    c[i][f] = &reg.counter(name);
+                }
+            }
+        }
+    };
+    static Handles h;
+    h.c[static_cast<size_t>(op)][simd ? 1 : 0]->add(1);
+#else
+    (void)op;
+    (void)simd;
+#endif
+}
+
+bool
+zoneCanMatch(const Pred &p, const storage::ZoneEntry &z)
+{
+    switch (p.op) {
+      case PredOp::IsNull:
+        return z.nulls > 0;
+      case PredOp::NotNull:
+        return z.nonnull > 0;
+      case PredOp::Eq:
+      case PredOp::StrEq:
+        return z.nonnull > 0 && p.lo >= z.min && p.lo <= z.max;
+      case PredOp::Ne:
+        // Only an all-equal block can be skipped.
+        return z.nonnull > 0 && !(z.min == z.max && z.min == p.lo);
+      case PredOp::Lt:
+        return z.nonnull > 0 && z.min < p.lo;
+      case PredOp::Le:
+        return z.nonnull > 0 && z.min <= p.lo;
+      case PredOp::Gt:
+        return z.nonnull > 0 && z.max > p.lo;
+      case PredOp::Ge:
+        return z.nonnull > 0 && z.max >= p.lo;
+      case PredOp::Between:
+        return z.nonnull > 0 && z.max >= p.lo && z.min <= p.hi;
+    }
+    return true;
+}
+
+} // namespace dvp::engine::kernels

@@ -1,0 +1,163 @@
+/**
+ * @file
+ * Vectorized scan kernels: batched, branch-free predicate evaluation
+ * over column stripes, producing dense selection vectors.
+ *
+ * A kernel consumes up to kBatchRows 8-byte slots read from a table's
+ * record storage at a fixed stride (the record stride in slots; 1 for a
+ * genuinely contiguous stripe) and writes the in-batch indices of the
+ * matching slots into a SelVec — no per-row branching on the match and
+ * no per-row push_back.  Each predicate op ships two forms:
+ *
+ *  - a portable scalar form whose inner loop is branch-free (the match
+ *    bit is added to the output cursor, the candidate index is stored
+ *    unconditionally), and
+ *  - an AVX2 form (4 slots per step: gather/load, vector compare,
+ *    movemask, LUT compaction), compiled per-function with
+ *    target("avx2") so the rest of the tree keeps the default ISA.
+ *
+ * Which form kernel() returns is decided once per process: the AVX2
+ * form when the CPU reports AVX2 (cpuid via __builtin_cpu_supports)
+ * and the DVP_FORCE_SCALAR environment override is not set.  Both
+ * forms implement *identical* semantics — the differential tests in
+ * tests/test_kernels.cc compare them slot-for-slot against each other
+ * and against the executor's original row-at-a-time loop.
+ *
+ * NULL and type handling live inside the compare, not around it:
+ *  - the NULL sentinel (INT64_MIN) never matches Eq/StrEq/Ne even when
+ *    the literal equals the sentinel bit pattern, and never matches a
+ *    range predicate even when the range abuts INT64_MIN;
+ *  - numeric range ops (Lt/Le/Gt/Ge/Between) match only numeric slots:
+ *    string-tagged slots (bits 63..62 == 01) are excluded exactly as
+ *    Condition::matches / storage::isNumericSlot exclude them.
+ *
+ * zoneCanMatch() is the storage-side counterpart: a conservative
+ * per-block test over a Table's ZoneEntry (min/max/null counts, see
+ * storage/table.hh) that lets scans skip whole blocks before touching
+ * record data.  It may return true for a block with no matches, never
+ * false for a block with one.
+ */
+
+#ifndef DVP_ENGINE_KERNELS_HH
+#define DVP_ENGINE_KERNELS_HH
+
+#include <cstdint>
+
+#include "engine/query.hh"
+#include "storage/table.hh"
+#include "storage/value.hh"
+
+namespace dvp::engine::kernels
+{
+
+/** Kernel batch size; one zone-map block (storage/table.hh). */
+constexpr size_t kBatchRows = storage::kZoneRows;
+
+/** Predicate ops.  Semantics per slot s (lo/hi are the literals):
+ *
+ *   Eq / StrEq  !null(s) && s == lo   (StrEq: lo is a dictionary code;
+ *                                      the compare is the same, the op
+ *                                      is split for counters/zone docs)
+ *   Ne          !null(s) && s != lo
+ *   Lt/Le/Gt/Ge numeric(s) && s <op> lo
+ *   Between     numeric(s) && lo <= s && s <= hi
+ *   IsNull      null(s)
+ *   NotNull     !null(s)
+ */
+enum class PredOp : uint8_t
+{
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    Between,
+    StrEq,
+    IsNull,
+    NotNull
+};
+constexpr size_t kPredOps = 10;
+
+/** Stable lowercase name of @p op (metric labels, bench output). */
+const char *predName(PredOp op);
+
+/**
+ * Dense selection vector: in-batch indices of the matching slots, in
+ * ascending order.  Preallocated by the owner (one per executor lane);
+ * kernels overwrite it wholesale.  The 4-slot overhang lets the AVX2
+ * compaction store a full vector at the tail without bounds checks.
+ */
+struct SelVec
+{
+    uint32_t n = 0;
+    alignas(64) uint32_t idx[kBatchRows + 4];
+};
+
+/** A predicate with bound literals (execution-time, not plan-time). */
+struct Pred
+{
+    PredOp op = PredOp::NotNull;
+    storage::Slot lo = 0;
+    storage::Slot hi = 0;
+};
+
+/**
+ * Translate a query Condition into a kernel Pred.
+ * Eq/AnyEq literals that are dictionary-encoded strings map to StrEq
+ * (same compare, see PredOp).  @pre c.op is Eq, AnyEq, or Between.
+ */
+Pred fromCondition(const Condition &c);
+
+/** Reference single-slot semantics; kernels must agree with this. */
+bool matchOne(const Pred &p, storage::Slot s);
+
+/**
+ * A batch kernel: evaluate the op over @p n slots at @p col (stride
+ * @p stride slots between consecutive elements; n <= kBatchRows) and
+ * write the matching in-batch indices into @p sel.
+ */
+using KernelFn = void (*)(const storage::Slot *col, size_t stride,
+                          size_t n, storage::Slot lo, storage::Slot hi,
+                          SelVec &sel);
+
+/** The portable branch-free scalar form of @p op. */
+KernelFn scalarKernel(PredOp op);
+
+/**
+ * The AVX2 form of @p op, or nullptr when unavailable (non-x86 build
+ * or a CPU without AVX2).  Callable regardless of DVP_FORCE_SCALAR —
+ * the override only steers kernel() — so differential tests can always
+ * compare both forms on AVX2 hardware.
+ */
+KernelFn simdKernel(PredOp op);
+
+/** The dispatched form: AVX2 when active, scalar otherwise. */
+KernelFn kernel(PredOp op);
+
+/** True when kernel() dispatches to the AVX2 forms. */
+bool simdActive();
+
+/** "avx2" or "scalar" — the active dispatch form, for reports. */
+const char *activeForm();
+
+/**
+ * Count one kernel invocation (one batch) in the obs registry:
+ * dvp_kernel_invocations_total{kernel="<op>",form="<form>"}.
+ * Counter handles are resolved once per (op, form); the hot-path cost
+ * is a single relaxed atomic add per batch.
+ */
+void countInvocation(PredOp op, bool simd);
+
+/**
+ * Conservative block-skip test: false only when *no* slot in a block
+ * summarized by @p z can satisfy @p p.  Range ops compare against the
+ * raw-order min/max (strings sort above numerics, so the test stays
+ * conservative for numeric-only ops); an all-null block can only
+ * satisfy IsNull.
+ */
+bool zoneCanMatch(const Pred &p, const storage::ZoneEntry &z);
+
+} // namespace dvp::engine::kernels
+
+#endif // DVP_ENGINE_KERNELS_HH

@@ -13,8 +13,10 @@
  *   void      insertDoc(const storage::Document &);
  *
  * where `Matches` is whatever match representation the backend's scan
- * produces (sorted oids for the partitioned engine, decision-site
- * records for Argo).  The kind switch, the aggregate's selection-first
+ * produces (sorted oids for the partitioned engine — computed by the
+ * batched SelVec kernels of engine/kernels.hh on the timing path —
+ * decision-site records for Argo).  The kind switch, the
+ * aggregate's selection-first
  * orchestration and group fold (paper §VI-B), and the bulk-insert loop
  * live here exactly once; they used to be duplicated verbatim between
  * src/engine/executor.cc and src/argo/argo_executor.cc.
@@ -93,6 +95,7 @@ aggregate(Backend &b, const Query &q)
             key = row[group_col];
         ++counts[key];
     }
+    rs.rows.reserve(counts.size());
     for (const auto &[key, count] : counts)
         rs.rows.push_back({key, static_cast<storage::Slot>(count)});
     return rs;

@@ -265,11 +265,15 @@ PhysicalPlan::describe(const Database &db) const
           case FilterMode::ColumnPredicate:
             std::snprintf(line, sizeof(line),
                           "  FilterScan[predicate] attr=%s "
-                          "partition=p%d col=%d (%zu rows)\n",
+                          "partition=p%d col=%d (%zu rows, %zu "
+                          "blocks)\n",
                           attrName(db, filter.attr).c_str(),
                           filter.table, filter.col,
                           filter.table >= 0
                               ? db.table(filter.table).rows()
+                              : size_t{0},
+                          filter.table >= 0
+                              ? db.table(filter.table).blockCount()
                               : size_t{0});
             break;
           case FilterMode::AnyEq:

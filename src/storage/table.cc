@@ -85,6 +85,26 @@ Table::append(int64_t oid, std::span<const Slot> values)
     // Zero any padding slots so full-record reads are deterministic.
     for (size_t s = 1 + values.size(); s < stride_slots; ++s)
         rec[s] = 0;
+
+    // Zone maps grow with the rows they summarize: the first record of
+    // a block opens one empty entry per column (min > max, zero
+    // counts), and every stored cell folds into its column's entry.
+    if (nrows % kZoneRows == 0)
+        zones_.resize(zones_.size() + schema_.size());
+    ZoneEntry *zrow =
+        zones_.data() + (nrows / kZoneRows) * schema_.size();
+    for (size_t c = 0; c < values.size(); ++c) {
+        ZoneEntry &z = zrow[c];
+        Slot s = values[c];
+        if (isNull(s)) {
+            ++z.nulls;
+        } else {
+            z.min = std::min(z.min, s);
+            z.max = std::max(z.max, s);
+            ++z.nonnull;
+        }
+    }
+
     ++nrows;
     null_cells += nulls;
     return true;

@@ -18,6 +18,8 @@
 #ifndef DVP_STORAGE_TABLE_HH
 #define DVP_STORAGE_TABLE_HH
 
+#include <algorithm>
+#include <limits>
 #include <span>
 #include <string>
 #include <vector>
@@ -32,6 +34,35 @@ namespace dvp::storage
 /** Row index type; kNoRow means "object not present in this table". */
 using RowIdx = int64_t;
 constexpr RowIdx kNoRow = -1;
+
+/**
+ * Rows per zone-map block.  Also the scan kernels' batch size
+ * (engine/kernels.hh) and the executor's default morsel granularity,
+ * so block boundaries, kernel batches, and morsel boundaries coincide
+ * by construction.
+ */
+constexpr size_t kZoneRows = 2048;
+
+/**
+ * Zone-map entry: a per-(block, column) summary maintained by append(),
+ * consulted by scans to skip whole blocks before touching record data.
+ *
+ * min/max range over the *non-null* slots in raw slot order.  Raw order
+ * is what keeps the skip test conservative for every predicate class:
+ * string-tagged slots (bit 62 set, positive) sort far above every value
+ * NoBench stores as a number, so a numeric range whose [lo, hi] misses
+ * [min, max] provably matches nothing, while an equality probe compares
+ * the encoded literal in the same order the cells are stored in.  The
+ * NULL sentinel never enters min/max (it is counted in `nulls`
+ * instead), so an all-null block reports nonnull == 0 and min > max.
+ */
+struct ZoneEntry
+{
+    Slot min = std::numeric_limits<Slot>::max();
+    Slot max = std::numeric_limits<Slot>::min();
+    uint32_t nonnull = 0; ///< stored non-null cells in the block
+    uint32_t nulls = 0;   ///< stored NULL cells in the block
+};
 
 /** One vertical partition's storage. */
 class Table
@@ -112,6 +143,33 @@ class Table
     /** Count of NULL cells stored (excludes omitted records). */
     uint64_t nullCells() const { return null_cells; }
 
+    /** Zone-map blocks covering the stored rows (rows() / kZoneRows). */
+    size_t
+    blockCount() const
+    {
+        return (nrows + kZoneRows - 1) / kZoneRows;
+    }
+
+    /** Rows stored in block @p block. @pre block < blockCount() */
+    size_t
+    blockRows(size_t block) const
+    {
+        return std::min(kZoneRows, nrows - block * kZoneRows);
+    }
+
+    /**
+     * Zone entry for (@p block, @p col).  Entries are built during
+     * construction and maintained incrementally by append(), so they
+     * are always exact for the stored rows; a repartition swap builds
+     * fresh tables and therefore fresh zone maps.
+     * @pre block < blockCount() && col < attrCount()
+     */
+    const ZoneEntry &
+    zone(size_t block, size_t col) const
+    {
+        return zones_[block * schema_.size() + col];
+    }
+
     /** True when the narrow-padding decision added padding. */
     bool padded() const { return stride_slots > 1 + schema_.size(); }
 
@@ -129,6 +187,7 @@ class Table
     size_t nrows = 0;
     size_t capacity = 0;
     uint64_t null_cells = 0;
+    std::vector<ZoneEntry> zones_; ///< blockCount() x attrCount(), block-major
 };
 
 } // namespace dvp::storage
