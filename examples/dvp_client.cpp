@@ -1,0 +1,132 @@
+/**
+ * dvp_client — command-line client for a running dvpd server.
+ *
+ *   dvp_client [--host H] [--port P] [--stats] [SQL ...]
+ *
+ * Each positional argument is one SQL statement, executed in order on
+ * a single connection; rows print as tab-separated text with a header.
+ * --stats fetches and prints the server's counters after the
+ * statements (or alone).  Exit status is non-zero if any statement
+ * failed.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "client/client.hh"
+
+using namespace dvp;
+
+namespace
+{
+
+void
+printResult(const client::Result &r)
+{
+    if (r.isMessage) {
+        std::printf("%s\n", r.message.c_str());
+        return;
+    }
+    for (size_t c = 0; c < r.columns.size(); ++c)
+        std::printf("%s%s", c ? "\t" : "", r.columns[c].c_str());
+    if (!r.columns.empty())
+        std::printf("\n");
+    for (const auto &row : r.rows) {
+        for (size_t c = 0; c < row.size(); ++c) {
+            const net::Cell &cell = row[c];
+            if (c)
+                std::printf("\t");
+            switch (cell.kind) {
+              case net::Cell::Kind::Null:
+                std::printf("NULL");
+                break;
+              case net::Cell::Kind::Int:
+                std::printf("%lld",
+                            static_cast<long long>(cell.i));
+                break;
+              case net::Cell::Kind::Str:
+                std::printf("%s", cell.s.c_str());
+                break;
+            }
+        }
+        std::printf("\n");
+    }
+    std::printf("%zu row(s), digest %016llx, server time %.3f ms\n",
+                r.rows.size(),
+                static_cast<unsigned long long>(r.digest),
+                r.execNs / 1e6);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string host = "127.0.0.1";
+    uint16_t port = 7437;
+    bool want_stats = false;
+    std::vector<std::string> statements;
+
+    for (int i = 1; i < argc; ++i) {
+        std::string a = argv[i];
+        if (a == "--host" && i + 1 < argc)
+            host = argv[++i];
+        else if (a == "--port" && i + 1 < argc)
+            port = static_cast<uint16_t>(
+                std::strtoul(argv[++i], nullptr, 10));
+        else if (a == "--stats")
+            want_stats = true;
+        else
+            statements.push_back(a);
+    }
+    if (statements.empty() && !want_stats) {
+        std::fprintf(stderr,
+                     "usage: %s [--host H] [--port P] [--stats] "
+                     "\"SELECT ...\" ...\n",
+                     argv[0]);
+        return 2;
+    }
+
+    client::Client c;
+    std::string err = c.connect(host, port, "dvp_client");
+    if (!err.empty()) {
+        std::fprintf(stderr, "connect %s:%u: %s\n", host.c_str(),
+                     unsigned(port), err.c_str());
+        return 1;
+    }
+    std::fprintf(stderr, "connected to %s (session %llu)\n",
+                 c.serverName().c_str(),
+                 static_cast<unsigned long long>(c.sessionId()));
+
+    int failures = 0;
+    for (const std::string &sql : statements) {
+        client::Result r = c.query(sql);
+        if (!r.ok) {
+            std::fprintf(stderr, "error (%s): %s\n",
+                         net::errorCodeName(r.errorCode),
+                         r.error.c_str());
+            ++failures;
+            if (!c.connected())
+                break;
+            continue;
+        }
+        printResult(r);
+    }
+
+    if (want_stats && c.connected()) {
+        client::Stats s = c.stats();
+        if (!s.ok) {
+            std::fprintf(stderr, "stats: %s\n", s.error.c_str());
+            ++failures;
+        } else {
+            for (const auto &[k, v] : s.entries)
+                std::printf("%-24s %llu\n", k.c_str(),
+                            static_cast<unsigned long long>(v));
+        }
+    }
+
+    c.close();
+    return failures ? 1 : 0;
+}

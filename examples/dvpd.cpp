@@ -1,0 +1,182 @@
+/**
+ * dvpd — the DVP network query server.
+ *
+ * Seeds an AdaptiveEngine with synthetic NoBench documents (or a
+ * JSON-lines file), then serves SQL over the binary wire protocol
+ * until SIGINT/SIGTERM, which triggers a graceful drain: in-flight
+ * statements finish and deliver their responses, new ones are refused
+ * with SHUTTING_DOWN, then the process exits (flushing any --metrics
+ * or --trace dumps on the way out).
+ *
+ *   dvpd [options]
+ *     --gen N               seed N synthetic NoBench docs (default 2000)
+ *     --load FILE           seed from a JSON-lines file instead
+ *     --host H              bind address        (default 127.0.0.1)
+ *     --port P              TCP port; 0 = ephemeral (default 7437)
+ *     --port-file FILE      write the bound port to FILE (CI discovery)
+ *     --workers N           executor worker threads (default 2)
+ *     --max-inflight N      admission watermark     (default 64)
+ *     --idle-timeout-ms N   reap idle sessions; 0 = never (default 0)
+ *     --allow-load          permit LOAD DATA of server-local files
+ *     --threads N           executor lanes per query (default 1)
+ *     --metrics FILE        dump the metric registry at exit
+ *     --trace FILE          dump spans at exit
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+
+#include "adaptive/adaptive_engine.hh"
+#include "json/parser.hh"
+#include "nobench/generator.hh"
+#include "obs/export.hh"
+#include "server/server.hh"
+#include "util/random.hh"
+#include "util/timer.hh"
+
+using namespace dvp;
+
+namespace
+{
+
+int
+usage(const char *argv0)
+{
+    std::fprintf(stderr,
+                 "usage: %s [--gen N | --load FILE] [--host H] "
+                 "[--port P] [--port-file FILE] [--workers N] "
+                 "[--max-inflight N] [--idle-timeout-ms N] "
+                 "[--allow-load] [--threads N] [--metrics FILE] "
+                 "[--trace FILE]\n",
+                 argv0);
+    return 2;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    obs::DumpScope obs_dump = obs::scanArgs(argc, argv);
+
+    uint64_t gen_docs = 2000;
+    std::string load_path;
+    server::Config cfg;
+    cfg.port = 7437;
+    size_t exec_threads = 1;
+    std::string port_file;
+
+    for (int i = 1; i < argc; ++i) {
+        std::string a = argv[i];
+        auto next = [&](const char *flag) -> const char * {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "%s needs a value\n", flag);
+                std::exit(2);
+            }
+            return argv[++i];
+        };
+        if (a == "--gen")
+            gen_docs = std::strtoull(next("--gen"), nullptr, 10);
+        else if (a == "--load")
+            load_path = next("--load");
+        else if (a == "--host")
+            cfg.host = next("--host");
+        else if (a == "--port")
+            cfg.port = static_cast<uint16_t>(
+                std::strtoul(next("--port"), nullptr, 10));
+        else if (a == "--port-file")
+            port_file = next("--port-file");
+        else if (a == "--workers")
+            cfg.workers = std::strtoull(next("--workers"), nullptr, 10);
+        else if (a == "--max-inflight")
+            cfg.maxInflight =
+                std::strtoull(next("--max-inflight"), nullptr, 10);
+        else if (a == "--idle-timeout-ms")
+            cfg.idleTimeoutMs = static_cast<int>(
+                std::strtol(next("--idle-timeout-ms"), nullptr, 10));
+        else if (a == "--allow-load")
+            cfg.allowLoad = true;
+        else if (a == "--threads")
+            exec_threads =
+                std::strtoull(next("--threads"), nullptr, 10);
+        else if (a == "--metrics" || a == "--trace")
+            ++i; // consumed by obs::scanArgs
+        else
+            return usage(argv[0]);
+    }
+
+    // Seed the engine.
+    engine::DataSet data;
+    Timer t;
+    if (!load_path.empty()) {
+        std::ifstream in(load_path);
+        if (!in) {
+            std::fprintf(stderr, "cannot open '%s'\n",
+                         load_path.c_str());
+            return 1;
+        }
+        std::stringstream buf;
+        buf << in.rdbuf();
+        std::string err;
+        auto docs = json::parseLines(buf.str(), &err);
+        if (!err.empty()) {
+            std::fprintf(stderr, "parse error in %s: %s\n",
+                         load_path.c_str(), err.c_str());
+            return 1;
+        }
+        for (const auto &doc : docs)
+            data.addObject(doc);
+        std::printf("loaded %zu documents from %s in %.1f ms\n",
+                    docs.size(), load_path.c_str(), t.milliseconds());
+    } else {
+        nobench::Config ncfg;
+        ncfg.numDocs = gen_docs;
+        Rng rng{20260805};
+        for (uint64_t i = 0; i < gen_docs; ++i)
+            data.addObject(nobench::generateDoc(
+                ncfg, rng, static_cast<int64_t>(i)));
+        std::printf("generated %llu NoBench documents in %.1f ms\n",
+                    static_cast<unsigned long long>(gen_docs),
+                    t.milliseconds());
+    }
+
+    adaptive::Params params;
+    params.background = true; // repartition underneath live sessions
+    params.threads = exec_threads;
+    adaptive::AdaptiveEngine engine(data, {}, params);
+
+    server::Server server(engine, cfg);
+    std::string err = server.start();
+    if (!err.empty()) {
+        std::fprintf(stderr, "start failed: %s\n", err.c_str());
+        return 1;
+    }
+    if (!port_file.empty()) {
+        std::ofstream pf(port_file);
+        pf << server.port() << "\n";
+    }
+    std::printf("dvpd: serving %zu docs on %s:%u — SIGINT/SIGTERM to "
+                "drain\n",
+                data.docs.size(), cfg.host.c_str(),
+                unsigned(server.port()));
+    std::fflush(stdout);
+
+    server::Server::installSignalHandlers(&server);
+    while (!server.drained())
+        std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    server.stop();
+
+    server::ServerStats s = server.stats();
+    std::printf("dvpd: drained — %llu connections, %llu requests, "
+                "%llu rejects\n",
+                static_cast<unsigned long long>(s.connections),
+                static_cast<unsigned long long>(s.requests),
+                static_cast<unsigned long long>(s.rejects));
+    return 0;
+}

@@ -15,14 +15,21 @@
  *   \open <file>     replace the session with a saved snapshot
  *   \quit
  *
- * Anything else is parsed as SQL and executed; results print as a
- * table (strings decoded through the dictionary).
+ * Anything else is dispatched through sql::runStatement (the same
+ * surface the network server uses); results print as a table (strings
+ * decoded through the dictionary).
+ *
+ * SIGINT/SIGTERM exit the session cleanly: the current statement
+ * finishes, the prompt loop ends, and the --metrics/--trace dumps are
+ * flushed instead of the process dying mid-line.
  *
  * Usage: dvpsh [file.jsonl]        (also reads statements from stdin)
  *        (--metrics/--trace PATH dump counters and spans at exit)
  */
 
+#include <csignal>
 #include <cstdio>
+#include <cstring>
 #include <fstream>
 #include <iostream>
 #include <sstream>
@@ -33,8 +40,7 @@
 #include "json/parser.hh"
 #include "nobench/generator.hh"
 #include "persist/snapshot.hh"
-#include "sql/explain.hh"
-#include "sql/parser.hh"
+#include "sql/run.hh"
 #include "util/printer.hh"
 #include "util/timer.hh"
 
@@ -42,6 +48,31 @@ using namespace dvp;
 
 namespace
 {
+
+/**
+ * Set by the SIGINT/SIGTERM handler; the prompt loop polls it so an
+ * interrupt ends the session between statements, not mid-line.
+ */
+volatile std::sig_atomic_t g_interrupted = 0;
+
+void
+onSignal(int)
+{
+    g_interrupted = 1;
+}
+
+/** Install without SA_RESTART so a blocked getline returns. */
+void
+installSignalHandlers()
+{
+    struct sigaction sa;
+    std::memset(&sa, 0, sizeof(sa));
+    sa.sa_handler = onSignal;
+    sigemptyset(&sa.sa_mask);
+    sa.sa_flags = 0;
+    sigaction(SIGINT, &sa, nullptr);
+    sigaction(SIGTERM, &sa, nullptr);
+}
 
 /** Shell state: one DataSet + one adaptive engine over it. */
 class Shell
@@ -80,13 +111,15 @@ class Shell
         built_attrs = data.catalog.attrCount();
     }
 
-    void
+    /** Ingest a JSON-lines file; the dispatch-layer LOAD handler. */
+    sql::LoadOutcome
     loadFile(const std::string &path)
     {
+        sql::LoadOutcome out;
         std::ifstream in(path);
         if (!in) {
-            std::printf("cannot open '%s'\n", path.c_str());
-            return;
+            out.error = "cannot open '" + path + "'";
+            return out;
         }
         std::stringstream buf;
         buf << in.rdbuf();
@@ -98,10 +131,25 @@ class Shell
         Timer t;
         for (const auto &doc : docs)
             engine->ingest(doc);
-        std::printf("ingested %zu documents in %.1f ms (%zu attributes "
-                    "known)\n",
-                    docs.size(), t.milliseconds(),
-                    data.catalog.attrCount());
+        char msg[128];
+        std::snprintf(msg, sizeof(msg),
+                      "ingested %zu documents in %.1f ms (%zu "
+                      "attributes known)",
+                      docs.size(), t.milliseconds(),
+                      data.catalog.attrCount());
+        out.message = msg;
+        return out;
+    }
+
+    /** \load verb: run the handler and print its outcome. */
+    void
+    loadAndReport(const std::string &path)
+    {
+        sql::LoadOutcome out = loadFile(path);
+        if (!out.error.empty())
+            std::printf("error: %s\n", out.error.c_str());
+        else
+            std::printf("%s\n", out.message.c_str());
     }
 
     void
@@ -162,44 +210,25 @@ class Shell
     }
 
     void
-    explain(const std::string &text)
-    {
-        ensureFresh();
-        sql::ParseResult r = sql::parse(text, data);
-        if (!r.ok) {
-            std::printf("error: %s\n", r.error.c_str());
-            return;
-        }
-        auto db = engine->snapshot();
-        std::printf("plan for: %s\n", text.c_str());
-        std::printf("est. selectivity %.4f\n", r.query.selectivity);
-        std::printf("%s", sql::explain(*db, r.query,
-                                       &engine->planCache())
-                              .c_str());
-    }
-
-    void
     execute(const std::string &text)
     {
         ensureFresh();
-        sql::ParseResult r = sql::parse(text, data);
+        sql::RunResult r = sql::runStatement(
+            *engine, text,
+            [this](const std::string &path) { return loadFile(path); });
         if (!r.ok) {
             std::printf("error: %s\n", r.error.c_str());
             return;
         }
-        if (r.kind == sql::StatementKind::Load) {
-            loadFile(r.loadFile);
+        if (r.kind == sql::RunResult::Kind::Message) {
+            std::printf("%s", r.message.c_str());
+            if (!r.message.empty() && r.message.back() != '\n')
+                std::printf("\n");
             return;
         }
-        if (r.kind == sql::StatementKind::Explain) {
-            explain(text.substr(text.find_first_not_of(" \t") + 7));
-            return;
-        }
-        Timer t;
-        dvp::engine::ResultSet rs = engine->execute(r.query);
-        double ms = t.milliseconds();
-        printResult(r.query, rs);
-        std::printf("%zu row(s) in %.3f ms\n", rs.rowCount(), ms);
+        printResult(r.query, r.rows);
+        std::printf("%zu row(s) in %.3f ms\n", r.rows.rowCount(),
+                    r.seconds * 1e3);
     }
 
     void
@@ -271,21 +300,7 @@ class Shell
     printResult(const dvp::engine::Query &q,
                 const dvp::engine::ResultSet &rs)
     {
-        // Column headers.
-        std::vector<std::string> header;
-        if (q.kind == dvp::engine::QueryKind::Aggregate) {
-            header = {"group", "count"};
-        } else if (q.kind == dvp::engine::QueryKind::Join) {
-            header = {"left oid", "right oid"};
-        } else if (q.selectAll) {
-            header = {"oid", "non-null attrs"};
-        } else {
-            for (storage::AttrId a : q.projected)
-                header.push_back(a == storage::kNoAttr
-                                     ? "?"
-                                     : data.catalog.name(a));
-        }
-        TablePrinter out(header);
+        TablePrinter out(sql::resultColumns(data, q));
 
         auto cell = [&](storage::Slot s) -> std::string {
             if (storage::isNull(s))
@@ -338,14 +353,20 @@ class Shell
 int
 main(int argc, char **argv)
 {
+    bool dumps_armed = false;
+    for (int i = 1; i < argc; ++i)
+        if (std::string(argv[i]) == "--metrics" ||
+            std::string(argv[i]) == "--trace")
+            dumps_armed = true;
     obs::DumpScope obs_dump = obs::scanArgs(argc, argv);
+    installSignalHandlers();
     Shell shell;
     if (argc > 1)
-        shell.loadFile(argv[1]);
+        shell.loadAndReport(argv[1]);
 
     std::printf("dvpsh — type SQL, or \\help\n");
     std::string line;
-    while (true) {
+    while (!g_interrupted) {
         std::printf("dvp> ");
         std::fflush(stdout);
         if (!std::getline(std::cin, line))
@@ -370,7 +391,7 @@ main(int argc, char **argv)
             } else if (verb == "load") {
                 std::string path;
                 cmd >> path;
-                shell.loadFile(path);
+                shell.loadAndReport(path);
             } else if (verb == "gen") {
                 uint64_t n = 1000;
                 cmd >> n;
@@ -392,7 +413,7 @@ main(int argc, char **argv)
             } else if (verb == "explain") {
                 std::string rest;
                 std::getline(cmd, rest);
-                shell.explain(rest);
+                shell.execute("EXPLAIN " + rest);
             } else {
                 std::printf("unknown command; try \\help\n");
             }
@@ -400,5 +421,9 @@ main(int argc, char **argv)
         }
         shell.execute(line);
     }
+    if (g_interrupted)
+        std::printf("\ninterrupt — exiting cleanly%s\n",
+                    dumps_armed ? " (flushing metrics/trace dumps)"
+                                : "");
     return 0;
 }

@@ -62,12 +62,48 @@ assert {"rows_per_sec_baseline", "rows_per_sec_scalar",
 print(f"scan kernels smoke: {len(rows)} NDJSON rows ok")
 EOF
 
+echo "=== network server ==="
+# End-to-end over real sockets: dvpd on an ephemeral port discovered
+# via --port-file, a dvp_client smoke (query + EXPLAIN + stats), a
+# graceful SIGTERM drain, then a short load-generator run whose NDJSON
+# must carry QPS and tail-latency metrics.
+./build-ci/examples/dvpd --gen 500 --port 0 \
+    --port-file "$OBS_TMP/dvpd.port" > "$OBS_TMP/dvpd.log" 2>&1 &
+DVPD_PID=$!
+for _ in $(seq 50); do
+    [ -s "$OBS_TMP/dvpd.port" ] && break
+    sleep 0.1
+done
+DVPD_PORT="$(cat "$OBS_TMP/dvpd.port")"
+./build-ci/examples/dvp_client --port "$DVPD_PORT" --stats \
+    "SELECT COUNT(*) FROM t GROUP BY thousandth" \
+    "EXPLAIN SELECT str1, num FROM t" > "$OBS_TMP/client.out"
+grep -q "^group" "$OBS_TMP/client.out"
+grep -q "requests_total" "$OBS_TMP/client.out"
+kill -TERM "$DVPD_PID"
+wait "$DVPD_PID"
+grep -q "drained" "$OBS_TMP/dvpd.log"
+./build-ci/bench/bench_server_throughput --docs 2000 --duration 2 \
+    --connections 4 --json "$OBS_TMP/server.ndjson" > /dev/null
+python3 - "$OBS_TMP" <<'EOF'
+import json, sys
+rows = [json.loads(l) for l in open(f"{sys.argv[1]}/server.ndjson")]
+assert rows and all(r["bench"] == "server_throughput" for r in rows)
+metrics = {r["metric"]: r["value"] for r in rows}
+assert {"qps", "rows_per_s", "p50_ms", "p95_ms", "p99_ms"} <= \
+    metrics.keys(), metrics
+assert metrics["qps"] > 0 and metrics["p99_ms"] >= metrics["p50_ms"]
+assert metrics["errors"] == 0, metrics
+print(f"server smoke: {metrics['qps']:.0f} QPS, "
+      f"p99 {metrics['p99_ms']:.2f} ms ok")
+EOF
+
 echo "=== thread-sanitizer build ==="
 cmake -B build-tsan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
     -DDVP_SANITIZE=thread
 cmake --build build-tsan -j "$JOBS"
 DVP_TEST_DOCS=800 ctest --test-dir build-tsan --output-on-failure \
-    -j "$JOBS" -R 'test_parallel|test_util|test_adaptive|test_obs|test_plan|test_kernels'
+    -j "$JOBS" -R 'test_parallel|test_util|test_adaptive|test_obs|test_plan|test_kernels|test_server'
 
 echo "=== address-sanitizer build ==="
 # ASan catches lifetime bugs the plan cache could introduce: a cached
@@ -77,6 +113,6 @@ cmake -B build-asan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
     -DDVP_SANITIZE=address
 cmake --build build-asan -j "$JOBS"
 DVP_TEST_DOCS=800 ctest --test-dir build-asan --output-on-failure \
-    -j "$JOBS" -R 'test_plan|test_adaptive|test_layout|test_kernels'
+    -j "$JOBS" -R 'test_plan|test_adaptive|test_layout|test_kernels|test_server'
 
 echo "ci.sh: all suites passed"

@@ -1,0 +1,233 @@
+#include "client/client.hh"
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "net/socket.hh"
+
+namespace dvp::client
+{
+
+uint64_t
+Stats::get(const std::string &key, uint64_t fallback) const
+{
+    for (const auto &[k, v] : entries)
+        if (k == key)
+            return v;
+    return fallback;
+}
+
+Client::~Client()
+{
+    net::closeFd(fd);
+}
+
+Client::Client(Client &&other) noexcept
+    : fd(std::exchange(other.fd, -1)), in(std::move(other.in)),
+      server_name(std::move(other.server_name)),
+      session_id(std::exchange(other.session_id, 0))
+{
+}
+
+Client &
+Client::operator=(Client &&other) noexcept
+{
+    if (this != &other) {
+        net::closeFd(fd);
+        fd = std::exchange(other.fd, -1);
+        in = std::move(other.in);
+        server_name = std::move(other.server_name);
+        session_id = std::exchange(other.session_id, 0);
+    }
+    return *this;
+}
+
+std::string
+Client::connect(const std::string &host, uint16_t port,
+                const std::string &clientName, int timeout_ms)
+{
+    if (connected())
+        return "already connected";
+
+    std::string err;
+    fd = net::connectTcp(host, port, timeout_ms, &err);
+    if (fd < 0)
+        return err;
+
+    net::HelloBody hello;
+    hello.clientName = clientName;
+    if (!sendFrame(net::FrameType::Hello, encodeHello(hello)))
+        return "handshake send failed";
+
+    net::Frame f;
+    if (!readFrame(f, &err)) {
+        close();
+        return err.empty() ? "handshake read failed" : err;
+    }
+    if (f.type == net::FrameType::Error) {
+        net::ErrorBody e;
+        decodeError(f.payload, e);
+        close();
+        return "server rejected handshake: " + e.message;
+    }
+    net::HelloOkBody ok;
+    if (f.type != net::FrameType::HelloOk ||
+        !decodeHelloOk(f.payload, ok)) {
+        close();
+        return "unexpected handshake response";
+    }
+    if (ok.wireVersion != net::kWireVersion) {
+        close();
+        return "server speaks wire version " +
+               std::to_string(ok.wireVersion);
+    }
+    server_name = ok.serverName;
+    session_id = ok.sessionId;
+    return "";
+}
+
+Result
+Client::query(const std::string &sql)
+{
+    Result r;
+    if (!connected()) {
+        r.error = "not connected";
+        return r;
+    }
+
+    net::QueryBody q;
+    q.sql = sql;
+    if (!sendFrame(net::FrameType::Query, encodeQuery(q))) {
+        r.error = "send failed (connection lost)";
+        return r;
+    }
+
+    net::Frame f;
+    std::string err;
+    if (!readFrame(f, &err)) {
+        r.error = err.empty() ? "connection closed by server" : err;
+        return r;
+    }
+
+    if (f.type == net::FrameType::Error) {
+        net::ErrorBody e;
+        if (!decodeError(f.payload, e)) {
+            r.error = "malformed ERROR frame";
+            return r;
+        }
+        r.errorCode = e.code;
+        r.error = e.message;
+        return r;
+    }
+    if (f.type != net::FrameType::Result) {
+        r.error = std::string("unexpected frame ") +
+                  net::frameTypeName(f.type);
+        return r;
+    }
+
+    net::ResultBody body;
+    if (!decodeResult(f.payload, body)) {
+        r.error = "malformed RESULT frame";
+        return r;
+    }
+    r.ok = true;
+    if (body.kind == net::ResultBody::Kind::Message) {
+        r.isMessage = true;
+        r.message = std::move(body.message);
+    } else {
+        r.columns = std::move(body.columns);
+        r.oids = std::move(body.oids);
+        r.rows = std::move(body.rows);
+        r.digest = body.digest;
+        r.checksum = body.checksum;
+        r.execNs = body.execNs;
+    }
+    return r;
+}
+
+Stats
+Client::stats()
+{
+    Stats s;
+    if (!connected()) {
+        s.error = "not connected";
+        return s;
+    }
+    if (!sendFrame(net::FrameType::Stats, "")) {
+        s.error = "send failed (connection lost)";
+        return s;
+    }
+    net::Frame f;
+    std::string err;
+    if (!readFrame(f, &err)) {
+        s.error = err.empty() ? "connection closed by server" : err;
+        return s;
+    }
+    if (f.type == net::FrameType::Error) {
+        net::ErrorBody e;
+        decodeError(f.payload, e);
+        s.error = e.message;
+        return s;
+    }
+    net::StatsBody body;
+    if (f.type != net::FrameType::StatsResult ||
+        !decodeStats(f.payload, body)) {
+        s.error = "malformed STATS_RESULT frame";
+        return s;
+    }
+    s.ok = true;
+    s.entries = std::move(body.entries);
+    return s;
+}
+
+void
+Client::close()
+{
+    if (!connected())
+        return;
+    sendFrame(net::FrameType::Close, "");
+    net::closeFd(fd);
+    fd = -1;
+}
+
+bool
+Client::sendFrame(net::FrameType type, const std::string &payload)
+{
+    std::string frame = net::encodeFrame(type, payload);
+    if (!net::sendAll(fd, frame.data(), frame.size())) {
+        net::closeFd(fd);
+        fd = -1;
+        return false;
+    }
+    return true;
+}
+
+bool
+Client::readFrame(net::Frame &out, std::string *err)
+{
+    char buf[65536];
+    while (true) {
+        if (in.next(out))
+            return true;
+        if (in.error()) {
+            if (err)
+                *err = "protocol error: " + in.errorDetail();
+            net::closeFd(fd);
+            fd = -1;
+            return false;
+        }
+        long got = net::recvSome(fd, buf, sizeof(buf));
+        if (got > 0) {
+            in.feed(buf, static_cast<size_t>(got));
+            continue;
+        }
+        if (got < 0 && err)
+            *err = std::string("recv: ") + std::strerror(errno);
+        net::closeFd(fd);
+        fd = -1;
+        return false;
+    }
+}
+
+} // namespace dvp::client

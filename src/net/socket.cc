@@ -1,0 +1,176 @@
+#include "net/socket.hh"
+
+#include <arpa/inet.h>
+#include <cerrno>
+#include <cstring>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+namespace dvp::net
+{
+
+namespace
+{
+
+std::string
+errnoText(const char *what)
+{
+    return std::string(what) + ": " + std::strerror(errno);
+}
+
+bool
+fillAddr(const std::string &host, uint16_t port, sockaddr_in *addr,
+         std::string *err)
+{
+    std::memset(addr, 0, sizeof(*addr));
+    addr->sin_family = AF_INET;
+    addr->sin_port = htons(port);
+    std::string h = host.empty() ? "127.0.0.1" : host;
+    if (h == "localhost")
+        h = "127.0.0.1";
+    if (inet_pton(AF_INET, h.c_str(), &addr->sin_addr) != 1) {
+        if (err)
+            *err = "invalid IPv4 address '" + host + "'";
+        return false;
+    }
+    return true;
+}
+
+} // namespace
+
+int
+listenTcp(const std::string &host, uint16_t port, uint16_t *bound_port,
+          std::string *err)
+{
+    sockaddr_in addr;
+    if (!fillAddr(host, port, &addr, err))
+        return -1;
+
+    int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0) {
+        if (err)
+            *err = errnoText("socket");
+        return -1;
+    }
+    int one = 1;
+    ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    if (::bind(fd, reinterpret_cast<sockaddr *>(&addr), sizeof(addr)) <
+        0) {
+        if (err)
+            *err = errnoText("bind");
+        closeFd(fd);
+        return -1;
+    }
+    if (::listen(fd, 64) < 0) {
+        if (err)
+            *err = errnoText("listen");
+        closeFd(fd);
+        return -1;
+    }
+    if (bound_port) {
+        sockaddr_in actual;
+        socklen_t len = sizeof(actual);
+        if (::getsockname(fd, reinterpret_cast<sockaddr *>(&actual),
+                          &len) == 0)
+            *bound_port = ntohs(actual.sin_port);
+        else
+            *bound_port = port;
+    }
+    return fd;
+}
+
+int
+connectTcp(const std::string &host, uint16_t port, int timeout_ms,
+           std::string *err)
+{
+    sockaddr_in addr;
+    if (!fillAddr(host, port, &addr, err))
+        return -1;
+
+    int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0) {
+        if (err)
+            *err = errnoText("socket");
+        return -1;
+    }
+    if (timeout_ms > 0) {
+        timeval tv;
+        tv.tv_sec = timeout_ms / 1000;
+        tv.tv_usec = (timeout_ms % 1000) * 1000;
+        ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+        ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+    }
+    int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    int rc;
+    do {
+        rc = ::connect(fd, reinterpret_cast<sockaddr *>(&addr),
+                       sizeof(addr));
+    } while (rc < 0 && errno == EINTR);
+    if (rc < 0) {
+        if (err)
+            *err = errnoText("connect");
+        closeFd(fd);
+        return -1;
+    }
+    return fd;
+}
+
+bool
+sendAll(int fd, const void *data, size_t n)
+{
+    // Non-blocking sockets (the server's sessions) can hit EAGAIN on
+    // a full send buffer; wait for writability, but bound the total
+    // stall so a peer that stops reading can never wedge a worker (or
+    // a graceful drain) forever.
+    constexpr int kStallLimitMs = 10000;
+    int stalled_ms = 0;
+    const char *p = static_cast<const char *>(data);
+    while (n > 0) {
+        long sent = ::send(fd, p, n, MSG_NOSIGNAL);
+        if (sent < 0) {
+            if (errno == EINTR)
+                continue;
+            if (errno == EAGAIN || errno == EWOULDBLOCK) {
+                if (stalled_ms >= kStallLimitMs)
+                    return false;
+                pollfd pfd{fd, POLLOUT, 0};
+                int rc = ::poll(&pfd, 1, 100);
+                if (rc < 0 && errno != EINTR)
+                    return false;
+                if (rc == 0)
+                    stalled_ms += 100;
+                continue;
+            }
+            return false;
+        }
+        if (sent == 0)
+            return false;
+        stalled_ms = 0;
+        p += sent;
+        n -= static_cast<size_t>(sent);
+    }
+    return true;
+}
+
+long
+recvSome(int fd, void *buf, size_t n)
+{
+    long got;
+    do {
+        got = ::recv(fd, buf, n, 0);
+    } while (got < 0 && errno == EINTR);
+    return got;
+}
+
+void
+closeFd(int fd)
+{
+    if (fd >= 0)
+        ::close(fd);
+}
+
+} // namespace dvp::net

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Thin POSIX TCP helpers shared by the server and the client library:
+ * listen/connect with error strings instead of errno spelunking at
+ * call sites, full-buffer sends (EINTR/partial-write safe, SIGPIPE
+ * suppressed), and receive-timeout plumbing.  IPv4 only — the tree
+ * targets loopback and LAN deployments; nothing here precludes adding
+ * AF_INET6 later.
+ */
+
+#ifndef DVP_NET_SOCKET_HH
+#define DVP_NET_SOCKET_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace dvp::net
+{
+
+/**
+ * Bind + listen on @p host:@p port (port 0 = ephemeral).  Returns the
+ * listening fd, or -1 with @p err filled.  @p bound_port receives the
+ * actual port (useful with port 0).
+ */
+int listenTcp(const std::string &host, uint16_t port,
+              uint16_t *bound_port, std::string *err);
+
+/**
+ * Connect to @p host:@p port.  @p timeout_ms > 0 also arms SO_RCVTIMEO
+ * / SO_SNDTIMEO on the resulting socket.  Returns the fd, or -1 with
+ * @p err filled.
+ */
+int connectTcp(const std::string &host, uint16_t port, int timeout_ms,
+               std::string *err);
+
+/**
+ * Write all @p n bytes (retrying partial writes and EINTR, SIGPIPE
+ * suppressed).  False when the peer is gone or the send timed out.
+ */
+bool sendAll(int fd, const void *data, size_t n);
+
+/**
+ * One recv() of at most @p n bytes.  Returns the byte count, 0 on
+ * orderly EOF, and -1 on error (EINTR retried internally; a receive
+ * timeout reports -1).
+ */
+long recvSome(int fd, void *buf, size_t n);
+
+/** Close @p fd if valid (EINTR-safe); idempotent on -1. */
+void closeFd(int fd);
+
+} // namespace dvp::net
+
+#endif // DVP_NET_SOCKET_HH

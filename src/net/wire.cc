@@ -1,0 +1,341 @@
+#include "net/wire.hh"
+
+namespace dvp::net
+{
+
+namespace
+{
+
+/** CRC-32 lookup table (reflected 0xEDB88320), built once. */
+const uint32_t *
+crcTable()
+{
+    static uint32_t table[256];
+    static bool init = [] {
+        for (uint32_t i = 0; i < 256; ++i) {
+            uint32_t c = i;
+            for (int k = 0; k < 8; ++k)
+                c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+            table[i] = c;
+        }
+        return true;
+    }();
+    (void)init;
+    return table;
+}
+
+} // namespace
+
+uint32_t
+crc32(const void *data, size_t n)
+{
+    const uint32_t *table = crcTable();
+    const auto *p = static_cast<const unsigned char *>(data);
+    uint32_t c = 0xFFFFFFFFu;
+    for (size_t i = 0; i < n; ++i)
+        c = table[(c ^ p[i]) & 0xFF] ^ (c >> 8);
+    return c ^ 0xFFFFFFFFu;
+}
+
+std::string
+encodeFrame(FrameType type, const std::string &payload)
+{
+    Writer w;
+    w.u16(kMagic);
+    w.u8(kWireVersion);
+    w.u8(static_cast<uint8_t>(type));
+    w.u32(static_cast<uint32_t>(payload.size()));
+    w.u32(crc32(payload.data(), payload.size()));
+    w.u32(0); // reserved
+    return w.bytes() + payload;
+}
+
+void
+FrameAssembler::feed(const char *data, size_t n)
+{
+    if (error())
+        return;
+    // Drop consumed prefix lazily so long sessions don't grow the
+    // buffer without bound.
+    if (consumed > 0 && consumed == buf.size()) {
+        buf.clear();
+        consumed = 0;
+    } else if (consumed > 4096 && consumed > buf.size() / 2) {
+        buf.erase(0, consumed);
+        consumed = 0;
+    }
+    buf.append(data, n);
+}
+
+bool
+FrameAssembler::next(Frame &out)
+{
+    if (error())
+        return false;
+    if (buf.size() - consumed < kHeaderBytes)
+        return false;
+
+    Reader hdr(buf.data() + consumed, kHeaderBytes);
+    uint16_t magic = hdr.u16();
+    uint8_t version = hdr.u8();
+    uint8_t type = hdr.u8();
+    uint32_t length = hdr.u32();
+    uint32_t crc = hdr.u32();
+    uint32_t reserved = hdr.u32();
+
+    if (magic != kMagic) {
+        err = "bad frame magic";
+        return false;
+    }
+    if (version != kWireVersion) {
+        err = "unsupported protocol version " + std::to_string(version);
+        return false;
+    }
+    if (reserved != 0) {
+        err = "nonzero reserved header bits";
+        return false;
+    }
+    if (length > kMaxPayload) {
+        err = "oversized frame (" + std::to_string(length) + " bytes)";
+        return false;
+    }
+    if (type < static_cast<uint8_t>(FrameType::Hello) ||
+        type > static_cast<uint8_t>(FrameType::Close)) {
+        err = "unknown frame type " + std::to_string(type);
+        return false;
+    }
+
+    if (buf.size() - consumed < kHeaderBytes + length)
+        return false; // payload still in flight
+
+    const char *payload = buf.data() + consumed + kHeaderBytes;
+    if (crc32(payload, length) != crc) {
+        err = "payload CRC mismatch";
+        return false;
+    }
+
+    out.type = static_cast<FrameType>(type);
+    out.payload.assign(payload, length);
+    consumed += kHeaderBytes + length;
+    return true;
+}
+
+// ---------------------------------------------------------------------
+// Typed payloads.
+// ---------------------------------------------------------------------
+
+std::string
+encodeHello(const HelloBody &b)
+{
+    Writer w;
+    w.u32(b.wireVersion);
+    w.str(b.clientName);
+    return w.bytes();
+}
+
+bool
+decodeHello(const std::string &payload, HelloBody &out)
+{
+    Reader r(payload);
+    out.wireVersion = r.u32();
+    out.clientName = r.str();
+    return r.exhausted();
+}
+
+std::string
+encodeHelloOk(const HelloOkBody &b)
+{
+    Writer w;
+    w.u32(b.wireVersion);
+    w.str(b.serverName);
+    w.u64(b.sessionId);
+    return w.bytes();
+}
+
+bool
+decodeHelloOk(const std::string &payload, HelloOkBody &out)
+{
+    Reader r(payload);
+    out.wireVersion = r.u32();
+    out.serverName = r.str();
+    out.sessionId = r.u64();
+    return r.exhausted();
+}
+
+std::string
+encodeQuery(const QueryBody &b)
+{
+    Writer w;
+    w.str(b.sql);
+    return w.bytes();
+}
+
+bool
+decodeQuery(const std::string &payload, QueryBody &out)
+{
+    Reader r(payload);
+    out.sql = r.str();
+    return r.exhausted();
+}
+
+std::string
+encodeError(const ErrorBody &b)
+{
+    Writer w;
+    w.u16(static_cast<uint16_t>(b.code));
+    w.str(b.message);
+    return w.bytes();
+}
+
+bool
+decodeError(const std::string &payload, ErrorBody &out)
+{
+    Reader r(payload);
+    out.code = static_cast<ErrorCode>(r.u16());
+    out.message = r.str();
+    return r.exhausted();
+}
+
+std::string
+encodeResult(const ResultBody &b)
+{
+    Writer w;
+    w.u8(static_cast<uint8_t>(b.kind));
+    w.str(b.message);
+    w.u32(static_cast<uint32_t>(b.columns.size()));
+    for (const auto &c : b.columns)
+        w.str(c);
+    w.u32(static_cast<uint32_t>(b.oids.size()));
+    for (int64_t oid : b.oids)
+        w.i64(oid);
+    w.u32(static_cast<uint32_t>(b.rows.size()));
+    for (const auto &row : b.rows) {
+        w.u32(static_cast<uint32_t>(row.size()));
+        for (const Cell &c : row) {
+            w.u8(static_cast<uint8_t>(c.kind));
+            if (c.kind == Cell::Kind::Int)
+                w.i64(c.i);
+            else if (c.kind == Cell::Kind::Str)
+                w.str(c.s);
+        }
+    }
+    w.u64(b.digest);
+    w.u64(b.checksum);
+    w.u64(b.execNs);
+    return w.bytes();
+}
+
+bool
+decodeResult(const std::string &payload, ResultBody &out)
+{
+    Reader r(payload);
+    out.kind = static_cast<ResultBody::Kind>(r.u8());
+    out.message = r.str();
+    uint32_t ncols = r.u32();
+    // Collection counts are validated against the bytes remaining so a
+    // corrupt count cannot trigger a huge allocation before the reader
+    // notices the overrun.
+    if (!r.ok() || ncols > payload.size())
+        return false;
+    out.columns.clear();
+    out.columns.reserve(ncols);
+    for (uint32_t i = 0; i < ncols && r.ok(); ++i)
+        out.columns.push_back(r.str());
+    uint32_t noids = r.u32();
+    if (!r.ok() || noids > payload.size())
+        return false;
+    out.oids.clear();
+    out.oids.reserve(noids);
+    for (uint32_t i = 0; i < noids && r.ok(); ++i)
+        out.oids.push_back(r.i64());
+    uint32_t nrows = r.u32();
+    if (!r.ok() || nrows > payload.size())
+        return false;
+    out.rows.clear();
+    out.rows.reserve(nrows);
+    for (uint32_t i = 0; i < nrows && r.ok(); ++i) {
+        uint32_t ncells = r.u32();
+        if (!r.ok() || ncells > payload.size())
+            return false;
+        std::vector<Cell> row;
+        row.reserve(ncells);
+        for (uint32_t j = 0; j < ncells && r.ok(); ++j) {
+            Cell c;
+            c.kind = static_cast<Cell::Kind>(r.u8());
+            if (c.kind == Cell::Kind::Int)
+                c.i = r.i64();
+            else if (c.kind == Cell::Kind::Str)
+                c.s = r.str();
+            else if (c.kind != Cell::Kind::Null)
+                return false;
+            row.push_back(std::move(c));
+        }
+        out.rows.push_back(std::move(row));
+    }
+    out.digest = r.u64();
+    out.checksum = r.u64();
+    out.execNs = r.u64();
+    return r.exhausted();
+}
+
+std::string
+encodeStats(const StatsBody &b)
+{
+    Writer w;
+    w.u32(static_cast<uint32_t>(b.entries.size()));
+    for (const auto &[key, value] : b.entries) {
+        w.str(key);
+        w.u64(value);
+    }
+    return w.bytes();
+}
+
+bool
+decodeStats(const std::string &payload, StatsBody &out)
+{
+    Reader r(payload);
+    uint32_t n = r.u32();
+    if (!r.ok() || n > payload.size())
+        return false;
+    out.entries.clear();
+    out.entries.reserve(n);
+    for (uint32_t i = 0; i < n && r.ok(); ++i) {
+        std::string key = r.str();
+        uint64_t value = r.u64();
+        out.entries.emplace_back(std::move(key), value);
+    }
+    return r.exhausted();
+}
+
+const char *
+frameTypeName(FrameType t)
+{
+    switch (t) {
+      case FrameType::Hello: return "HELLO";
+      case FrameType::HelloOk: return "HELLO_OK";
+      case FrameType::Query: return "QUERY";
+      case FrameType::Result: return "RESULT";
+      case FrameType::Error: return "ERROR";
+      case FrameType::Stats: return "STATS";
+      case FrameType::StatsResult: return "STATS_RESULT";
+      case FrameType::Close: return "CLOSE";
+    }
+    return "?";
+}
+
+const char *
+errorCodeName(ErrorCode c)
+{
+    switch (c) {
+      case ErrorCode::None: return "NONE";
+      case ErrorCode::Parse: return "PARSE_ERROR";
+      case ErrorCode::Exec: return "EXEC_ERROR";
+      case ErrorCode::ServerBusy: return "SERVER_BUSY";
+      case ErrorCode::ShuttingDown: return "SHUTTING_DOWN";
+      case ErrorCode::Protocol: return "PROTOCOL_ERROR";
+      case ErrorCode::Unsupported: return "UNSUPPORTED";
+    }
+    return "?";
+}
+
+} // namespace dvp::net

@@ -1,0 +1,336 @@
+/**
+ * @file
+ * The DVP wire protocol: length-prefixed binary frames shared by the
+ * TCP server (src/server) and the client library (src/client).
+ *
+ * Every frame is a fixed 16-byte header followed by a payload:
+ *
+ *   offset  size  field
+ *        0     2  magic 0xD59A (little-endian)
+ *        2     1  protocol version (kWireVersion)
+ *        3     1  frame type (FrameType)
+ *        4     4  payload length in bytes (little-endian)
+ *        8     4  CRC-32 of the payload (little-endian)
+ *       12     4  reserved, must be zero
+ *
+ * The magic + version reject cross-protocol garbage up front, the
+ * length is sanity-capped at kMaxPayload, and the CRC covers the whole
+ * payload, so a corrupted or truncated stream can never be delivered
+ * as a valid frame.  Payload contents are encoded with Writer/Reader:
+ * fixed-width little-endian integers and u32-length-prefixed strings.
+ *
+ * The conversation is strictly request/response on the client side:
+ * HELLO -> HELLO_OK, then any number of QUERY -> RESULT|ERROR or
+ * STATS -> STATS_RESULT exchanges, then CLOSE.  The server additionally
+ * pushes ERROR frames for protocol violations and typed rejections
+ * (SERVER_BUSY, SHUTTING_DOWN) — see server.hh for the session rules.
+ */
+
+#ifndef DVP_NET_WIRE_HH
+#define DVP_NET_WIRE_HH
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+namespace dvp::net
+{
+
+/** Protocol version spoken by this tree. */
+constexpr uint8_t kWireVersion = 1;
+
+/** Header magic (little-endian on the wire). */
+constexpr uint16_t kMagic = 0xD59A;
+
+/** Fixed header size in bytes. */
+constexpr size_t kHeaderBytes = 16;
+
+/** Hard cap on payload length; larger lengths are protocol errors. */
+constexpr uint32_t kMaxPayload = 64u << 20;
+
+/** Frame types. */
+enum class FrameType : uint8_t
+{
+    Hello = 1,       ///< client -> server: version + client name
+    HelloOk = 2,     ///< server -> client: version + name + session id
+    Query = 3,       ///< client -> server: one SQL statement
+    Result = 4,      ///< server -> client: rows or a message
+    Error = 5,       ///< server -> client: typed error
+    Stats = 6,       ///< client -> server: request server statistics
+    StatsResult = 7, ///< server -> client: key/value counters
+    Close = 8,       ///< client -> server: orderly goodbye
+};
+
+/** Typed error codes carried by Error frames. */
+enum class ErrorCode : uint16_t
+{
+    None = 0,
+    Parse = 1,        ///< SQL did not parse
+    Exec = 2,         ///< statement failed during execution
+    ServerBusy = 3,   ///< admission queue past the --max-inflight mark
+    ShuttingDown = 4, ///< server is draining; no new statements
+    Protocol = 5,     ///< malformed frame or out-of-order exchange
+    Unsupported = 6,  ///< statement kind the server refuses (e.g. LOAD)
+};
+
+/** CRC-32 (IEEE 802.3 polynomial, reflected) of @p n bytes. */
+uint32_t crc32(const void *data, size_t n);
+
+/** Append-only payload encoder (little-endian). */
+class Writer
+{
+  public:
+    void
+    u8(uint8_t v)
+    {
+        buf.push_back(static_cast<char>(v));
+    }
+
+    void u16(uint16_t v) { raw(&v, 2); }
+    void u32(uint32_t v) { raw(&v, 4); }
+    void u64(uint64_t v) { raw(&v, 8); }
+    void i64(int64_t v) { raw(&v, 8); }
+
+    /** u32 byte length + raw bytes. */
+    void
+    str(const std::string &s)
+    {
+        u32(static_cast<uint32_t>(s.size()));
+        buf.append(s);
+    }
+
+    const std::string &bytes() const { return buf; }
+
+  private:
+    void
+    raw(const void *p, size_t n)
+    {
+        // Little-endian hosts only (matches the rest of the tree).
+        buf.append(static_cast<const char *>(p), n);
+    }
+
+    std::string buf;
+};
+
+/**
+ * Bounds-checked payload decoder.  Every read returns a value (zero /
+ * empty past the end) and latches ok() = false on the first overrun,
+ * so decode routines can read a whole record and check once.
+ */
+class Reader
+{
+  public:
+    Reader(const char *data, size_t n) : p(data), n(n) {}
+    explicit Reader(const std::string &s) : Reader(s.data(), s.size()) {}
+
+    uint8_t
+    u8()
+    {
+        uint8_t v = 0;
+        take(&v, 1);
+        return v;
+    }
+
+    uint16_t
+    u16()
+    {
+        uint16_t v = 0;
+        take(&v, 2);
+        return v;
+    }
+
+    uint32_t
+    u32()
+    {
+        uint32_t v = 0;
+        take(&v, 4);
+        return v;
+    }
+
+    uint64_t
+    u64()
+    {
+        uint64_t v = 0;
+        take(&v, 8);
+        return v;
+    }
+
+    int64_t
+    i64()
+    {
+        int64_t v = 0;
+        take(&v, 8);
+        return v;
+    }
+
+    std::string
+    str()
+    {
+        uint32_t len = u32();
+        if (len > n - pos || !ok_) { // n - pos is valid: pos <= n
+            ok_ = false;
+            return {};
+        }
+        std::string s(p + pos, len);
+        pos += len;
+        return s;
+    }
+
+    /** True until a read ran past the end of the payload. */
+    bool ok() const { return ok_; }
+
+    /** True when the whole payload was consumed exactly. */
+    bool exhausted() const { return ok_ && pos == n; }
+
+  private:
+    void
+    take(void *out, size_t bytes)
+    {
+        if (bytes > n - pos) {
+            ok_ = false;
+            return;
+        }
+        std::memcpy(out, p + pos, bytes);
+        pos += bytes;
+    }
+
+    const char *p;
+    size_t n;
+    size_t pos = 0;
+    bool ok_ = true;
+};
+
+/** One decoded frame. */
+struct Frame
+{
+    FrameType type = FrameType::Error;
+    std::string payload;
+};
+
+/** Serialize a complete frame (header + payload). */
+std::string encodeFrame(FrameType type, const std::string &payload);
+
+/**
+ * Incremental frame decoder.  feed() bytes as they arrive; next()
+ * yields completed frames.  A malformed header (bad magic, bad
+ * version, nonzero reserved bits, oversized length) or a payload CRC
+ * mismatch latches error(): the connection is unrecoverable because
+ * framing is lost.  Truncated input is not an error — next() simply
+ * returns false until the rest arrives.
+ */
+class FrameAssembler
+{
+  public:
+    /** Append @p n raw bytes from the stream. */
+    void feed(const char *data, size_t n);
+
+    /** Pop the next complete frame; false when more bytes are needed. */
+    bool next(Frame &out);
+
+    /** Set after a framing violation; message in errorDetail(). */
+    bool error() const { return !err.empty(); }
+    const std::string &errorDetail() const { return err; }
+
+    /** Bytes buffered but not yet consumed (tests). */
+    size_t buffered() const { return buf.size() - consumed; }
+
+  private:
+    std::string buf;
+    size_t consumed = 0;
+    std::string err;
+};
+
+// ---------------------------------------------------------------------
+// Typed payloads.  Encode/decode pairs for every frame body; decoders
+// return false on short or trailing bytes.
+// ---------------------------------------------------------------------
+
+/** HELLO: client introduces itself. */
+struct HelloBody
+{
+    uint32_t wireVersion = kWireVersion;
+    std::string clientName;
+};
+
+/** HELLO_OK: server accepts the session. */
+struct HelloOkBody
+{
+    uint32_t wireVersion = kWireVersion;
+    std::string serverName;
+    uint64_t sessionId = 0;
+};
+
+/** QUERY: one SQL statement. */
+struct QueryBody
+{
+    std::string sql;
+};
+
+/** ERROR: typed failure. */
+struct ErrorBody
+{
+    ErrorCode code = ErrorCode::None;
+    std::string message;
+};
+
+/** One result cell, decoded server-side (clients hold no dictionary). */
+struct Cell
+{
+    enum class Kind : uint8_t { Null = 0, Int = 1, Str = 2 };
+    Kind kind = Kind::Null;
+    int64_t i = 0;
+    std::string s;
+};
+
+/**
+ * RESULT: either a row set (kind Rows) or a plain message (kind
+ * Message — EXPLAIN text, LOAD summaries).  digest/checksum mirror
+ * engine::ResultSet so clients can compare executions byte-for-byte
+ * with an in-process run without re-deriving anything from decoded
+ * text.  execNs is the server-side statement wall time.
+ */
+struct ResultBody
+{
+    enum class Kind : uint8_t { Rows = 0, Message = 1 };
+    Kind kind = Kind::Rows;
+    std::string message;
+    std::vector<std::string> columns;
+    std::vector<int64_t> oids;
+    std::vector<std::vector<Cell>> rows;
+    uint64_t digest = 0;
+    uint64_t checksum = 0;
+    uint64_t execNs = 0;
+};
+
+/** STATS_RESULT: ordered key -> value counters. */
+struct StatsBody
+{
+    std::vector<std::pair<std::string, uint64_t>> entries;
+};
+
+std::string encodeHello(const HelloBody &b);
+bool decodeHello(const std::string &payload, HelloBody &out);
+
+std::string encodeHelloOk(const HelloOkBody &b);
+bool decodeHelloOk(const std::string &payload, HelloOkBody &out);
+
+std::string encodeQuery(const QueryBody &b);
+bool decodeQuery(const std::string &payload, QueryBody &out);
+
+std::string encodeError(const ErrorBody &b);
+bool decodeError(const std::string &payload, ErrorBody &out);
+
+std::string encodeResult(const ResultBody &b);
+bool decodeResult(const std::string &payload, ResultBody &out);
+
+std::string encodeStats(const StatsBody &b);
+bool decodeStats(const std::string &payload, StatsBody &out);
+
+/** Human-readable names for diagnostics. */
+const char *frameTypeName(FrameType t);
+const char *errorCodeName(ErrorCode c);
+
+} // namespace dvp::net
+
+#endif // DVP_NET_WIRE_HH

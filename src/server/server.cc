@@ -1,0 +1,693 @@
+#include "server/server.hh"
+
+#include <cerrno>
+#include <chrono>
+#include <csignal>
+#include <cstring>
+#include <fcntl.h>
+#include <fstream>
+#include <poll.h>
+#include <sstream>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "json/parser.hh"
+#include "net/socket.hh"
+#include "obs/metrics.hh"
+#include "obs/trace.hh"
+#include "sql/run.hh"
+#include "util/logging.hh"
+
+namespace dvp::server
+{
+
+namespace
+{
+
+int64_t
+nowMs()
+{
+    return std::chrono::duration_cast<std::chrono::milliseconds>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+}
+
+uint64_t
+nowNs()
+{
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+}
+
+void
+setNonBlocking(int fd)
+{
+    int flags = ::fcntl(fd, F_GETFL, 0);
+    if (flags >= 0)
+        ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+}
+
+/** Cheap pre-classification: LOAD statements take the exclusive lock. */
+bool
+looksLikeLoad(const std::string &sql)
+{
+    size_t i = sql.find_first_not_of(" \t\r\n");
+    if (i == std::string::npos || sql.size() - i < 4)
+        return false;
+    const char *kw = "LOAD";
+    for (int k = 0; k < 4; ++k)
+        if (std::toupper(static_cast<unsigned char>(sql[i + k])) !=
+            kw[k])
+            return false;
+    return true;
+}
+
+net::Cell
+slotToCell(const engine::DataSet &data, storage::Slot s)
+{
+    net::Cell c;
+    if (storage::isNull(s)) {
+        c.kind = net::Cell::Kind::Null;
+    } else if (storage::isStringSlot(s)) {
+        c.kind = net::Cell::Kind::Str;
+        c.s = data.dict.text(storage::decodeString(s));
+    } else {
+        c.kind = net::Cell::Kind::Int;
+        c.i = s;
+    }
+    return c;
+}
+
+/** The process-wide signal target (see installSignalHandlers). */
+std::atomic<Server *> g_signal_target{nullptr};
+
+void
+onStopSignal(int)
+{
+    Server *s = g_signal_target.load(std::memory_order_relaxed);
+    if (s)
+        s->requestStop();
+}
+
+} // namespace
+
+/** Per-connection state.  The event loop owns the read side; any
+ * thread may write a frame under write_mu.  The fd closes when the
+ * last shared_ptr drops, so a worker finishing late can never write
+ * into a recycled descriptor. */
+struct Server::Session
+{
+    int fd = -1;
+    uint64_t id = 0;
+    net::FrameAssembler in;
+    bool helloDone = false;
+    int64_t lastActivityMs = 0;
+    std::atomic<bool> dead{false};
+    std::mutex write_mu;
+
+    ~Session() { net::closeFd(fd); }
+
+    bool
+    writeFrame(net::FrameType type, const std::string &payload)
+    {
+        std::lock_guard<std::mutex> lock(write_mu);
+        if (dead.load(std::memory_order_relaxed))
+            return false;
+        std::string frame = net::encodeFrame(type, payload);
+        if (!net::sendAll(fd, frame.data(), frame.size())) {
+            dead.store(true, std::memory_order_relaxed);
+            return false;
+        }
+        return true;
+    }
+
+    bool
+    writeError(net::ErrorCode code, const std::string &message)
+    {
+        net::ErrorBody e{code, message};
+        return writeFrame(net::FrameType::Error, net::encodeError(e));
+    }
+};
+
+Server::Server(adaptive::AdaptiveEngine &engine, Config cfg)
+    : engine(&engine), cfg(std::move(cfg))
+{
+    if (this->cfg.workers == 0)
+        this->cfg.workers = 1;
+    if (this->cfg.maxInflight == 0)
+        this->cfg.maxInflight = 1;
+    if (this->cfg.tickMs <= 0)
+        this->cfg.tickMs = 50;
+}
+
+Server::~Server()
+{
+    if (g_signal_target.load(std::memory_order_relaxed) == this)
+        installSignalHandlers(nullptr);
+    stop();
+}
+
+std::string
+Server::start()
+{
+    if (running())
+        return "server already running";
+
+    int pipefd[2];
+    if (::pipe(pipefd) != 0)
+        return std::string("pipe: ") + std::strerror(errno);
+    wake_rd = pipefd[0];
+    wake_wr = pipefd[1];
+    setNonBlocking(wake_rd);
+    setNonBlocking(wake_wr);
+
+    std::string err;
+    listen_fd = net::listenTcp(cfg.host, cfg.port, &port_, &err);
+    if (listen_fd < 0) {
+        net::closeFd(wake_rd);
+        net::closeFd(wake_wr);
+        wake_rd = wake_wr = -1;
+        return err;
+    }
+    setNonBlocking(listen_fd);
+
+    stop_requested_.store(false);
+    draining_.store(false);
+    loop_done_.store(false);
+    workers_quit = false;
+    running_.store(true, std::memory_order_release);
+
+    loop_thread = std::thread([this] { eventLoop(); });
+    for (size_t i = 0; i < cfg.workers; ++i)
+        worker_threads.emplace_back([this] { workerLoop(); });
+
+    inform("%s: listening on %s:%u (%zu workers, max-inflight %zu)",
+           cfg.name.c_str(), cfg.host.c_str(), unsigned(port_),
+           cfg.workers, cfg.maxInflight);
+    return "";
+}
+
+void
+Server::wake()
+{
+    if (wake_wr >= 0) {
+        char b = 'w';
+        // Best effort: a full pipe already guarantees a pending wake.
+        [[maybe_unused]] long rc = ::write(wake_wr, &b, 1);
+    }
+}
+
+void
+Server::requestStop()
+{
+    stop_requested_.store(true, std::memory_order_release);
+    wake();
+}
+
+void
+Server::stop()
+{
+    std::lock_guard<std::mutex> lock(stop_mu);
+    if (!loop_thread.joinable() && worker_threads.empty())
+        return;
+
+    requestStop();
+    if (loop_thread.joinable())
+        loop_thread.join();
+    {
+        std::lock_guard<std::mutex> qlock(queue_mu);
+        workers_quit = true;
+    }
+    queue_cv.notify_all();
+    for (std::thread &t : worker_threads)
+        if (t.joinable())
+            t.join();
+    worker_threads.clear();
+
+    net::closeFd(listen_fd);
+    listen_fd = -1;
+    net::closeFd(wake_rd);
+    net::closeFd(wake_wr);
+    wake_rd = wake_wr = -1;
+    running_.store(false, std::memory_order_release);
+}
+
+ServerStats
+Server::stats() const
+{
+    std::lock_guard<std::mutex> lock(stats_mu);
+    return stats_;
+}
+
+void
+Server::setExecuteHook(std::function<void()> hook)
+{
+    std::lock_guard<std::mutex> lock(hook_mu);
+    execute_hook = std::move(hook);
+}
+
+void
+Server::installSignalHandlers(Server *s)
+{
+    g_signal_target.store(s, std::memory_order_relaxed);
+    struct sigaction sa;
+    std::memset(&sa, 0, sizeof(sa));
+    sa.sa_handler = s ? onStopSignal : SIG_DFL;
+    sigemptyset(&sa.sa_mask);
+    sa.sa_flags = 0; // no SA_RESTART: blocked syscalls return
+    sigaction(SIGINT, &sa, nullptr);
+    sigaction(SIGTERM, &sa, nullptr);
+}
+
+// ---------------------------------------------------------------------
+// Event loop.
+// ---------------------------------------------------------------------
+
+void
+Server::eventLoop()
+{
+    std::vector<pollfd> pfds;
+    while (true) {
+        if (stop_requested_.load(std::memory_order_acquire) &&
+            !draining_.load(std::memory_order_relaxed)) {
+            // Begin the drain: no new connections, no new admissions;
+            // everything already admitted runs to completion.
+            draining_.store(true, std::memory_order_release);
+            net::closeFd(listen_fd);
+            listen_fd = -1;
+            debug("server: draining (%zu inflight)", inflight());
+        }
+        if (draining_.load(std::memory_order_relaxed)) {
+            bool queue_empty;
+            {
+                std::lock_guard<std::mutex> lock(queue_mu);
+                queue_empty = queue.empty();
+            }
+            if (queue_empty &&
+                inflight_.load(std::memory_order_acquire) == 0)
+                break; // drain complete
+        }
+
+        pfds.clear();
+        pfds.push_back({wake_rd, POLLIN, 0});
+        if (listen_fd >= 0)
+            pfds.push_back({listen_fd, POLLIN, 0});
+        for (auto &[fd, s] : sessions)
+            pfds.push_back({fd, POLLIN, 0});
+
+        int rc = ::poll(pfds.data(), pfds.size(), cfg.tickMs);
+        if (rc < 0) {
+            if (errno == EINTR)
+                continue;
+            warn("server poll: %s", std::strerror(errno));
+            break;
+        }
+        for (const pollfd &p : pfds) {
+            if (p.revents == 0)
+                continue;
+            if (p.fd == wake_rd) {
+                char buf[64];
+                while (::read(wake_rd, buf, sizeof(buf)) > 0) {
+                }
+            } else if (p.fd == listen_fd) {
+                acceptOne();
+            } else {
+                auto it = sessions.find(p.fd);
+                if (it == sessions.end())
+                    continue;
+                std::shared_ptr<Session> s = it->second;
+                if (p.revents & (POLLERR | POLLNVAL))
+                    closeSession(s);
+                else
+                    serviceSession(s); // POLLHUP still drains the data
+            }
+        }
+        if (cfg.idleTimeoutMs > 0)
+            reapIdle(nowMs());
+    }
+
+    // Drain complete: every admitted statement has answered.  Shut
+    // sessions down so clients observe EOF; fds close when the last
+    // reference drops.
+    for (auto &[fd, s] : sessions) {
+        s->dead.store(true, std::memory_order_relaxed);
+        ::shutdown(fd, SHUT_RDWR);
+    }
+    sessions.clear();
+    DVP_GAUGE_SET("dvp_server_sessions_active", 0);
+    loop_done_.store(true, std::memory_order_release);
+}
+
+void
+Server::acceptOne()
+{
+    while (true) {
+        int fd = ::accept(listen_fd, nullptr, nullptr);
+        if (fd < 0) {
+            if (errno == EINTR)
+                continue;
+            return; // EAGAIN: accepted everything pending
+        }
+        DVP_TRACE_SPAN(accept_span, "accept", nullptr);
+        setNonBlocking(fd);
+        auto s = std::make_shared<Session>();
+        s->fd = fd;
+        s->id = next_session_id++;
+        s->lastActivityMs = nowMs();
+        sessions.emplace(fd, std::move(s));
+        DVP_COUNTER_INC("dvp_server_connections_total");
+        DVP_GAUGE_SET("dvp_server_sessions_active",
+                      static_cast<int64_t>(sessions.size()));
+        {
+            std::lock_guard<std::mutex> lock(stats_mu);
+            ++stats_.connections;
+        }
+    }
+}
+
+void
+Server::closeSession(const std::shared_ptr<Session> &s)
+{
+    if (sessions.erase(s->fd) == 0)
+        return; // already closed this iteration
+    s->dead.store(true, std::memory_order_relaxed);
+    ::shutdown(s->fd, SHUT_RDWR);
+    DVP_GAUGE_SET("dvp_server_sessions_active",
+                  static_cast<int64_t>(sessions.size()));
+}
+
+void
+Server::reapIdle(int64_t now_ms)
+{
+    std::vector<std::shared_ptr<Session>> idle;
+    for (auto &[fd, s] : sessions)
+        if (now_ms - s->lastActivityMs > cfg.idleTimeoutMs)
+            idle.push_back(s);
+    for (auto &s : idle) {
+        debug("server: closing idle session %llu",
+              static_cast<unsigned long long>(s->id));
+        closeSession(s);
+    }
+}
+
+void
+Server::serviceSession(const std::shared_ptr<Session> &s)
+{
+    DVP_TRACE_SPAN(session_span, "session", nullptr);
+    char buf[65536];
+    bool eof = false;
+    while (true) {
+        long got = net::recvSome(s->fd, buf, sizeof(buf));
+        if (got > 0) {
+            s->lastActivityMs = nowMs();
+            s->in.feed(buf, static_cast<size_t>(got));
+            if (got < static_cast<long>(sizeof(buf)))
+                break;
+            continue;
+        }
+        if (got == 0) {
+            eof = true;
+            break;
+        }
+        if (errno == EAGAIN || errno == EWOULDBLOCK)
+            break;
+        closeSession(s);
+        return;
+    }
+
+    net::Frame f;
+    while (!s->dead.load(std::memory_order_relaxed) && s->in.next(f))
+        handleFrame(s, f);
+
+    if (s->in.error()) {
+        {
+            std::lock_guard<std::mutex> lock(stats_mu);
+            ++stats_.protocolErrors;
+        }
+        DVP_COUNTER_INC("dvp_server_protocol_errors_total");
+        s->writeError(net::ErrorCode::Protocol, s->in.errorDetail());
+        closeSession(s);
+        return;
+    }
+    if (eof || s->dead.load(std::memory_order_relaxed))
+        closeSession(s);
+}
+
+void
+Server::handleFrame(const std::shared_ptr<Session> &s,
+                    const net::Frame &f)
+{
+    switch (f.type) {
+      case net::FrameType::Hello: {
+        net::HelloBody hello;
+        if (!decodeHello(f.payload, hello)) {
+            s->writeError(net::ErrorCode::Protocol,
+                          "malformed HELLO payload");
+            closeSession(s);
+            return;
+        }
+        if (hello.wireVersion != net::kWireVersion) {
+            s->writeError(net::ErrorCode::Protocol,
+                          "unsupported wire version " +
+                              std::to_string(hello.wireVersion));
+            closeSession(s);
+            return;
+        }
+        s->helloDone = true;
+        net::HelloOkBody ok;
+        ok.serverName = cfg.name;
+        ok.sessionId = s->id;
+        s->writeFrame(net::FrameType::HelloOk, encodeHelloOk(ok));
+        return;
+      }
+
+      case net::FrameType::Query: {
+        if (!s->helloDone) {
+            s->writeError(net::ErrorCode::Protocol,
+                          "QUERY before HELLO");
+            closeSession(s);
+            return;
+        }
+        net::QueryBody q;
+        if (!decodeQuery(f.payload, q)) {
+            s->writeError(net::ErrorCode::Protocol,
+                          "malformed QUERY payload");
+            closeSession(s);
+            return;
+        }
+        if (draining_.load(std::memory_order_relaxed)) {
+            DVP_COUNTER_INC("dvp_server_rejects_total");
+            std::lock_guard<std::mutex> lock(stats_mu);
+            ++stats_.rejects;
+            s->writeError(net::ErrorCode::ShuttingDown,
+                          "server is draining");
+            return;
+        }
+        if (inflight_.load(std::memory_order_acquire) >=
+            cfg.maxInflight) {
+            DVP_COUNTER_INC("dvp_server_rejects_total");
+            {
+                std::lock_guard<std::mutex> lock(stats_mu);
+                ++stats_.rejects;
+            }
+            s->writeError(net::ErrorCode::ServerBusy,
+                          "admission queue full (max-inflight " +
+                              std::to_string(cfg.maxInflight) + ")");
+            return;
+        }
+        inflight_.fetch_add(1, std::memory_order_acq_rel);
+        DVP_COUNTER_INC("dvp_server_requests_total");
+        {
+            std::lock_guard<std::mutex> lock(stats_mu);
+            ++stats_.requests;
+        }
+        {
+            std::lock_guard<std::mutex> lock(queue_mu);
+            queue.push_back(Task{s, std::move(q.sql), nowNs()});
+            DVP_GAUGE_SET("dvp_server_queue_depth",
+                          static_cast<int64_t>(queue.size()));
+        }
+        queue_cv.notify_one();
+        return;
+      }
+
+      case net::FrameType::Stats: {
+        if (!s->helloDone) {
+            s->writeError(net::ErrorCode::Protocol,
+                          "STATS before HELLO");
+            closeSession(s);
+            return;
+        }
+        s->writeFrame(net::FrameType::StatsResult,
+                      encodeStats(buildStats()));
+        return;
+      }
+
+      case net::FrameType::Close:
+        closeSession(s);
+        return;
+
+      default:
+        s->writeError(net::ErrorCode::Protocol,
+                      std::string("unexpected frame ") +
+                          net::frameTypeName(f.type));
+        closeSession(s);
+        return;
+    }
+}
+
+net::StatsBody
+Server::buildStats()
+{
+    ServerStats snap = stats();
+    net::StatsBody body;
+    body.entries.emplace_back("connections_total", snap.connections);
+    body.entries.emplace_back("requests_total", snap.requests);
+    body.entries.emplace_back("rejects_total", snap.rejects);
+    body.entries.emplace_back("protocol_errors_total",
+                              snap.protocolErrors);
+    body.entries.emplace_back("sessions_active", sessions.size());
+    body.entries.emplace_back("inflight", inflight());
+    body.entries.emplace_back(
+        "repartitions_total",
+        engine->adaptation().repartitions.load(
+            std::memory_order_relaxed));
+    {
+        // Shared statement lock: LOAD mutates the document vector the
+        // doc count reads.
+        std::shared_lock<std::shared_mutex> lock(statement_mu);
+        body.entries.emplace_back("docs",
+                                  engine->snapshot()->docCount());
+    }
+    return body;
+}
+
+// ---------------------------------------------------------------------
+// Workers.
+// ---------------------------------------------------------------------
+
+void
+Server::workerLoop()
+{
+    while (true) {
+        Task task;
+        {
+            std::unique_lock<std::mutex> lock(queue_mu);
+            queue_cv.wait(lock, [this] {
+                return workers_quit || !queue.empty();
+            });
+            if (queue.empty()) {
+                if (workers_quit)
+                    return;
+                continue;
+            }
+            task = std::move(queue.front());
+            queue.pop_front();
+            DVP_GAUGE_SET("dvp_server_queue_depth",
+                          static_cast<int64_t>(queue.size()));
+        }
+        executeTask(task);
+    }
+}
+
+void
+Server::executeTask(Task &task)
+{
+    {
+        std::function<void()> hook;
+        {
+            std::lock_guard<std::mutex> lock(hook_mu);
+            hook = execute_hook;
+        }
+        if (hook)
+            hook();
+    }
+
+    sql::LoadHandler load;
+    if (cfg.allowLoad) {
+        load = [this](const std::string &path) {
+            sql::LoadOutcome out;
+            std::ifstream in(path);
+            if (!in) {
+                out.error =
+                    "cannot open '" + path + "' on the server";
+                return out;
+            }
+            std::stringstream buf;
+            buf << in.rdbuf();
+            std::string err;
+            auto docs = json::parseLines(buf.str(), &err);
+            if (!err.empty()) {
+                out.error = "parse error: " + err;
+                return out;
+            }
+            for (const auto &doc : docs)
+                engine->ingest(doc);
+            out.message = "ingested " + std::to_string(docs.size()) +
+                          " documents";
+            return out;
+        };
+    }
+
+    sql::RunResult r;
+    {
+        DVP_TRACE_SPAN(exec_span, "execute", nullptr);
+        if (looksLikeLoad(task.sql)) {
+            std::unique_lock<std::shared_mutex> lock(statement_mu);
+            r = sql::runStatement(*engine, task.sql, load);
+        } else {
+            std::shared_lock<std::shared_mutex> lock(statement_mu);
+            r = sql::runStatement(*engine, task.sql, load);
+        }
+    }
+
+    if (!r.ok) {
+        net::ErrorCode code = net::ErrorCode::Exec;
+        if (r.errorKind == sql::RunResult::Error::Parse)
+            code = net::ErrorCode::Parse;
+        else if (r.errorKind == sql::RunResult::Error::Unsupported)
+            code = net::ErrorCode::Unsupported;
+        task.session->writeError(code, r.error);
+    } else {
+        net::ResultBody body;
+        if (r.kind == sql::RunResult::Kind::Message) {
+            body.kind = net::ResultBody::Kind::Message;
+            body.message = r.message;
+        } else {
+            const engine::DataSet &data = engine->snapshot()->data();
+            body.kind = net::ResultBody::Kind::Rows;
+            body.columns = sql::resultColumns(data, r.query);
+            body.oids = r.rows.oids;
+            body.rows.reserve(r.rows.rows.size());
+            {
+                // Shared statement lock while decoding string ids: a
+                // concurrent LOAD may grow the dictionary.
+                std::shared_lock<std::shared_mutex> lock(statement_mu);
+                for (const auto &row : r.rows.rows) {
+                    std::vector<net::Cell> cells;
+                    cells.reserve(row.size());
+                    for (storage::Slot slot : row)
+                        cells.push_back(slotToCell(data, slot));
+                    body.rows.push_back(std::move(cells));
+                }
+            }
+            body.digest = r.rows.digest();
+            body.checksum = r.rows.checksum;
+            body.execNs =
+                static_cast<uint64_t>(r.seconds * 1e9);
+        }
+        task.session->writeFrame(net::FrameType::Result,
+                                 encodeResult(body));
+    }
+
+    DVP_HISTOGRAM_OBSERVE("dvp_server_request_ns",
+                          nowNs() - task.enqueuedNs);
+    inflight_.fetch_sub(1, std::memory_order_acq_rel);
+    if (draining_.load(std::memory_order_relaxed))
+        wake(); // let the event loop notice drain completion promptly
+    task.session.reset();
+}
+
+} // namespace dvp::server

@@ -1,0 +1,230 @@
+/**
+ * @file
+ * The network query-serving front end: a poll()-based TCP server that
+ * speaks the src/net wire protocol and executes SQL through the shared
+ * sql::runStatement dispatch over a live AdaptiveEngine.
+ *
+ * Threading model (DESIGN.md §13):
+ *
+ *  - One event-loop thread owns the listening socket, the wake pipe,
+ *    and every session's read side.  It accepts connections, assembles
+ *    frames, answers cheap frames (HELLO, STATS, CLOSE) inline, and
+ *    admits QUERY frames into a bounded queue.
+ *  - A pool of worker threads pops admitted statements, executes them
+ *    through AdaptiveEngine::execute (morsel-parallel, plan-cached,
+ *    epoch-snapshotted — a background repartition can swap the layout
+ *    underneath an open connection and in-flight queries keep their
+ *    snapshot), serializes the result, and writes the response frame.
+ *    Each session's write side is guarded by a per-session mutex so a
+ *    worker response can never interleave with an event-loop reject.
+ *
+ * Backpressure: QUERY frames past the Config::maxInflight watermark
+ * (queued + executing) are rejected immediately with a typed
+ * SERVER_BUSY error; the connection stays usable.  Statements execute
+ * under a shared/exclusive statement lock: queries share, LOAD DATA is
+ * exclusive, so bulk ingest never races a concurrent scan's view of
+ * the raw document vector.
+ *
+ * Graceful drain: requestStop() (directly, via stop(), or from the
+ * SIGINT/SIGTERM handlers) stops accepting, answers new QUERY frames
+ * with SHUTTING_DOWN, lets every admitted statement finish and deliver
+ * its response, then shuts the loop and workers down.  stop() blocks
+ * until the drain completes.
+ *
+ * Sessions are also reaped when idle longer than Config::idleTimeoutMs
+ * (covers stalled half-written frames: any received byte counts as
+ * activity).
+ */
+
+#ifndef DVP_SERVER_SERVER_HH
+#define DVP_SERVER_SERVER_HH
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <shared_mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "adaptive/adaptive_engine.hh"
+#include "net/wire.hh"
+
+namespace dvp::server
+{
+
+/** Server configuration. */
+struct Config
+{
+    std::string host = "127.0.0.1";
+    uint16_t port = 0;  ///< 0 = ephemeral (read back via port())
+
+    /** Worker threads executing admitted statements. */
+    size_t workers = 2;
+
+    /** Admission watermark: queued + executing statements. */
+    size_t maxInflight = 64;
+
+    /** Close sessions idle longer than this; 0 disables. */
+    int idleTimeoutMs = 0;
+
+    /** poll() tick, which bounds timeout/drain detection latency. */
+    int tickMs = 50;
+
+    /**
+     * Serve LOAD DATA from server-local JSON-lines paths.  Off by
+     * default: a remote client naming server filesystem paths is a
+     * deployment decision, not a protocol default.
+     */
+    bool allowLoad = false;
+
+    /** Server name reported in HELLO_OK. */
+    std::string name = "dvpd";
+};
+
+/** Aggregate counters mirrored by the dvp_server_* metrics. */
+struct ServerStats
+{
+    uint64_t connections = 0; ///< sessions ever accepted
+    uint64_t requests = 0;    ///< QUERY frames admitted
+    uint64_t rejects = 0;     ///< QUERY frames rejected (busy/drain)
+    uint64_t protocolErrors = 0;
+};
+
+/** The server.  One instance serves one AdaptiveEngine. */
+class Server
+{
+  public:
+    explicit Server(adaptive::AdaptiveEngine &engine, Config cfg = {});
+    ~Server(); ///< stop()s if still running
+
+    Server(const Server &) = delete;
+    Server &operator=(const Server &) = delete;
+
+    /** Bind, listen, and start the loop + workers.  "" on success. */
+    std::string start();
+
+    /** Bound port (after start(); useful with Config::port = 0). */
+    uint16_t port() const { return port_; }
+
+    /** True between a successful start() and the end of stop(). */
+    bool running() const
+    {
+        return running_.load(std::memory_order_acquire);
+    }
+
+    /**
+     * Begin a graceful drain without blocking.  Safe from any thread;
+     * also the only thing the signal handlers do (one write to the
+     * wake pipe — async-signal-safe).
+     */
+    void requestStop();
+
+    /** Drain and join.  Idempotent; blocks until fully stopped. */
+    void stop();
+
+    /**
+     * True once the event loop has finished draining (all admitted
+     * statements answered, sessions shut down).  Lets a daemon wait
+     * for a signal-triggered drain before calling stop().
+     */
+    bool drained() const
+    {
+        return loop_done_.load(std::memory_order_acquire);
+    }
+
+    /** statements queued + executing right now (tests, admission). */
+    size_t inflight() const
+    {
+        return inflight_.load(std::memory_order_acquire);
+    }
+
+    /** Aggregate counters (snapshot). */
+    ServerStats stats() const;
+
+    /**
+     * Test hook, called by a worker thread after dequeuing a statement
+     * and before executing it.  Lets tests hold statements in flight
+     * deterministically (backpressure and drain assertions).
+     */
+    void setExecuteHook(std::function<void()> hook);
+
+    /**
+     * Route SIGINT/SIGTERM to @p s->requestStop() (nullptr restores
+     * SIG_DFL).  One server per process can be the signal target.
+     */
+    static void installSignalHandlers(Server *s);
+
+  private:
+    struct Session;
+    struct Task
+    {
+        std::shared_ptr<Session> session;
+        std::string sql;
+        uint64_t enqueuedNs = 0;
+    };
+
+    void eventLoop();
+    void workerLoop();
+    void wake();
+
+    void acceptOne();
+    void serviceSession(const std::shared_ptr<Session> &s);
+    void handleFrame(const std::shared_ptr<Session> &s,
+                     const net::Frame &f);
+    void closeSession(const std::shared_ptr<Session> &s);
+    void reapIdle(int64_t now_ms);
+
+    void executeTask(Task &task);
+    net::StatsBody buildStats();
+
+    adaptive::AdaptiveEngine *engine;
+    Config cfg;
+
+    int listen_fd = -1;
+    uint16_t port_ = 0;
+    int wake_rd = -1, wake_wr = -1;
+
+    std::thread loop_thread;
+    std::vector<std::thread> worker_threads;
+
+    /** Sessions keyed by fd; touched only by the event loop. */
+    std::unordered_map<int, std::shared_ptr<Session>> sessions;
+    uint64_t next_session_id = 1;
+
+    std::mutex queue_mu;
+    std::condition_variable queue_cv;
+    std::deque<Task> queue;
+    bool workers_quit = false;
+
+    /**
+     * Statement lock: queries take it shared, LOAD DATA exclusive.
+     * The engine's own locking covers layout swaps; this additionally
+     * keeps bulk ingest from racing concurrent statement parses that
+     * sample the raw document vector.
+     */
+    std::shared_mutex statement_mu;
+
+    std::atomic<size_t> inflight_{0};
+    std::atomic<bool> running_{false};
+    std::atomic<bool> draining_{false};
+    std::atomic<bool> stop_requested_{false};
+    std::atomic<bool> loop_done_{false};
+
+    mutable std::mutex stats_mu;
+    ServerStats stats_;
+
+    std::mutex hook_mu;
+    std::function<void()> execute_hook;
+
+    std::mutex stop_mu; ///< serializes stop() callers
+};
+
+} // namespace dvp::server
+
+#endif // DVP_SERVER_SERVER_HH

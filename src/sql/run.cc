@@ -1,0 +1,89 @@
+#include "sql/run.hh"
+
+#include <cstdio>
+
+#include "sql/explain.hh"
+#include "sql/parser.hh"
+#include "util/timer.hh"
+
+namespace dvp::sql
+{
+
+RunResult
+runStatement(adaptive::AdaptiveEngine &eng, const std::string &text,
+             const LoadHandler &load)
+{
+    RunResult res;
+    std::shared_ptr<engine::Database> db = eng.snapshot();
+
+    ParseResult parsed = parse(text, db->data());
+    if (!parsed.ok) {
+        res.errorKind = RunResult::Error::Parse;
+        res.error = parsed.error;
+        return res;
+    }
+
+    switch (parsed.kind) {
+      case StatementKind::Load: {
+        if (!load) {
+            res.errorKind = RunResult::Error::Unsupported;
+            res.error = "LOAD DATA is not supported on this connection";
+            return res;
+        }
+        LoadOutcome outcome = load(parsed.loadFile);
+        if (!outcome.error.empty()) {
+            res.errorKind = RunResult::Error::Exec;
+            res.error = outcome.error;
+            return res;
+        }
+        res.ok = true;
+        res.kind = RunResult::Kind::Message;
+        res.message = outcome.message;
+        return res;
+      }
+
+      case StatementKind::Explain: {
+        char head[64];
+        std::snprintf(head, sizeof(head), "est. selectivity %.4f\n",
+                      parsed.query.selectivity);
+        res.ok = true;
+        res.kind = RunResult::Kind::Message;
+        res.query = parsed.query;
+        res.message = std::string(head) +
+                      explain(*db, parsed.query, &eng.planCache());
+        return res;
+      }
+
+      case StatementKind::Query: {
+        Timer t;
+        res.rows = eng.execute(parsed.query);
+        res.seconds = t.seconds();
+        res.ok = true;
+        res.kind = RunResult::Kind::Rows;
+        res.query = std::move(parsed.query);
+        return res;
+      }
+    }
+    res.errorKind = RunResult::Error::Unsupported;
+    res.error = "unhandled statement kind";
+    return res;
+}
+
+std::vector<std::string>
+resultColumns(const engine::DataSet &data, const engine::Query &q)
+{
+    if (q.kind == engine::QueryKind::Aggregate)
+        return {"group", "count"};
+    if (q.kind == engine::QueryKind::Join)
+        return {"left oid", "right oid"};
+    if (q.selectAll)
+        return {"oid", "non-null attrs"};
+    std::vector<std::string> cols;
+    cols.reserve(q.projected.size());
+    for (storage::AttrId a : q.projected)
+        cols.push_back(a == storage::kNoAttr ? "?"
+                                             : data.catalog.name(a));
+    return cols;
+}
+
+} // namespace dvp::sql

@@ -36,11 +36,11 @@ Dictionary::operator=(const Dictionary &other)
 
 Dictionary::Dictionary(Dictionary &&other) noexcept
     : strings(std::move(other.strings)), index(std::move(other.index)),
-      pending_probes(other.pending_probes),
-      pending_slots(other.pending_slots)
+      pending_probes(
+          other.pending_probes.exchange(0, std::memory_order_relaxed)),
+      pending_slots(
+          other.pending_slots.exchange(0, std::memory_order_relaxed))
 {
-    other.pending_probes = 0;
-    other.pending_slots = 0;
 }
 
 Dictionary &
@@ -50,10 +50,12 @@ Dictionary::operator=(Dictionary &&other) noexcept
         flushObs();
         strings = std::move(other.strings);
         index = std::move(other.index);
-        pending_probes = other.pending_probes;
-        pending_slots = other.pending_slots;
-        other.pending_probes = 0;
-        other.pending_slots = 0;
+        pending_probes.store(
+            other.pending_probes.exchange(0, std::memory_order_relaxed),
+            std::memory_order_relaxed);
+        pending_slots.store(
+            other.pending_slots.exchange(0, std::memory_order_relaxed),
+            std::memory_order_relaxed);
     }
     return *this;
 }
@@ -62,12 +64,14 @@ void
 Dictionary::flushObs() const
 {
 #ifndef DVP_OBS_DISABLED
-    if (pending_probes == 0)
+    uint64_t probes =
+        pending_probes.exchange(0, std::memory_order_relaxed);
+    uint64_t slots =
+        pending_slots.exchange(0, std::memory_order_relaxed);
+    if (probes == 0 && slots == 0)
         return;
-    DVP_COUNTER_ADD("dvp_dict_probes_total", pending_probes);
-    DVP_COUNTER_ADD("dvp_dict_probe_slots_total", pending_slots);
-    pending_probes = 0;
-    pending_slots = 0;
+    DVP_COUNTER_ADD("dvp_dict_probes_total", probes);
+    DVP_COUNTER_ADD("dvp_dict_probe_slots_total", slots);
     DVP_GAUGE_SET("dvp_dict_entries",
                   static_cast<int64_t>(strings.size()));
 #endif
@@ -99,8 +103,8 @@ Dictionary::probe(std::string_view s, uint64_t hash) const
         ++slots;
     }
 #ifndef DVP_OBS_DISABLED
-    ++pending_probes;
-    pending_slots += slots;
+    pending_probes.fetch_add(1, std::memory_order_relaxed);
+    pending_slots.fetch_add(slots, std::memory_order_relaxed);
 #else
     (void)slots;
 #endif

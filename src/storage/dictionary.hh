@@ -15,6 +15,7 @@
 #ifndef DVP_STORAGE_DICTIONARY_HH
 #define DVP_STORAGE_DICTIONARY_HH
 
+#include <atomic>
 #include <cstdint>
 #include <string>
 #include <string_view>
@@ -75,17 +76,18 @@ class Dictionary
     static constexpr uint32_t kEmpty = UINT32_MAX;
 
     /**
-     * Probe metrics accumulate in plain members and flush to the
-     * registry only at destruction (and assignment), so the per-probe
-     * cost is two plain increments rather than atomic RMWs, and flush
-     * points are deterministic.  Exit-time dumps still see exact
-     * totals: DumpScope is armed before any DataSet exists, so it is
-     * destroyed after every dictionary has flushed.  Plain (not
-     * atomic) matches the class contract: the dictionary is written
-     * single-threaded at load time.
+     * Probe metrics accumulate in relaxed-atomic members and flush to
+     * the registry only at destruction (and assignment), so flush
+     * points are deterministic and exit-time dumps see exact totals
+     * (DumpScope is armed before any DataSet exists, so it is
+     * destroyed after every dictionary has flushed).  Atomic because
+     * lookup() is const yet counts probes: concurrent readers — the
+     * network server parses SQL from several worker threads against
+     * one shared dictionary — must not race on the counters.  Writes
+     * (intern) remain single-threaded by contract.
      */
-    mutable uint64_t pending_probes = 0;
-    mutable uint64_t pending_slots = 0;
+    mutable std::atomic<uint64_t> pending_probes{0};
+    mutable std::atomic<uint64_t> pending_slots{0};
 };
 
 } // namespace dvp::storage

@@ -1,0 +1,851 @@
+/**
+ * @file
+ * Tests for the network query-serving subsystem: the wire protocol
+ * (src/net), the TCP server (src/server), and the client library
+ * (src/client).
+ *
+ * The protocol tests exercise encode/decode round-trips and every
+ * framing violation class (truncation, garbage, oversized lengths,
+ * CRC corruption).  The server tests run a real server on an ephemeral
+ * loopback port and prove the acceptance criteria: concurrent clients
+ * observe digests byte-identical to in-process execution — including
+ * while an adaptive repartition swaps the layout underneath the open
+ * connections — backpressure rejects are typed, graceful drain
+ * delivers every admitted response, and the dvp_server_* metrics reach
+ * the Prometheus exporter.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "adaptive/adaptive_engine.hh"
+#include "client/client.hh"
+#include "net/socket.hh"
+#include "net/wire.hh"
+#include "nobench/generator.hh"
+#include "nobench/queries.hh"
+#include "nobench/workload.hh"
+#include "obs/export.hh"
+#include "obs/metrics.hh"
+#include "server/server.hh"
+#include "sql/run.hh"
+
+namespace dvp
+{
+namespace
+{
+
+using adaptive::AdaptiveEngine;
+using adaptive::Params;
+
+// ---------------------------------------------------------------------
+// Wire protocol.
+// ---------------------------------------------------------------------
+
+TEST(Wire, CrcMatchesKnownVector)
+{
+    // IEEE CRC-32 of "123456789" is the classic check value.
+    EXPECT_EQ(net::crc32("123456789", 9), 0xCBF43926u);
+    EXPECT_EQ(net::crc32("", 0), 0u);
+}
+
+TEST(Wire, TypedBodiesRoundTrip)
+{
+    net::HelloBody hello;
+    hello.clientName = "unit";
+    net::HelloBody hello2;
+    ASSERT_TRUE(decodeHello(encodeHello(hello), hello2));
+    EXPECT_EQ(hello2.wireVersion, net::kWireVersion);
+    EXPECT_EQ(hello2.clientName, "unit");
+
+    net::HelloOkBody ok;
+    ok.serverName = "dvpd-test";
+    ok.sessionId = 42;
+    net::HelloOkBody ok2;
+    ASSERT_TRUE(decodeHelloOk(encodeHelloOk(ok), ok2));
+    EXPECT_EQ(ok2.serverName, "dvpd-test");
+    EXPECT_EQ(ok2.sessionId, 42u);
+
+    net::QueryBody q;
+    q.sql = "SELECT * FROM t WHERE num BETWEEN 1 AND 2";
+    net::QueryBody q2;
+    ASSERT_TRUE(decodeQuery(encodeQuery(q), q2));
+    EXPECT_EQ(q2.sql, q.sql);
+
+    net::ErrorBody e;
+    e.code = net::ErrorCode::ServerBusy;
+    e.message = "try later";
+    net::ErrorBody e2;
+    ASSERT_TRUE(decodeError(encodeError(e), e2));
+    EXPECT_EQ(e2.code, net::ErrorCode::ServerBusy);
+    EXPECT_EQ(e2.message, "try later");
+
+    net::ResultBody r;
+    r.columns = {"oid", "num", "str1"};
+    r.oids = {7, 9};
+    r.rows = {{net::Cell{net::Cell::Kind::Int, 123, ""},
+               net::Cell{net::Cell::Kind::Str, 0, "hello"}},
+              {net::Cell{net::Cell::Kind::Null, 0, ""},
+               net::Cell{net::Cell::Kind::Int, -5, ""}}};
+    r.digest = 0xDEADBEEFCAFEF00DULL;
+    r.checksum = 0x1234;
+    r.execNs = 98765;
+    net::ResultBody r2;
+    ASSERT_TRUE(decodeResult(encodeResult(r), r2));
+    EXPECT_EQ(r2.kind, net::ResultBody::Kind::Rows);
+    EXPECT_EQ(r2.columns, r.columns);
+    EXPECT_EQ(r2.oids, r.oids);
+    ASSERT_EQ(r2.rows.size(), 2u);
+    EXPECT_EQ(r2.rows[0][0].kind, net::Cell::Kind::Int);
+    EXPECT_EQ(r2.rows[0][0].i, 123);
+    EXPECT_EQ(r2.rows[0][1].s, "hello");
+    EXPECT_EQ(r2.rows[1][0].kind, net::Cell::Kind::Null);
+    EXPECT_EQ(r2.rows[1][1].i, -5);
+    EXPECT_EQ(r2.digest, r.digest);
+    EXPECT_EQ(r2.checksum, r.checksum);
+    EXPECT_EQ(r2.execNs, r.execNs);
+
+    net::ResultBody msg;
+    msg.kind = net::ResultBody::Kind::Message;
+    msg.message = "ingested 10 documents";
+    net::ResultBody msg2;
+    ASSERT_TRUE(decodeResult(encodeResult(msg), msg2));
+    EXPECT_EQ(msg2.kind, net::ResultBody::Kind::Message);
+    EXPECT_EQ(msg2.message, msg.message);
+
+    net::StatsBody st;
+    st.entries = {{"requests_total", 12}, {"docs", 5000}};
+    net::StatsBody st2;
+    ASSERT_TRUE(decodeStats(encodeStats(st), st2));
+    EXPECT_EQ(st2.entries, st.entries);
+}
+
+TEST(Wire, AssemblerReassemblesByteDribble)
+{
+    // Three frames fed one byte at a time must come out intact and in
+    // order.
+    net::QueryBody q;
+    q.sql = "SELECT str1, num FROM t";
+    std::string stream =
+        net::encodeFrame(net::FrameType::Hello,
+                         encodeHello(net::HelloBody{})) +
+        net::encodeFrame(net::FrameType::Query, encodeQuery(q)) +
+        net::encodeFrame(net::FrameType::Close, "");
+
+    net::FrameAssembler as;
+    std::vector<net::Frame> frames;
+    net::Frame f;
+    for (char c : stream) {
+        as.feed(&c, 1);
+        while (as.next(f))
+            frames.push_back(f);
+        EXPECT_FALSE(as.error());
+    }
+    ASSERT_EQ(frames.size(), 3u);
+    EXPECT_EQ(frames[0].type, net::FrameType::Hello);
+    EXPECT_EQ(frames[1].type, net::FrameType::Query);
+    net::QueryBody q2;
+    ASSERT_TRUE(decodeQuery(frames[1].payload, q2));
+    EXPECT_EQ(q2.sql, q.sql);
+    EXPECT_EQ(frames[2].type, net::FrameType::Close);
+    EXPECT_EQ(as.buffered(), 0u);
+}
+
+TEST(Wire, TruncatedFrameIsPendingNotError)
+{
+    std::string frame = net::encodeFrame(
+        net::FrameType::Query,
+        encodeQuery(net::QueryBody{"SELECT * FROM t"}));
+    net::FrameAssembler as;
+    as.feed(frame.data(), frame.size() - 4);
+    net::Frame f;
+    EXPECT_FALSE(as.next(f));
+    EXPECT_FALSE(as.error()) << as.errorDetail();
+    as.feed(frame.data() + frame.size() - 4, 4);
+    EXPECT_TRUE(as.next(f));
+    EXPECT_EQ(f.type, net::FrameType::Query);
+}
+
+TEST(Wire, GarbageMagicLatchesError)
+{
+    net::FrameAssembler as;
+    std::string junk = "GET / HTTP/1.1\r\nHost: nope\r\n\r\n";
+    as.feed(junk.data(), junk.size());
+    net::Frame f;
+    EXPECT_FALSE(as.next(f));
+    EXPECT_TRUE(as.error());
+    EXPECT_NE(as.errorDetail().find("magic"), std::string::npos);
+}
+
+TEST(Wire, BadVersionAndReservedAndOversizedAreErrors)
+{
+    std::string good = net::encodeFrame(net::FrameType::Close, "");
+
+    {
+        std::string bad = good;
+        bad[2] = char(net::kWireVersion + 1); // version byte
+        net::FrameAssembler as;
+        as.feed(bad.data(), bad.size());
+        net::Frame f;
+        EXPECT_FALSE(as.next(f));
+        EXPECT_TRUE(as.error());
+    }
+    {
+        std::string bad = good;
+        bad[12] = 1; // reserved must be zero
+        net::FrameAssembler as;
+        as.feed(bad.data(), bad.size());
+        net::Frame f;
+        EXPECT_FALSE(as.next(f));
+        EXPECT_TRUE(as.error());
+    }
+    {
+        std::string bad = good;
+        uint32_t huge = net::kMaxPayload + 1;
+        std::memcpy(&bad[4], &huge, 4); // length field
+        net::FrameAssembler as;
+        as.feed(bad.data(), bad.size());
+        net::Frame f;
+        EXPECT_FALSE(as.next(f));
+        EXPECT_TRUE(as.error());
+    }
+    {
+        std::string bad = good;
+        bad[3] = 99; // frame type out of range
+        net::FrameAssembler as;
+        as.feed(bad.data(), bad.size());
+        net::Frame f;
+        EXPECT_FALSE(as.next(f));
+        EXPECT_TRUE(as.error());
+    }
+}
+
+TEST(Wire, CrcMismatchIsAnError)
+{
+    std::string frame = net::encodeFrame(
+        net::FrameType::Query,
+        encodeQuery(net::QueryBody{"SELECT * FROM t"}));
+    frame[frame.size() - 1] ^= 0x40; // flip a payload bit
+    net::FrameAssembler as;
+    as.feed(frame.data(), frame.size());
+    net::Frame f;
+    EXPECT_FALSE(as.next(f));
+    EXPECT_TRUE(as.error());
+    EXPECT_NE(as.errorDetail().find("CRC"), std::string::npos);
+}
+
+TEST(Wire, DecodersRejectShortAndTrailingBytes)
+{
+    std::string ok = encodeQuery(net::QueryBody{"SELECT 1"});
+    net::QueryBody q;
+    EXPECT_FALSE(decodeQuery(ok.substr(0, ok.size() - 1), q));
+    EXPECT_FALSE(decodeQuery(ok + "x", q));
+
+    // A RESULT whose row count implies more bytes than the payload
+    // holds must fail cleanly instead of over-allocating.
+    net::ResultBody r;
+    r.oids = {1};
+    r.rows = {{net::Cell{net::Cell::Kind::Int, 7, ""}}};
+    std::string enc = encodeResult(r);
+    net::ResultBody out;
+    EXPECT_FALSE(decodeResult(enc.substr(0, enc.size() / 2), out));
+}
+
+// ---------------------------------------------------------------------
+// Server fixture: one NoBench data set shared by every server test.
+// ---------------------------------------------------------------------
+
+/** Q1-Q11 as SQL (the paper's mix; Q12/LOAD is tested separately). */
+const std::vector<std::string> &
+queryMix()
+{
+    static const std::vector<std::string> mix = {
+        "SELECT str1, num FROM t",
+        "SELECT nested_obj.str, sparse_300 FROM t",
+        "SELECT sparse_110, sparse_119 FROM t",
+        "SELECT sparse_110, sparse_220 FROM t",
+        "SELECT * FROM t WHERE str1 = 'str1_17'",
+        "SELECT * FROM t WHERE num BETWEEN 1000 AND 1999",
+        "SELECT * FROM t WHERE dyn1 BETWEEN 5000 AND 6999",
+        "SELECT sparse_330, num FROM t WHERE 'arr_7' = ANY nested_arr",
+        "SELECT * FROM t WHERE sparse_300 = 'sparse_val_3'",
+        "SELECT COUNT(*) FROM t WHERE num BETWEEN 0 AND 499999 "
+        "GROUP BY thousandth",
+        "SELECT * FROM t AS l INNER JOIN t AS r "
+        "ON l.nested_obj.str = r.str1 WHERE l.num BETWEEN 0 AND 999",
+    };
+    return mix;
+}
+
+class ServerWorld : public ::testing::Test
+{
+  protected:
+    static void
+    SetUpTestSuite()
+    {
+        uint64_t docs = 1200;
+        if (const char *env = std::getenv("DVP_TEST_DOCS"))
+            docs = std::strtoull(env, nullptr, 10);
+        cfg.numDocs = docs;
+        cfg.seed = 99;
+        data = new engine::DataSet(nobench::generateDataSet(cfg));
+        qs = new nobench::QuerySet(*data, cfg);
+    }
+
+    static void
+    TearDownTestSuite()
+    {
+        delete qs;
+        delete data;
+        qs = nullptr;
+        data = nullptr;
+    }
+
+    /** A fresh engine over the shared (copied) data set. */
+    struct World
+    {
+        engine::DataSet data;
+        std::unique_ptr<AdaptiveEngine> engine;
+
+        explicit World(Params prm = defaultParams())
+            : data(*ServerWorld::data)
+        {
+            Rng rng(1);
+            auto initial = nobench::representatives(
+                *ServerWorld::qs, nobench::Mix::uniform(), rng);
+            engine =
+                std::make_unique<AdaptiveEngine>(data, initial, prm);
+        }
+    };
+
+    static Params
+    defaultParams()
+    {
+        Params prm;
+        prm.background = true;
+        prm.adapt = false; // repartition tests opt in explicitly
+        return prm;
+    }
+
+    static nobench::Config cfg;
+    static engine::DataSet *data;
+    static nobench::QuerySet *qs;
+};
+
+nobench::Config ServerWorld::cfg;
+engine::DataSet *ServerWorld::data = nullptr;
+nobench::QuerySet *ServerWorld::qs = nullptr;
+
+TEST_F(ServerWorld, HandshakeQueryAndStats)
+{
+    World w;
+    server::Server srv(*w.engine, {});
+    ASSERT_EQ(srv.start(), "");
+
+    client::Client c;
+    ASSERT_EQ(c.connect("127.0.0.1", srv.port(), "unit"), "");
+    EXPECT_EQ(c.serverName(), "dvpd");
+    EXPECT_GT(c.sessionId(), 0u);
+
+    client::Result r =
+        c.query("SELECT * FROM t WHERE num BETWEEN 1000 AND 1999");
+    ASSERT_TRUE(r.ok) << r.error;
+    EXPECT_FALSE(r.isMessage);
+    EXPECT_EQ(r.rows.size(), r.oids.size());
+
+    // The digest in the frame matches an in-process run.
+    sql::RunResult local = sql::runStatement(
+        *w.engine, "SELECT * FROM t WHERE num BETWEEN 1000 AND 1999");
+    ASSERT_TRUE(local.ok);
+    EXPECT_EQ(r.digest, local.rows.digest());
+    EXPECT_EQ(r.checksum, local.rows.checksum);
+    EXPECT_EQ(r.rows.size(), local.rows.rowCount());
+
+    // EXPLAIN comes back as a message.
+    client::Result ex =
+        c.query("EXPLAIN SELECT str1, num FROM t");
+    ASSERT_TRUE(ex.ok) << ex.error;
+    EXPECT_TRUE(ex.isMessage);
+    EXPECT_NE(ex.message.find("selectivity"), std::string::npos);
+
+    // STATS reflects the session.
+    client::Stats st = c.stats();
+    ASSERT_TRUE(st.ok) << st.error;
+    EXPECT_EQ(st.get("connections_total"), 1u);
+    EXPECT_GE(st.get("requests_total"), 2u);
+    EXPECT_EQ(st.get("docs"), w.data.docs.size());
+
+    // Parse errors are typed, and the connection survives them.
+    client::Result bad = c.query("SELEKT nope");
+    EXPECT_FALSE(bad.ok);
+    EXPECT_EQ(bad.errorCode, net::ErrorCode::Parse);
+    client::Result again = c.query("SELECT str1, num FROM t");
+    EXPECT_TRUE(again.ok) << again.error;
+
+    c.close();
+    srv.stop();
+    server::ServerStats s = srv.stats();
+    EXPECT_EQ(s.connections, 1u);
+    EXPECT_GE(s.requests, 3u);
+}
+
+TEST_F(ServerWorld, QueryBeforeHelloIsAProtocolError)
+{
+    World w;
+    server::Server srv(*w.engine, {});
+    ASSERT_EQ(srv.start(), "");
+
+    std::string err;
+    int fd = net::connectTcp("127.0.0.1", srv.port(), 2000, &err);
+    ASSERT_GE(fd, 0) << err;
+    std::string frame = net::encodeFrame(
+        net::FrameType::Query,
+        encodeQuery(net::QueryBody{"SELECT str1, num FROM t"}));
+    ASSERT_TRUE(net::sendAll(fd, frame.data(), frame.size()));
+
+    net::FrameAssembler as;
+    net::Frame f;
+    char buf[4096];
+    bool got = false;
+    while (!got) {
+        long n = net::recvSome(fd, buf, sizeof(buf));
+        ASSERT_GT(n, 0) << "server closed without an ERROR frame";
+        as.feed(buf, static_cast<size_t>(n));
+        got = as.next(f);
+        ASSERT_FALSE(as.error());
+    }
+    EXPECT_EQ(f.type, net::FrameType::Error);
+    net::ErrorBody e;
+    ASSERT_TRUE(decodeError(f.payload, e));
+    EXPECT_EQ(e.code, net::ErrorCode::Protocol);
+
+    // And the server hangs up: the next read is EOF.
+    long n = net::recvSome(fd, buf, sizeof(buf));
+    EXPECT_LE(n, 0);
+    net::closeFd(fd);
+    srv.stop();
+}
+
+TEST_F(ServerWorld, GarbageBytesGetTypedProtocolError)
+{
+    World w;
+    server::Server srv(*w.engine, {});
+    ASSERT_EQ(srv.start(), "");
+
+    std::string err;
+    int fd = net::connectTcp("127.0.0.1", srv.port(), 2000, &err);
+    ASSERT_GE(fd, 0) << err;
+    std::string junk = "this is not a frame";
+    ASSERT_TRUE(net::sendAll(fd, junk.data(), junk.size()));
+
+    net::FrameAssembler as;
+    net::Frame f;
+    char buf[4096];
+    bool got = false;
+    while (!got) {
+        long n = net::recvSome(fd, buf, sizeof(buf));
+        if (n <= 0)
+            break; // EOF before the error frame is also acceptable
+        as.feed(buf, static_cast<size_t>(n));
+        got = as.next(f);
+    }
+    if (got) {
+        net::ErrorBody e;
+        ASSERT_TRUE(decodeError(f.payload, e));
+        EXPECT_EQ(e.code, net::ErrorCode::Protocol);
+    }
+    net::closeFd(fd);
+    srv.stop();
+    EXPECT_GE(srv.stats().protocolErrors, 1u);
+}
+
+TEST_F(ServerWorld, ConcurrentClientsMatchInProcessDigests)
+{
+    World w;
+    server::Config scfg;
+    scfg.workers = 3;
+    server::Server srv(*w.engine, scfg);
+    ASSERT_EQ(srv.start(), "");
+
+    // In-process reference digests through the exact same dispatch.
+    std::vector<uint64_t> expect_digest, expect_checksum, expect_rows;
+    for (const std::string &sql : queryMix()) {
+        sql::RunResult r = sql::runStatement(*w.engine, sql);
+        ASSERT_TRUE(r.ok) << sql << ": " << r.error;
+        expect_digest.push_back(r.rows.digest());
+        expect_checksum.push_back(r.rows.checksum);
+        expect_rows.push_back(r.rows.rowCount());
+    }
+
+    constexpr int kClients = 4;
+    constexpr int kRounds = 3;
+    std::atomic<int> failures{0};
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kClients; ++t) {
+        threads.emplace_back([&, t] {
+            client::Client c;
+            if (!c.connect("127.0.0.1", srv.port(),
+                           "digest-" + std::to_string(t))
+                     .empty()) {
+                ++failures;
+                return;
+            }
+            for (int round = 0; round < kRounds; ++round) {
+                for (size_t qi = 0; qi < queryMix().size(); ++qi) {
+                    client::Result r = c.query(queryMix()[qi]);
+                    if (!r.ok || r.digest != expect_digest[qi] ||
+                        r.checksum != expect_checksum[qi] ||
+                        r.rows.size() != expect_rows[qi]) {
+                        ADD_FAILURE()
+                            << "client " << t << " Q" << (qi + 1)
+                            << " mismatch: " << r.error;
+                        ++failures;
+                    }
+                }
+            }
+            c.close();
+        });
+    }
+    for (auto &th : threads)
+        th.join();
+    EXPECT_EQ(failures.load(), 0);
+    srv.stop();
+    EXPECT_EQ(srv.stats().connections,
+              static_cast<uint64_t>(kClients));
+    EXPECT_GE(srv.stats().requests,
+              static_cast<uint64_t>(kClients * kRounds *
+                                    queryMix().size()));
+}
+
+TEST_F(ServerWorld, DigestsStableWhileRepartitionSwapsUnderneath)
+{
+    // Adaptation on, tiny window: an in-process workload shift forces
+    // a background repartition while wire clients keep querying.
+    Params prm;
+    prm.background = true;
+    prm.adapt = true;
+    prm.window = 20;
+    prm.changeThreshold = 0.1;
+    World w(prm);
+
+    server::Config scfg;
+    scfg.workers = 2;
+    server::Server srv(*w.engine, scfg);
+    ASSERT_EQ(srv.start(), "");
+
+    std::vector<uint64_t> expect_digest;
+    for (const std::string &sql : queryMix()) {
+        sql::RunResult r = sql::runStatement(*w.engine, sql);
+        ASSERT_TRUE(r.ok) << sql << ": " << r.error;
+        expect_digest.push_back(r.rows.digest());
+    }
+
+    std::atomic<bool> stop{false};
+    std::atomic<int> failures{0};
+
+    // Wire clients: loop the mix, digests must never change.
+    std::vector<std::thread> clients;
+    for (int t = 0; t < 2; ++t) {
+        clients.emplace_back([&, t] {
+            client::Client c;
+            if (!c.connect("127.0.0.1", srv.port(),
+                           "race-" + std::to_string(t))
+                     .empty()) {
+                ++failures;
+                return;
+            }
+            size_t qi = 0;
+            while (!stop.load(std::memory_order_relaxed)) {
+                size_t i = qi++ % queryMix().size();
+                client::Result r = c.query(queryMix()[i]);
+                if (!r.ok || r.digest != expect_digest[i]) {
+                    ADD_FAILURE() << "during swap, Q" << (i + 1)
+                                  << ": " << r.error;
+                    ++failures;
+                    break;
+                }
+            }
+            c.close();
+        });
+    }
+
+    // Shift the workload in-process until a repartition lands.
+    Rng rng(7);
+    int guard = 0;
+    while (w.engine->adaptation().repartitions.load(
+               std::memory_order_relaxed) == 0 &&
+           ++guard < 2000) {
+        w.engine->execute(ServerWorld::qs->instantiateShifted(
+            guard % nobench::kNumTemplates, rng));
+    }
+    w.engine->quiesce(); // repartition complete, layout swapped
+    EXPECT_GE(w.engine->adaptation().repartitions.load(
+                  std::memory_order_relaxed),
+              1u);
+
+    // Keep the wire traffic going a little longer on the new layout.
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    stop.store(true, std::memory_order_relaxed);
+    for (auto &th : clients)
+        th.join();
+    EXPECT_EQ(failures.load(), 0);
+    srv.stop();
+}
+
+TEST_F(ServerWorld, BackpressureRejectsAreTypedAndRecoverable)
+{
+    World w;
+    server::Config scfg;
+    scfg.workers = 1;
+    scfg.maxInflight = 1;
+    server::Server srv(*w.engine, scfg);
+
+    // The hook parks the single worker until released, pinning
+    // inflight at the watermark deterministically.
+    std::mutex mu;
+    std::condition_variable cv;
+    bool entered = false, release = false;
+    srv.setExecuteHook([&] {
+        std::unique_lock<std::mutex> lock(mu);
+        entered = true;
+        cv.notify_all();
+        cv.wait(lock, [&] { return release; });
+    });
+    ASSERT_EQ(srv.start(), "");
+
+    client::Client a, b;
+    ASSERT_EQ(a.connect("127.0.0.1", srv.port(), "a"), "");
+    ASSERT_EQ(b.connect("127.0.0.1", srv.port(), "b"), "");
+
+    std::thread slow([&] {
+        client::Result r = a.query("SELECT str1, num FROM t");
+        EXPECT_TRUE(r.ok) << r.error;
+    });
+    {
+        std::unique_lock<std::mutex> lock(mu);
+        cv.wait(lock, [&] { return entered; });
+    }
+    ASSERT_EQ(srv.inflight(), 1u);
+
+    // Past the watermark: typed SERVER_BUSY, connection stays usable.
+    client::Result busy = b.query("SELECT str1, num FROM t");
+    EXPECT_FALSE(busy.ok);
+    EXPECT_TRUE(busy.busy());
+    EXPECT_EQ(busy.errorCode, net::ErrorCode::ServerBusy);
+
+    {
+        std::lock_guard<std::mutex> lock(mu);
+        release = true;
+    }
+    cv.notify_all();
+    slow.join();
+    srv.setExecuteHook({});
+
+    // After the slot frees, the same connection succeeds.  The slot is
+    // released only after the worker finishes writing the previous
+    // response, so a prompt follow-up can still catch the busy window;
+    // SERVER_BUSY is typed precisely so clients can retry it.
+    client::Result again = b.query("SELECT str1, num FROM t");
+    for (int i = 0; i < 50 && !again.ok && again.busy(); ++i) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(20));
+        again = b.query("SELECT str1, num FROM t");
+    }
+    EXPECT_TRUE(again.ok) << again.error;
+
+    a.close();
+    b.close();
+    srv.stop();
+    EXPECT_GE(srv.stats().rejects, 1u);
+}
+
+TEST_F(ServerWorld, GracefulDrainDeliversInflightAndRefusesNew)
+{
+    World w;
+    server::Config scfg;
+    scfg.workers = 1;
+    server::Server srv(*w.engine, scfg);
+
+    std::mutex mu;
+    std::condition_variable cv;
+    bool entered = false, release = false;
+    srv.setExecuteHook([&] {
+        std::unique_lock<std::mutex> lock(mu);
+        entered = true;
+        cv.notify_all();
+        cv.wait(lock, [&] { return release; });
+    });
+    ASSERT_EQ(srv.start(), "");
+    uint16_t port = srv.port();
+
+    client::Client a, b;
+    ASSERT_EQ(a.connect("127.0.0.1", port, "a"), "");
+    ASSERT_EQ(b.connect("127.0.0.1", port, "b"), "");
+
+    std::thread slow([&] {
+        // Admitted before the drain: must still get its full result.
+        client::Result r = a.query("SELECT str1, num FROM t");
+        EXPECT_TRUE(r.ok) << r.error;
+        EXPECT_GT(r.rows.size(), 0u);
+    });
+    {
+        std::unique_lock<std::mutex> lock(mu);
+        cv.wait(lock, [&] { return entered; });
+    }
+
+    srv.requestStop();
+    // The drain closes the listener before refusing queries; once new
+    // connections fail, the SHUTTING_DOWN path is active.
+    for (int i = 0; i < 200; ++i) {
+        std::string err;
+        int fd = net::connectTcp("127.0.0.1", port, 200, &err);
+        if (fd < 0)
+            break;
+        net::closeFd(fd);
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+
+    client::Result refused = b.query("SELECT str1, num FROM t");
+    EXPECT_FALSE(refused.ok);
+    EXPECT_TRUE(refused.shuttingDown())
+        << net::errorCodeName(refused.errorCode) << " "
+        << refused.error;
+
+    {
+        std::lock_guard<std::mutex> lock(mu);
+        release = true;
+    }
+    cv.notify_all();
+    slow.join();
+    srv.stop();
+    EXPECT_TRUE(srv.drained());
+    EXPECT_FALSE(srv.running());
+
+    // Fully stopped: nothing is listening any more.
+    std::string err;
+    int fd = net::connectTcp("127.0.0.1", port, 200, &err);
+    if (fd >= 0)
+        net::closeFd(fd);
+    EXPECT_LT(fd, 0);
+}
+
+TEST_F(ServerWorld, LoadDataOverTheWire)
+{
+    // Q12: bulk ingest through the server, gated by Config::allowLoad.
+    std::string path = ::testing::TempDir() + "dvp_server_load.jsonl";
+    {
+        std::ofstream out(path);
+        for (int i = 0; i < 25; ++i)
+            out << "{\"num\": " << (9000000 + i)
+                << ", \"str1\": \"wire_load_" << i << "\"}\n";
+    }
+
+    {
+        // Default config refuses LOAD with a typed Unsupported error.
+        World w;
+        server::Server srv(*w.engine, {});
+        ASSERT_EQ(srv.start(), "");
+        client::Client c;
+        ASSERT_EQ(c.connect("127.0.0.1", srv.port()), "");
+        client::Result r =
+            c.query("LOAD DATA LOCAL INFILE '" + path +
+                    "' REPLACE INTO TABLE t");
+        EXPECT_FALSE(r.ok);
+        EXPECT_EQ(r.errorCode, net::ErrorCode::Unsupported);
+        c.close();
+        srv.stop();
+    }
+
+    World w;
+    server::Config scfg;
+    scfg.allowLoad = true;
+    server::Server srv(*w.engine, scfg);
+    ASSERT_EQ(srv.start(), "");
+    client::Client c;
+    ASSERT_EQ(c.connect("127.0.0.1", srv.port()), "");
+
+    uint64_t docs_before = c.stats().get("docs");
+    client::Result r = c.query("LOAD DATA LOCAL INFILE '" + path +
+                               "' REPLACE INTO TABLE t");
+    ASSERT_TRUE(r.ok) << r.error;
+    EXPECT_TRUE(r.isMessage);
+    EXPECT_NE(r.message.find("25"), std::string::npos);
+    EXPECT_EQ(c.stats().get("docs"), docs_before + 25);
+
+    // The ingested rows are immediately queryable on this connection.
+    client::Result probe = c.query(
+        "SELECT * FROM t WHERE num BETWEEN 9000000 AND 9000024");
+    ASSERT_TRUE(probe.ok) << probe.error;
+    EXPECT_EQ(probe.rows.size(), 25u);
+
+    // A missing file is an Exec error, not a dead connection.
+    client::Result gone = c.query(
+        "LOAD DATA LOCAL INFILE '/nonexistent/nope.jsonl' "
+        "REPLACE INTO TABLE t");
+    EXPECT_FALSE(gone.ok);
+    EXPECT_EQ(gone.errorCode, net::ErrorCode::Exec);
+
+    c.close();
+    srv.stop();
+    std::remove(path.c_str());
+}
+
+TEST_F(ServerWorld, IdleSessionsAreReaped)
+{
+    World w;
+    server::Config scfg;
+    scfg.idleTimeoutMs = 150;
+    scfg.tickMs = 20;
+    server::Server srv(*w.engine, scfg);
+    ASSERT_EQ(srv.start(), "");
+
+    client::Client c;
+    ASSERT_EQ(c.connect("127.0.0.1", srv.port()), "");
+
+    // Go idle past the timeout: the server hangs up on us.
+    std::this_thread::sleep_for(std::chrono::milliseconds(600));
+    client::Result r = c.query("SELECT str1, num FROM t");
+    EXPECT_FALSE(r.ok);
+    srv.stop();
+}
+
+TEST_F(ServerWorld, ServerMetricsReachThePrometheusExporter)
+{
+    // Satellite: dvp_server_* counters/gauges/histogram flow through
+    // the obs registry and the Prometheus exporter verbatim.
+    World w;
+    server::Server srv(*w.engine, {});
+    ASSERT_EQ(srv.start(), "");
+    client::Client c;
+    ASSERT_EQ(c.connect("127.0.0.1", srv.port()), "");
+    ASSERT_TRUE(c.query("SELECT str1, num FROM t").ok);
+    c.close();
+    srv.stop();
+
+    std::string text =
+        obs::exportPrometheus(obs::Registry::global());
+    EXPECT_NE(text.find("# TYPE dvp_server_connections_total counter"),
+              std::string::npos);
+    EXPECT_NE(text.find("dvp_server_requests_total"),
+              std::string::npos);
+    EXPECT_NE(text.find("# TYPE dvp_server_queue_depth gauge"),
+              std::string::npos);
+    EXPECT_NE(text.find("# TYPE dvp_server_request_ns histogram"),
+              std::string::npos);
+    EXPECT_NE(text.find("dvp_server_request_ns_count"),
+              std::string::npos);
+    // Gauges exist even when they currently read zero.
+    EXPECT_NE(text.find("dvp_server_sessions_active"),
+              std::string::npos);
+}
+
+} // namespace
+} // namespace dvp
