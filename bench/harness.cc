@@ -6,6 +6,7 @@
 #include <cstdlib>
 #include <cstring>
 #include <malloc.h>
+#include <sys/resource.h>
 #include <thread>
 
 #include "obs/export.hh"
@@ -107,6 +108,16 @@ jsonEscape(const std::string &s)
 
 } // namespace
 
+uint64_t
+peakRssBytes()
+{
+    struct rusage ru;
+    if (getrusage(RUSAGE_SELF, &ru) != 0)
+        return 0;
+    // Linux reports ru_maxrss in kilobytes.
+    return static_cast<uint64_t>(ru.ru_maxrss) * 1024;
+}
+
 JsonLog::JsonLog(const Options &opt, const std::string &bench)
     : bench(bench), docs(opt.docs), seed(opt.seed),
       default_threads(opt.threads)
@@ -140,11 +151,12 @@ JsonLog::record(const std::string &engine, const std::string &query,
     std::fprintf(file,
                  "{\"bench\":\"%s\",\"engine\":\"%s\",\"query\":\"%s\","
                  "\"seconds\":%.9f,\"threads\":%zu,\"docs\":%llu,"
-                 "\"seed\":%llu}\n",
+                 "\"seed\":%llu,\"rss_peak_bytes\":%llu}\n",
                  jsonEscape(bench).c_str(), jsonEscape(engine).c_str(),
                  jsonEscape(query).c_str(), seconds, threads,
                  static_cast<unsigned long long>(docs),
-                 static_cast<unsigned long long>(seed));
+                 static_cast<unsigned long long>(seed),
+                 static_cast<unsigned long long>(peakRssBytes()));
     std::fflush(file); // line-buffered semantics for tail -f / crashes
 }
 
@@ -158,12 +170,14 @@ JsonLog::value(const std::string &engine, const std::string &query,
     std::fprintf(file,
                  "{\"bench\":\"%s\",\"engine\":\"%s\",\"query\":\"%s\","
                  "\"metric\":\"%s\",\"value\":%.9g,\"unit\":\"%s\","
-                 "\"threads\":%zu,\"docs\":%llu,\"seed\":%llu}\n",
+                 "\"threads\":%zu,\"docs\":%llu,\"seed\":%llu,"
+                 "\"rss_peak_bytes\":%llu}\n",
                  jsonEscape(bench).c_str(), jsonEscape(engine).c_str(),
                  jsonEscape(query).c_str(), jsonEscape(metric).c_str(),
                  v, jsonEscape(unit).c_str(), default_threads,
                  static_cast<unsigned long long>(docs),
-                 static_cast<unsigned long long>(seed));
+                 static_cast<unsigned long long>(seed),
+                 static_cast<unsigned long long>(peakRssBytes()));
     std::fflush(file);
 }
 

@@ -108,6 +108,13 @@ class JsonLog
     size_t default_threads;
 };
 
+/**
+ * Peak resident-set size of this process so far, in bytes (getrusage
+ * ru_maxrss).  Every JsonLog line carries it as "rss_peak_bytes" so a
+ * timing record and its memory high-water mark land in one place.
+ */
+uint64_t peakRssBytes();
+
 /** Engine identifiers in the paper's plotting order. */
 enum class EngineKind { Dvp, Argo1, Argo3, Column, Row, Hyrise };
 

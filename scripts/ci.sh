@@ -62,6 +62,31 @@ assert {"rows_per_sec_baseline", "rows_per_sec_scalar",
 print(f"scan kernels smoke: {len(rows)} NDJSON rows ok")
 EOF
 
+echo "=== compressed blocks ==="
+# The compressed-block bench builds plain/compressed twins and aborts
+# on any result-digest disagreement, so a tiny run is itself a
+# differential check; run it under both dispatch outcomes, then
+# validate the NDJSON carries the footprint and slowdown metrics.
+./build-ci/bench/bench_compression --docs 5000 --repeats 1 \
+    --json "$OBS_TMP/compression.ndjson" > /dev/null
+DVP_FORCE_SCALAR=1 ./build-ci/bench/bench_compression --docs 5000 \
+    --repeats 1 > /dev/null
+python3 - "$OBS_TMP" <<'EOF'
+import json, sys
+rows = [json.loads(l) for l in open(f"{sys.argv[1]}/compression.ndjson")]
+assert rows and all(r["bench"] == "compression" for r in rows)
+assert all("rss_peak_bytes" in r for r in rows)
+metrics = {r["metric"] for r in rows if "metric" in r}
+assert {"bytes_raw", "bytes_compressed", "footprint_ratio",
+        "scan_rows_per_sec_compressed", "slowdown_pct",
+        "mean_slowdown_pct"} <= metrics, metrics
+ratios = {r["engine"]: r["value"] for r in rows
+          if r.get("metric") == "footprint_ratio"}
+assert ratios["row"] > 3, ratios
+print(f"compression smoke: {len(rows)} NDJSON rows, "
+      f"row ratio {ratios['row']:.1f}x ok")
+EOF
+
 echo "=== network server ==="
 # End-to-end over real sockets: dvpd on an ephemeral port discovered
 # via --port-file, a dvp_client smoke (query + EXPLAIN + stats), a
@@ -103,7 +128,7 @@ cmake -B build-tsan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
     -DDVP_SANITIZE=thread
 cmake --build build-tsan -j "$JOBS"
 DVP_TEST_DOCS=800 ctest --test-dir build-tsan --output-on-failure \
-    -j "$JOBS" -R 'test_parallel|test_util|test_adaptive|test_obs|test_plan|test_kernels|test_server'
+    -j "$JOBS" -R 'test_parallel|test_util|test_adaptive|test_obs|test_plan|test_kernels|test_compress|test_server'
 
 echo "=== address-sanitizer build ==="
 # ASan catches lifetime bugs the plan cache could introduce: a cached
@@ -113,6 +138,6 @@ cmake -B build-asan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
     -DDVP_SANITIZE=address
 cmake --build build-asan -j "$JOBS"
 DVP_TEST_DOCS=800 ctest --test-dir build-asan --output-on-failure \
-    -j "$JOBS" -R 'test_plan|test_adaptive|test_layout|test_kernels|test_server'
+    -j "$JOBS" -R 'test_plan|test_adaptive|test_layout|test_kernels|test_compress|test_server'
 
 echo "ci.sh: all suites passed"

@@ -20,7 +20,9 @@ AdaptiveEngine::AdaptiveEngine(engine::DataSet &data,
     core::SearchResult res = partitioner.run();
     adapt_stats.lastPartitionerSeconds = res.seconds;
     adapt_stats.lastLayoutTables = res.layout.partitionCount();
-    db = std::make_shared<engine::Database>(data, res.layout, "DVP");
+    db = std::make_shared<engine::Database>(data, res.layout, "DVP",
+                                            /*allow_pad=*/true, nullptr,
+                                            prm.compress);
 }
 
 AdaptiveEngine::~AdaptiveEngine()
@@ -149,7 +151,8 @@ AdaptiveEngine::repartitionNow(std::vector<engine::Query> workload)
     auto fresh = [&] {
         DVP_TRACE_SPAN(build_span, "build", "bulk-build tables");
         return std::make_shared<engine::Database>(
-            *data, res.layout, "DVP", /*allow_pad=*/true, &doc_snapshot);
+            *data, res.layout, "DVP", /*allow_pad=*/true, &doc_snapshot,
+            prm.compress);
     }();
 
     // Catch up with documents ingested during the build, then switch

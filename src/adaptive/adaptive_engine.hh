@@ -55,6 +55,13 @@ struct Params
 
     /** Driving-table rows per morsel; 0 = the executor's default. */
     size_t morselRows = 0;
+
+    /**
+     * Build every Database — the initial one and every repartition
+     * swap's — with compressed sealed blocks (engine::Database's
+     * compress flag), so the footprint reduction survives adaptation.
+     */
+    bool compress = false;
 };
 
 /**

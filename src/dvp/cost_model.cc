@@ -17,6 +17,8 @@ CostModel::CostModel(const storage::Catalog &catalog,
 {
     invariant(prm.alpha >= 0 && prm.alpha <= 1,
               "alpha must lie in [0, 1]");
+    invariant(prm.memoryWeight >= 0 && prm.memoryWeight <= 1,
+              "memoryWeight must lie in [0, 1]");
 
     spa_.resize(nattrs);
     for (size_t a = 0; a < nattrs; ++a)
@@ -67,6 +69,23 @@ CostModel::CostModel(const storage::Catalog &catalog,
         for (const Edge &e : adj[a])
             if (e.other > a)
                 cpc_max += e.weight;
+
+    // MEMmax: the column layout (every attribute pays its own oid
+    // column) dominates every other layout's footprint estimate,
+    // because sum over partitions of max-member spa is largest when
+    // every partition is a singleton.
+    mem_max = 0;
+    for (size_t a = 0; a < nattrs; ++a)
+        mem_max += spa_[a] * prm.oidBytesPerRow +
+                   attrBytesOf(static_cast<AttrId>(a));
+}
+
+double
+CostModel::attrBytesOf(AttrId a) const
+{
+    if (a < prm.attrBytes.size())
+        return prm.attrBytes[a];
+    return 8.0 * spa_[a];
 }
 
 void
@@ -179,6 +198,39 @@ CostModel::rac(const Layout &layout) const
 }
 
 double
+CostModel::memOfPartition(const std::vector<AttrId> &attrs,
+                          AttrId exclude, AttrId include) const
+{
+    size_t count = 0;
+    double spa_p = 0;
+    double bytes = 0;
+    auto visit = [&](AttrId a) {
+        ++count;
+        spa_p = std::max(spa_p, spa_[a]);
+        bytes += attrBytesOf(a);
+    };
+    for (AttrId a : attrs) {
+        if (a == exclude)
+            continue;
+        visit(a);
+    }
+    if (include != storage::kNoAttr)
+        visit(include);
+    if (count == 0)
+        return 0.0;
+    return spa_p * prm.oidBytesPerRow + bytes;
+}
+
+double
+CostModel::mem(const Layout &layout) const
+{
+    double total = 0;
+    for (const auto &part : layout.partitions())
+        total += memOfPartition(part);
+    return total;
+}
+
+double
 CostModel::cpc(const Layout &layout) const
 {
     double total = 0;
@@ -195,21 +247,27 @@ CostModel::cpc(const Layout &layout) const
 }
 
 double
-CostModel::combine(double rac_value, double cpc_value) const
+CostModel::combine(double rac_value, double cpc_value,
+                   double mem_value) const
 {
     // Clamp away tiny negative drift from incremental bookkeeping;
-    // both components are non-negative by construction (Eq. 4/7).
+    // all components are non-negative by construction (Eq. 4/7).
     rac_value = std::max(0.0, rac_value);
     cpc_value = std::max(0.0, cpc_value);
+    mem_value = std::max(0.0, mem_value);
     double rterm = rac_max > 0 ? rac_value / rac_max : 0.0;
     double cterm = cpc_max > 0 ? cpc_value / cpc_max : 0.0;
-    return prm.alpha * cterm + (1 - prm.alpha) * rterm;
+    double eq9 = prm.alpha * cterm + (1 - prm.alpha) * rterm;
+    if (prm.memoryWeight <= 0)
+        return eq9;
+    double mterm = mem_max > 0 ? mem_value / mem_max : 0.0;
+    return (1 - prm.memoryWeight) * eq9 + prm.memoryWeight * mterm;
 }
 
 double
 CostModel::cost(const Layout &layout) const
 {
-    return combine(rac(layout), cpc(layout));
+    return combine(rac(layout), cpc(layout), mem(layout));
 }
 
 double

@@ -40,6 +40,32 @@ struct CostParams
 {
     /** Eq. 9's workload-dependent weight of CPC vs RAC. */
     double alpha = 0.5;
+
+    /**
+     * Weight of the memory-footprint term.  0 (the default) reproduces
+     * the paper's two-term Eq. 9 exactly; w > 0 blends a normalized
+     * footprint estimate into the total:
+     *
+     *   cost = (1 - w) * Eq9 + w * MEM / MEMmax
+     *
+     * where MEMmax is the column layout's footprint (one partition per
+     * attribute maximizes duplicated oid columns, so it dominates every
+     * other layout's estimate).
+     */
+    double memoryWeight = 0.0;
+
+    /** Estimated stored bytes per row for a partition's oid column. */
+    double oidBytesPerRow = 8.0;
+
+    /**
+     * Measured average stored bytes per document for each attribute,
+     * e.g. Table::columnBytesUsed() / docCount() sampled from a
+     * compressed database, so the search can prefer layouts whose
+     * partitions compress well.  Attributes at or beyond the vector's
+     * size fall back to 8 * spa(a): the raw uncompressed estimate
+     * (every present row stores one 8-byte slot).
+     */
+    std::vector<double> attrBytes;
 };
 
 /** One undirected affinity edge. */
@@ -76,11 +102,25 @@ class CostModel
     /** Eq. 8: total cross-partition cost of a layout. */
     double cpc(const Layout &layout) const;
 
-    /** Eq. 9: normalized total cost. */
+    /**
+     * Footprint estimate of one partition, per document: the oid
+     * column (paid by the fraction of documents present, spa_p) plus
+     * each member attribute's stored bytes.  Same virtual
+     * exclude/include protocol as racOfPartition.
+     */
+    double memOfPartition(const std::vector<AttrId> &attrs,
+                          AttrId exclude = storage::kNoAttr,
+                          AttrId include = storage::kNoAttr) const;
+
+    /** Footprint estimate of a layout (sum over partitions). */
+    double mem(const Layout &layout) const;
+
+    /** Eq. 9 plus the optional memory term; see CostParams. */
     double cost(const Layout &layout) const;
 
-    /** Combine raw component values into Eq. 9. */
-    double combine(double rac_value, double cpc_value) const;
+    /** Combine raw component values into the total cost. */
+    double combine(double rac_value, double cpc_value,
+                   double mem_value = 0.0) const;
 
     /** Eq. 7 weight between two attributes (0 when no query co-access). */
     double edgeWeight(AttrId a, AttrId b) const;
@@ -88,9 +128,10 @@ class CostModel
     /** Affinity adjacency of @p a (explicit co-access only). */
     const std::vector<Edge> &edgesOf(AttrId a) const;
 
-    /** Normalizers of Eq. 9. */
+    /** Normalizers of Eq. 9 and the memory term. */
     double racMax() const { return rac_max; }
     double cpcMax() const { return cpc_max; }
+    double memMax() const { return mem_max; }
 
     /** Eq. 1. */
     double selQA(size_t query_idx, AttrId a) const;
@@ -114,6 +155,9 @@ class CostModel
 
     void buildEdges(const std::vector<std::vector<AttrId>> &explicitSets);
 
+    /** Stored bytes per document for @p a (CostParams::attrBytes). */
+    double attrBytesOf(AttrId a) const;
+
     std::vector<Query> workload;
     std::vector<QueryView> views;
     std::vector<double> spa_; ///< dense AttrId -> sparseness ratio
@@ -122,6 +166,7 @@ class CostModel
     CostParams prm;
     double rac_max = 0;
     double cpc_max = 0;
+    double mem_max = 0;
     static const std::vector<Edge> kNoEdges;
 };
 

@@ -49,29 +49,38 @@ Partitioner::refine(Layout current) const
         for (AttrId a : parts[p])
             part_of[a] = p;
 
-    // Cached per-partition RAC and global components.
+    // Cached per-partition RAC/MEM and global components.  The memory
+    // term costs nothing when CostParams::memoryWeight is 0 (combine
+    // ignores it), and memOfPartition is O(|attrs|) — noise next to
+    // racOfPartition's per-query loop — so it is maintained
+    // unconditionally.
     std::vector<double> rac_p(parts.size());
+    std::vector<double> mem_p(parts.size());
     double rac_total = 0;
+    double mem_total = 0;
     for (size_t p = 0; p < parts.size(); ++p) {
         rac_p[p] = m.racOfPartition(parts[p]);
+        mem_p[p] = m.memOfPartition(parts[p]);
         rac_total += rac_p[p];
+        mem_total += mem_p[p];
     }
     double cpc_total = m.cpc(current);
 
     SearchResult res;
-    res.initialCost = m.combine(rac_total, cpc_total);
+    res.initialCost = m.combine(rac_total, cpc_total, mem_total);
 
     // Per-target CPC edge sums for the attribute under evaluation.
     std::vector<double> edge_to_part(parts.size() + 1, 0.0);
 
     while (res.iterations < prm.maxIterations) {
         ++res.iterations;
-        double clc = m.combine(rac_total, cpc_total);
+        double clc = m.combine(rac_total, cpc_total, mem_total);
 
         double max_gain = -1;
         AttrId best_attr = storage::kNoAttr;
         PartIdx best_target = layout::kNoPart;
         double best_new_rac_src = 0, best_new_rac_dst = 0;
+        double best_new_mem_src = 0, best_new_mem_dst = 0;
         double best_cpc_delta = 0;
 
         for (AttrId a = 0; a < nattrs; ++a) {
@@ -79,6 +88,8 @@ Partitioner::refine(Layout current) const
             // Virtual removal from the source partition.
             double rac_src_without =
                 m.racOfPartition(parts[src], a, storage::kNoAttr);
+            double mem_src_without =
+                m.memOfPartition(parts[src], a, storage::kNoAttr);
 
             // CPC deltas: cutting a's intra-source edges, mending its
             // edges into the target partition.
@@ -97,25 +108,35 @@ Partitioner::refine(Layout current) const
                     continue;
                 if (dst == parts.size() && parts[src].size() == 1)
                     continue; // singleton to fresh partition: no-op
+                bool fresh = dst == parts.size();
                 double rac_dst_with =
-                    dst == parts.size()
-                        ? m.racOfPartition({}, storage::kNoAttr, a)
-                        : m.racOfPartition(parts[dst],
-                                           storage::kNoAttr, a);
-                double old_rac_dst = dst == parts.size() ? 0
-                                                         : rac_p[dst];
+                    fresh ? m.racOfPartition({}, storage::kNoAttr, a)
+                          : m.racOfPartition(parts[dst],
+                                             storage::kNoAttr, a);
+                double mem_dst_with =
+                    fresh ? m.memOfPartition({}, storage::kNoAttr, a)
+                          : m.memOfPartition(parts[dst],
+                                             storage::kNoAttr, a);
+                double old_rac_dst = fresh ? 0 : rac_p[dst];
+                double old_mem_dst = fresh ? 0 : mem_p[dst];
                 double new_rac = rac_total - rac_p[src] +
                                  rac_src_without - old_rac_dst +
                                  rac_dst_with;
+                double new_mem = mem_total - mem_p[src] +
+                                 mem_src_without - old_mem_dst +
+                                 mem_dst_with;
                 double new_cpc = cpc_total + cut_src -
                                  edge_to_part[dst];
-                double gain = clc - m.combine(new_rac, new_cpc);
+                double gain =
+                    clc - m.combine(new_rac, new_cpc, new_mem);
                 if (gain > max_gain) {
                     max_gain = gain;
                     best_attr = a;
                     best_target = dst;
                     best_new_rac_src = rac_src_without;
                     best_new_rac_dst = rac_dst_with;
+                    best_new_mem_src = mem_src_without;
+                    best_new_mem_dst = mem_dst_with;
                     best_cpc_delta = cut_src - edge_to_part[dst];
                 }
             }
@@ -131,6 +152,7 @@ Partitioner::refine(Layout current) const
         if (dst == parts.size()) {
             parts.emplace_back();
             rac_p.push_back(0.0);
+            mem_p.push_back(0.0);
             edge_to_part.push_back(0.0);
         }
         auto &from = parts[src];
@@ -141,8 +163,13 @@ Partitioner::refine(Layout current) const
         rac_total += (best_new_rac_src - rac_p[src]) +
                      (best_new_rac_dst -
                       (dst < rac_p.size() ? rac_p[dst] : 0.0));
+        mem_total += (best_new_mem_src - mem_p[src]) +
+                     (best_new_mem_dst -
+                      (dst < mem_p.size() ? mem_p[dst] : 0.0));
         rac_p[src] = best_new_rac_src;
         rac_p[dst] = best_new_rac_dst;
+        mem_p[src] = best_new_mem_src;
+        mem_p[dst] = best_new_mem_dst;
         cpc_total += best_cpc_delta;
 
         if (from.empty()) {
@@ -151,17 +178,19 @@ Partitioner::refine(Layout current) const
             if (src != last) {
                 parts[src] = std::move(parts[last]);
                 rac_p[src] = rac_p[last];
+                mem_p[src] = mem_p[last];
                 for (AttrId x : parts[src])
                     part_of[x] = src;
             }
             parts.pop_back();
             rac_p.pop_back();
+            mem_p.pop_back();
         }
         ++res.moves;
     }
 
     res.layout = Layout(std::move(parts));
-    res.finalCost = m.combine(rac_total, cpc_total);
+    res.finalCost = m.combine(rac_total, cpc_total, mem_total);
     res.seconds = timer.seconds();
 
     // Defensive: refinement must never worsen the cost.

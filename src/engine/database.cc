@@ -2,6 +2,7 @@
 
 #include <atomic>
 
+#include "obs/metrics.hh"
 #include "util/logging.hh"
 #include "util/timer.hh"
 
@@ -31,8 +32,10 @@ DataSet::addFlat(const std::vector<json::FlatAttr> &flat)
 
 Database::Database(const DataSet &data, layout::Layout layout,
                    std::string name, bool allow_pad,
-                   const std::vector<storage::Document> *docs_override)
-    : data_(&data), layout_(std::move(layout)), name_(std::move(name))
+                   const std::vector<storage::Document> *docs_override,
+                   bool compress)
+    : data_(&data), layout_(std::move(layout)), name_(std::move(name)),
+      compress_(compress)
 {
     static std::atomic<uint64_t> next_epoch{1};
     epoch_ = next_epoch.fetch_add(1, std::memory_order_relaxed);
@@ -52,7 +55,7 @@ Database::Database(const DataSet &data, layout::Layout layout,
         const auto &attrs = layout_.partition(
             static_cast<layout::PartIdx>(p));
         tables_.emplace_back(name_ + ".p" + std::to_string(p), attrs,
-                             arena_, allow_pad);
+                             arena_, allow_pad, compress_);
         for (size_t c = 0; c < attrs.size(); ++c)
             locs_[attrs[c]] = AttrLoc{static_cast<int>(p),
                                       static_cast<int>(c)};
@@ -63,6 +66,7 @@ Database::Database(const DataSet &data, layout::Layout layout,
         insert(doc);
 
     build_seconds = timer.seconds();
+    publishFootprint();
 }
 
 std::vector<storage::Slot>
@@ -107,6 +111,54 @@ Database::storageBytes() const
     for (const auto &t : tables_)
         total += t.storageBytes();
     return total;
+}
+
+size_t
+Database::bytesUsed() const
+{
+    size_t total = 0;
+    for (const auto &t : tables_)
+        total += t.bytesUsed();
+    return total;
+}
+
+void
+Database::publishFootprint() const
+{
+#ifndef DVP_OBS_DISABLED
+    auto &reg = obs::Registry::global();
+    for (size_t p = 0; p < tables_.size(); ++p) {
+        const storage::Table &t = tables_[p];
+        std::string base = "dvp_partition_bytes{db=\"" + name_ +
+                           "\",part=\"" + std::to_string(p) +
+                           "\",form=";
+        reg.gauge(base + "\"raw\"}")
+            .set(static_cast<int64_t>(t.storageBytes()));
+        reg.gauge(base + "\"used\"}")
+            .set(static_cast<int64_t>(t.bytesUsed()));
+    }
+    reg.gauge("dvp_db_bytes{db=\"" + name_ + "\",form=\"raw\"}")
+        .set(static_cast<int64_t>(storageBytes()));
+    reg.gauge("dvp_db_bytes{db=\"" + name_ + "\",form=\"used\"}")
+        .set(static_cast<int64_t>(bytesUsed()));
+#endif
+}
+
+std::vector<double>
+Database::attrBytesPerDoc() const
+{
+    std::vector<double> bytes(locs_.size(), 0.0);
+    if (ndocs == 0)
+        return bytes;
+    for (const storage::Table &t : tables_) {
+        const auto &schema = t.schema();
+        for (size_t c = 0; c < schema.size(); ++c)
+            bytes[schema[c]] =
+                static_cast<double>(
+                    t.columnBytesUsed(static_cast<int>(c))) /
+                static_cast<double>(ndocs);
+    }
+    return bytes;
 }
 
 uint64_t

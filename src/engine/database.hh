@@ -59,11 +59,17 @@ class Database
      * @param docs_override populate from this snapshot instead of
      *        data.docs (used by background repartitioning, which must
      *        not race the live document vector).
+     * @param compress seal every full 2048-row block of every table
+     *        into compressed column blocks (storage/compress.hh); the
+     *        timing executor evaluates predicates on the compressed
+     *        form.  Incompatible with the SimTracer path, which needs
+     *        record pointers.
      */
     Database(const DataSet &data, layout::Layout layout, std::string name,
              bool allow_pad = true,
              const std::vector<storage::Document> *docs_override =
-                 nullptr);
+                 nullptr,
+             bool compress = false);
 
     /** Number of documents inserted so far. */
     size_t docCount() const { return ndocs; }
@@ -92,8 +98,35 @@ class Database
     /** Where attribute @p a lives. */
     AttrLoc locate(storage::AttrId a) const;
 
+    /** True when tables seal blocks into compressed columns. */
+    bool compressed() const { return compress_; }
+
     /** Total record-storage bytes across tables. */
     size_t storageBytes() const;
+
+    /**
+     * Bytes actually held across tables: compressed payloads for
+     * sealed blocks plus raw tail rows.  Equals storageBytes() for an
+     * uncompressed database.  This is the Fig-3-style footprint the
+     * cost model's memory term and the dvp_partition_bytes gauges
+     * report.
+     */
+    size_t bytesUsed() const;
+
+    /**
+     * Publish dvp_partition_bytes{db=...,part=...,form="raw"|"used"}
+     * gauges for every partition to the obs registry.  Called once per
+     * build/swap, not per query.
+     */
+    void publishFootprint() const;
+
+    /**
+     * Measured stored bytes per document for every attribute — the
+     * vector core::CostParams::attrBytes consumes, so the partitioner's
+     * memory term can prefer layouts whose partitions compress well.
+     * Uses compressed payload sizes when this database compresses.
+     */
+    std::vector<double> attrBytesPerDoc() const;
 
     /** Total NULL cells materialized across tables. */
     uint64_t nullCells() const;
@@ -115,6 +148,7 @@ class Database
     std::vector<storage::Table> tables_;
     std::vector<AttrLoc> locs_; ///< dense AttrId -> location
     size_t ndocs = 0;
+    bool compress_ = false;
     double build_seconds = 0;
     uint64_t epoch_ = 0;
     uint64_t layout_fingerprint_ = 0;

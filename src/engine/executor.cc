@@ -107,40 +107,31 @@ class Exec
           case FilterMode::Empty:
             return {}; // condition column unknown: empty result
 
-          case FilterMode::Presence: {
-            // No predicate: every object qualifies.  Union of presence
-            // across all tables via a merge scan.
-            std::vector<const Table *> all;
-            for (size_t t = 0; t < db.tableCount(); ++t)
-                all.push_back(&db.table(t));
-            if (all.empty())
-                return {};
-            if (parallel()) {
-                std::vector<int64_t> bounds =
-                    oidBoundaries(tablePtr(f.driving));
-                if (bounds.size() > 2)
-                    return flatten(scatter<std::vector<int64_t>>(
-                        bounds.size() - 1, [&](Exec &lane, size_t i) {
-                            return lane.presenceRange(all, bounds[i],
-                                                      bounds[i + 1]);
-                        }));
-            }
-            return presenceRange(all, INT64_MIN, INT64_MAX);
-          }
+          case FilterMode::Presence:
+            return presenceMatches(f);
 
-          case FilterMode::ColumnPredicate: {
-            const Table &t = db.table(f.table);
-            if (parallel() && t.rows() > morsel_rows) {
-                size_t nm = (t.rows() + morsel_rows - 1) / morsel_rows;
-                return flatten(scatter<std::vector<int64_t>>(
-                    nm, [&](Exec &lane, size_t i) {
-                        size_t r0 = i * lane.morsel_rows;
-                        size_t r1 = std::min(r0 + lane.morsel_rows,
-                                             t.rows());
-                        return lane.condRange(t, f.col, c, r0, r1);
-                    }));
-            }
-            return condRange(t, f.col, c, 0, t.rows());
+          case FilterMode::ColumnPredicate:
+            return columnMatches(f, c);
+
+          case FilterMode::NullScan: {
+            // IS NULL under sparse omission: an object's attribute is
+            // NULL when its cell is stored as NULL *or* the object is
+            // omitted from the attribute's partition entirely, so one
+            // column scan cannot answer it on any layout.  Present
+            // objects minus the NotNull matches is exact everywhere
+            // (both sides sorted: presence by construction, the column
+            // scan by the oid order of its table).
+            std::vector<int64_t> present = presenceMatches(f);
+            Condition nn;
+            nn.op = CondOp::NotNull;
+            nn.attr = c.attr;
+            std::vector<int64_t> notnull = columnMatches(f, nn);
+            std::vector<int64_t> out;
+            out.reserve(present.size() - notnull.size());
+            std::set_difference(present.begin(), present.end(),
+                                notnull.begin(), notnull.end(),
+                                std::back_inserter(out));
+            return out;
           }
 
           case FilterMode::AnyEq: {
@@ -244,8 +235,7 @@ class Exec
                     storage::RowIdx row = storage::kNoRow;
                     if (pos < t.rows()) {
                         // Deciding membership touches the oid slot.
-                        tr.touch(t.record(pos), 8);
-                        if (t.oid(pos) == oid)
+                        if (readOid(t, pos) == oid)
                             row = static_cast<storage::RowIdx>(pos);
                     }
                     if (row == storage::kNoRow)
@@ -279,6 +269,41 @@ class Exec
     size_t morsel_rows; ///< driving-table rows per morsel
     bool vectorized;    ///< use the batched kernels (timing path only)
     kernels::SelVec sel; ///< per-lane selection vector (reused per batch)
+    std::vector<Slot> scratch_;     ///< block-decompress scratch (lazy)
+    std::vector<Slot> rec_scratch_; ///< sealed-record materialization
+
+    /**
+     * Per-lane decoded-block cache for sealed point reads.  Sequential
+     * consumers (merge-scan cursors, projections, group-by, presence
+     * scans) hit one (table, block, column) stream thousands of times
+     * in a row; decoding the block once into a cached stripe turns
+     * those into plain array reads.  Random consumers (join gallops,
+     * index-retrieve probes) must not pay a 2048-slot decompression
+     * for one row, so an entry only materializes after
+     * kDecodeFillAfter point reads landed on the same stream — until
+     * then reads fall through to columnValue.  Once a stream has
+     * proved itself, advancing to the *next* block refills
+     * immediately: a sequential cursor keeps streaming decoded data
+     * instead of re-auditioning at every block boundary.  Ways are
+     * keyed on (table, slot) only — a stream keeps one way for a
+     * whole scan, so a wide merge (Q8 fans over every array-element
+     * table) cannot ping-pong two streams through one way just
+     * because their block numbers hash together.  Direct-mapped, so a
+     * lookup is one hash + compare; entries die with the Exec (one
+     * query), never outliving the database epoch.
+     */
+    struct DecodedBlock
+    {
+        const Table *table = nullptr;
+        size_t block = 0;
+        size_t slot = 0;
+        uint32_t misses = 0;
+        bool filled = false;
+        std::vector<Slot> data;
+    };
+    static constexpr size_t kDecodeCacheWays = 128; // power of two
+    static constexpr uint32_t kDecodeFillAfter = 32;
+    std::vector<DecodedBlock> dcache_; ///< sealed point-read cache (lazy)
 
     void
     countRows(uint64_t n)
@@ -311,6 +336,50 @@ class Exec
 #endif
     }
 
+    /**
+     * Presence union: every stored object qualifies (no predicate, or
+     * the IS NULL planner path's universe).  Merge scan across all
+     * tables, morselized by the driving table's oid boundaries.
+     */
+    std::vector<int64_t>
+    presenceMatches(const FilterScanOp &f)
+    {
+        std::vector<const Table *> all;
+        for (size_t t = 0; t < db.tableCount(); ++t)
+            all.push_back(&db.table(t));
+        if (all.empty())
+            return {};
+        if (parallel()) {
+            std::vector<int64_t> bounds =
+                oidBoundaries(tablePtr(f.driving));
+            if (bounds.size() > 2)
+                return flatten(scatter<std::vector<int64_t>>(
+                    bounds.size() - 1, [&](Exec &lane, size_t i) {
+                        return lane.presenceRange(all, bounds[i],
+                                                  bounds[i + 1]);
+                    }));
+        }
+        return presenceRange(all, INT64_MIN, INT64_MAX);
+    }
+
+    /** Single-column predicate scan, morselized by row range. */
+    std::vector<int64_t>
+    columnMatches(const FilterScanOp &f, const Condition &c)
+    {
+        const Table &t = db.table(f.table);
+        if (parallel() && t.rows() > morsel_rows) {
+            size_t nm = (t.rows() + morsel_rows - 1) / morsel_rows;
+            return flatten(scatter<std::vector<int64_t>>(
+                nm, [&](Exec &lane, size_t i) {
+                    size_t r0 = i * lane.morsel_rows;
+                    size_t r1 = std::min(r0 + lane.morsel_rows,
+                                         t.rows());
+                    return lane.condRange(t, f.col, c, r0, r1);
+                }));
+        }
+        return condRange(t, f.col, c, 0, t.rows());
+    }
+
     /** Resolve a plan's table indices against this Database snapshot. */
     std::vector<const Table *>
     resolve(const std::vector<int> &ids) const
@@ -328,10 +397,65 @@ class Exec
         return id < 0 ? nullptr : &db.table(static_cast<size_t>(id));
     }
 
+    // Row readers.  Sealed (compressed) rows have no record pointer to
+    // hand out, so they go through the Table's decoding accessors; the
+    // executor forbids compressed databases on the SimTracer path
+    // (Executor::run(q, mh)), so tracer touches are only elided where
+    // the tracer is already the no-op NullTracer and the simulated
+    // access sequence stays byte-identical.  sealedRows() is 0 for
+    // every uncompressed table, so the hot uncompressed path is one
+    // always-false compare.
+
+    Slot
+    sealedRead(const Table &t, size_t row, size_t slot)
+    {
+        size_t b = row / storage::kZoneRows;
+        size_t i = row % storage::kZoneRows;
+        size_t h = ((reinterpret_cast<uintptr_t>(&t) >> 4) * 31 +
+                    slot * 0x9E3779B9u) &
+                   (kDecodeCacheWays - 1);
+        if (dcache_.empty())
+            dcache_.resize(kDecodeCacheWays);
+        DecodedBlock &e = dcache_[h];
+        if (e.table == &t && e.slot == slot) {
+            if (e.block == b) {
+                if (e.filled)
+                    return e.data[i];
+                if (++e.misses >= kDecodeFillAfter) {
+                    e.data.resize(storage::kZoneRows);
+                    storage::decompressColumn(t.sealedColumn(b, slot),
+                                              e.data.data());
+                    e.filled = true;
+                    return e.data[i];
+                }
+            } else if (e.filled && b == e.block + 1) {
+                // Proven sequential stream crossing a block boundary:
+                // refill without re-auditioning.
+                e.block = b;
+                storage::decompressColumn(t.sealedColumn(b, slot),
+                                          e.data.data());
+                return e.data[i];
+            } else {
+                e.block = b;
+                e.misses = 1;
+                e.filled = false;
+            }
+        } else {
+            e.table = &t;
+            e.block = b;
+            e.slot = slot;
+            e.misses = 1;
+            e.filled = false;
+        }
+        return storage::columnValue(t.sealedColumn(b, slot), i);
+    }
+
     /** Read a record's oid slot through the tracer. */
     int64_t
     readOid(const Table &t, size_t row)
     {
+        if (row < t.sealedRows())
+            return sealedRead(t, row, 0);
         const Slot *rec = t.record(row);
         tr.touch(rec, 8);
         return rec[0];
@@ -341,15 +465,28 @@ class Exec
     Slot
     readCell(const Table &t, size_t row, size_t col)
     {
+        if (row < t.sealedRows())
+            return sealedRead(t, row, 1 + col);
         const Slot *rec = t.record(row);
         tr.touch(rec + 1 + col, 8);
         return rec[1 + col];
     }
 
-    /** Read a full record payload through the tracer. */
+    /**
+     * Read a full record payload through the tracer.  Sealed rows
+     * materialize into the lane's record scratch; the pointer is valid
+     * until the next readRecord on this lane.
+     */
     const Slot *
     readRecord(const Table &t, size_t row)
     {
+        if (row < t.sealedRows()) {
+            size_t n = 1 + t.attrCount();
+            if (rec_scratch_.size() < n)
+                rec_scratch_.resize(n);
+            t.materializeRecord(row, rec_scratch_.data());
+            return rec_scratch_.data();
+        }
         const Slot *rec = t.record(row);
         tr.touch(rec, (1 + t.attrCount()) * 8);
         return rec;
@@ -570,6 +707,45 @@ class Exec
             for (size_t i = 0; i < n; ++i)
                 pos[i] = tables[i]->lowerBound(lo);
         std::vector<storage::RowIdx> rows(n);
+        if constexpr (std::is_same_v<Tracer, NullTracer>) {
+            // Timing path: each cursor caches the oid under it, read
+            // once per *advance* instead of once per merge iteration.
+            // A sorted-oid cursor's value cannot change until it
+            // moves, so the cache is exact; on compressed tables it
+            // also keeps the per-iteration cost off the block-decode
+            // path.  The traced loop below re-reads every cursor each
+            // iteration — that repetition IS the paper's simulated
+            // simultaneous-scan access sequence, so it stays intact.
+            std::vector<int64_t> cur(n);
+            auto load = [&](size_t i) {
+                cur[i] = pos[i] < tables[i]->rows()
+                             ? readOid(*tables[i], pos[i])
+                             : INT64_MAX;
+            };
+            for (size_t i = 0; i < n; ++i)
+                load(i);
+            while (true) {
+                int64_t min_oid = INT64_MAX;
+                for (size_t i = 0; i < n; ++i)
+                    min_oid = std::min(min_oid, cur[i]);
+                if (min_oid == INT64_MAX ||
+                    (hi != INT64_MAX && min_oid >= hi))
+                    break;
+                for (size_t i = 0; i < n; ++i)
+                    rows[i] = cur[i] == min_oid
+                                  ? static_cast<storage::RowIdx>(pos[i])
+                                  : storage::kNoRow;
+                countRows(1);
+                cb(min_oid, rows);
+                for (size_t i = 0; i < n; ++i) {
+                    if (rows[i] != storage::kNoRow) {
+                        ++pos[i];
+                        load(i);
+                    }
+                }
+            }
+            return;
+        }
         while (true) {
             int64_t min_oid = INT64_MAX;
             for (size_t i = 0; i < n; ++i) {
@@ -735,6 +911,25 @@ class Exec
             size_t s0 = std::max(r0, b * kZoneRows);
             size_t s1 = std::min(r1, b * kZoneRows + t.blockRows(b));
             countRows(s1 - s0);
+            if (b * kZoneRows < t.sealedRows()) {
+                // Sealed block: evaluate on the compressed column
+                // directly (RLE runs / packed-code compares), falling
+                // back to a decompress into the lane scratch only when
+                // the encoding can't answer the op exactly.
+                if (scratch_.empty())
+                    scratch_.resize(kZoneRows);
+                const storage::ColBlock &cb =
+                    t.sealedColumn(b, 1 + ucol);
+                kernels::CompressedPath path = kernels::evalColBlock(
+                    cb, s0 - b * kZoneRows, s1 - b * kZoneRows, p,
+                    t.zone(b, ucol), scratch_.data(), sel);
+                kernels::countCompressedEval(path);
+                const storage::ColBlock &ob = t.sealedColumn(b, 0);
+                for (uint32_t i = 0; i < sel.n; ++i)
+                    matches.push_back(storage::columnValue(
+                        ob, s0 - b * kZoneRows + sel.idx[i]));
+                continue;
+            }
             const Slot *colp = t.record(s0) + 1 + ucol;
             fn(colp, stride, s1 - s0, p.lo, p.hi, sel);
             kernels::countInvocation(p.op, simd);
@@ -913,6 +1108,10 @@ Executor::run(const Query &q, perf::MemoryHierarchy &mh)
     // Trace-pinned: one thread, one hierarchy, the paper's exact
     // access sequence (see executor.hh).  Binding performs no table
     // reads, so the simulated counters match the unbound executor's.
+    // Compressed tables have no record pointers for sealed rows, so
+    // they cannot produce the paper's address trace.
+    invariant(!db->compressed(),
+              "simulated traces require an uncompressed database");
     std::shared_ptr<const PhysicalPlan> keep;
     PhysicalPlan local;
     const PhysicalPlan *plan = bound(q, keep, local);

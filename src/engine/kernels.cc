@@ -325,10 +325,14 @@ fromCondition(const Condition &c)
                     c.lo, c.lo};
       case CondOp::Between:
         return Pred{PredOp::Between, c.lo, c.hi};
+      case CondOp::IsNull:
+        return Pred{PredOp::IsNull, 0, 0};
+      case CondOp::NotNull:
+        return Pred{PredOp::NotNull, 0, 0};
       case CondOp::None:
         break;
     }
-    panic("fromCondition needs an Eq/AnyEq/Between condition");
+    panic("fromCondition needs a predicate condition");
 }
 
 bool
@@ -456,6 +460,233 @@ zoneCanMatch(const Pred &p, const storage::ZoneEntry &z)
         return z.nonnull > 0 && z.max >= p.lo && z.min <= p.hi;
     }
     return true;
+}
+
+const char *
+compressedPathName(CompressedPath path)
+{
+    switch (path) {
+      case CompressedPath::RleRuns:
+        return "rle_runs";
+      case CompressedPath::PackTranslate:
+        return "pack_translate";
+      case CompressedPath::RawKernel:
+        return "raw_kernel";
+      case CompressedPath::Decompress:
+        return "decompress";
+    }
+    return "?";
+}
+
+void
+countCompressedEval(CompressedPath path)
+{
+#ifndef DVP_OBS_DISABLED
+    struct Handles
+    {
+        obs::Counter *c[kCompressedPaths];
+
+        Handles()
+        {
+            auto &reg = obs::Registry::global();
+            for (size_t i = 0; i < kCompressedPaths; ++i)
+                c[i] = &reg.counter(
+                    std::string("dvp_compressed_eval_total{path=\"") +
+                    compressedPathName(static_cast<CompressedPath>(i)) +
+                    "\"}");
+        }
+    };
+    static Handles h;
+    h.c[static_cast<size_t>(path)]->add(1);
+#else
+    (void)path;
+#endif
+}
+
+namespace
+{
+
+/** True when @p op needs value *order*, not just identity/nullness. */
+bool
+isRangeOp(PredOp op)
+{
+    switch (op) {
+      case PredOp::Lt:
+      case PredOp::Le:
+      case PredOp::Gt:
+      case PredOp::Ge:
+      case PredOp::Between:
+        return true;
+      default:
+        return false;
+    }
+}
+
+/** Emit [a, b) (block-relative) into @p sel, rebased to @p i0. */
+void
+emitSpan(size_t a, size_t b, size_t i0, SelVec &sel)
+{
+    for (size_t i = a; i < b; ++i)
+        sel.idx[sel.n++] = static_cast<uint32_t>(i - i0);
+}
+
+CompressedPath
+evalRle(const storage::ColBlock &cb, size_t i0, size_t i1,
+        const Pred &p, SelVec &sel)
+{
+    sel.n = 0;
+    const uint8_t *values = cb.bytes.data();
+    const uint8_t *starts = values + size_t{cb.runs} * 8;
+    auto runStart = [&](size_t r) {
+        uint32_t s;
+        std::memcpy(&s, starts + r * 4, sizeof s);
+        return size_t{s};
+    };
+    // First run overlapping i0: the last run starting at or before i0.
+    size_t lo = 0, hi = cb.runs;
+    while (hi - lo > 1) {
+        size_t mid = lo + (hi - lo) / 2;
+        if (runStart(mid) <= i0)
+            lo = mid;
+        else
+            hi = mid;
+    }
+    for (size_t r = lo; r < cb.runs; ++r) {
+        size_t s0 = runStart(r);
+        if (s0 >= i1)
+            break;
+        size_t s1 = r + 1 < cb.runs ? runStart(r + 1) : cb.rows;
+        Slot v = static_cast<Slot>(
+            storage::loadU64(values + r * 8));
+        if (matchOne(p, v))
+            emitSpan(std::max(s0, i0), std::min(s1, i1), i0, sel);
+    }
+    return CompressedPath::RleRuns;
+}
+
+/**
+ * Pack: reduce @p p to an interval (or exclusion) in code space.
+ * Returns false when the op cannot be answered on codes (a range op
+ * over a block that may hold string-tagged slots).
+ */
+bool
+evalPack(const storage::ColBlock &cb, size_t i0, size_t i1,
+         const Pred &p, const storage::ZoneEntry &z, SelVec &sel)
+{
+    // The code mapping code = v - base + 1 is monotone over *all*
+    // slot values, but range predicates additionally exclude
+    // string-tagged slots; only a zone-certified string-free block
+    // makes the code interval exact for them.
+    bool may_have_strings =
+        z.nonnull > 0 && z.max >= storage::kStringTag;
+    if (isRangeOp(p.op) && may_have_strings)
+        return false;
+
+    using I128 = __int128;
+    const I128 base = cb.base;
+    const I128 cmax =
+        (I128{1} << cb.width) - 1; // codes are width-bit values
+    auto codeOf = [&](Slot v) { return I128{v} - base + 1; };
+
+    // Interval [clo, chi] in code space; Ne is the one exclusion case.
+    I128 clo = 1, chi = cmax;
+    uint64_t ne_code = ~uint64_t{0}; // sentinel: matches no stored code
+    bool ne_mode = false;
+    switch (p.op) {
+      case PredOp::Eq:
+      case PredOp::StrEq:
+        clo = chi = codeOf(p.lo);
+        break;
+      case PredOp::Ne: {
+        ne_mode = true;
+        I128 t = codeOf(p.lo);
+        if (t >= 1 && t <= cmax)
+            ne_code = static_cast<uint64_t>(t);
+        break;
+      }
+      case PredOp::IsNull:
+        clo = chi = 0;
+        break;
+      case PredOp::NotNull:
+        break; // [1, cmax]
+      case PredOp::Lt:
+        chi = codeOf(p.lo) - 1;
+        break;
+      case PredOp::Le:
+        chi = codeOf(p.lo);
+        break;
+      case PredOp::Gt:
+        clo = codeOf(p.lo) + 1;
+        break;
+      case PredOp::Ge:
+        clo = codeOf(p.lo);
+        break;
+      case PredOp::Between:
+        clo = codeOf(p.lo);
+        chi = codeOf(p.hi);
+        break;
+    }
+
+    uint32_t k = 0;
+    if (ne_mode) {
+        for (size_t i = i0; i < i1; ++i) {
+            uint64_t code = storage::packedCode(cb, i);
+            sel.idx[k] = static_cast<uint32_t>(i - i0);
+            k += (code != 0 && code != ne_code) ? 1u : 0u;
+        }
+        sel.n = k;
+        return true;
+    }
+
+    // Clamp to representable codes; value ops never admit the NULL
+    // escape (IsNull pinned [0, 0] above and stays there).
+    if (p.op != PredOp::IsNull)
+        clo = std::max<I128>(clo, 1);
+    chi = std::min<I128>(chi, cmax);
+    if (clo > chi) {
+        sel.n = 0;
+        return true;
+    }
+    const uint64_t lo64 = static_cast<uint64_t>(clo);
+    const uint64_t hi64 = static_cast<uint64_t>(chi);
+    for (size_t i = i0; i < i1; ++i) {
+        uint64_t code = storage::packedCode(cb, i);
+        sel.idx[k] = static_cast<uint32_t>(i - i0);
+        k += (code >= lo64 && code <= hi64) ? 1u : 0u;
+    }
+    sel.n = k;
+    return true;
+}
+
+} // namespace
+
+CompressedPath
+evalColBlock(const storage::ColBlock &cb, size_t i0, size_t i1,
+             const Pred &p, const storage::ZoneEntry &z, Slot *scratch,
+             SelVec &sel)
+{
+    invariant(i0 <= i1 && i1 <= cb.rows,
+              "evalColBlock range exceeds the block");
+    switch (cb.fmt) {
+      case storage::BlockFmt::Raw: {
+        const Slot *col =
+            reinterpret_cast<const Slot *>(cb.bytes.data());
+        kernel(p.op)(col + i0, 1, i1 - i0, p.lo, p.hi, sel);
+        countInvocation(p.op, simdActive());
+        return CompressedPath::RawKernel;
+      }
+      case storage::BlockFmt::Rle:
+        return evalRle(cb, i0, i1, p, sel);
+      case storage::BlockFmt::Pack:
+        if (evalPack(cb, i0, i1, p, z, sel))
+            return CompressedPath::PackTranslate;
+        break;
+    }
+    // Materialize the block into the lane's scratch, then the kernel.
+    storage::decompressColumn(cb, scratch);
+    kernel(p.op)(scratch + i0, 1, i1 - i0, p.lo, p.hi, sel);
+    countInvocation(p.op, simdActive());
+    return CompressedPath::Decompress;
 }
 
 } // namespace dvp::engine::kernels

@@ -105,7 +105,8 @@ struct Pred
 /**
  * Translate a query Condition into a kernel Pred.
  * Eq/AnyEq literals that are dictionary-encoded strings map to StrEq
- * (same compare, see PredOp).  @pre c.op is Eq, AnyEq, or Between.
+ * (same compare, see PredOp).  @pre c.op is Eq, AnyEq, Between,
+ * IsNull, or NotNull.
  */
 Pred fromCondition(const Condition &c);
 
@@ -153,10 +154,59 @@ void countInvocation(PredOp op, bool simd);
  * Conservative block-skip test: false only when *no* slot in a block
  * summarized by @p z can satisfy @p p.  Range ops compare against the
  * raw-order min/max (strings sort above numerics, so the test stays
- * conservative for numeric-only ops); an all-null block can only
- * satisfy IsNull.
+ * conservative for numeric-only ops); IsNull/NotNull prune on the
+ * zone's null/nonnull counts (an all-null block can only satisfy
+ * IsNull, a fully dense one never does).
  */
 bool zoneCanMatch(const Pred &p, const storage::ZoneEntry &z);
+
+/** How evalColBlock answered a predicate (counters and tests). */
+enum class CompressedPath : uint8_t
+{
+    RleRuns,       ///< run-wise matchOne over the RLE runs
+    PackTranslate, ///< code-domain compare on the packed codes
+    RawKernel,     ///< dispatched kernel over the raw payload
+    Decompress     ///< materialize into scratch, then the kernel
+};
+constexpr size_t kCompressedPaths = 4;
+
+/** Stable lowercase name of @p path (metric labels). */
+const char *compressedPathName(CompressedPath path);
+
+/**
+ * Evaluate @p p over rows [@p i0, @p i1) of one sealed column block,
+ * writing matching indices *relative to i0* into @p sel (the same
+ * contract as a KernelFn run over the sub-range), without
+ * materializing the block when the encoding permits:
+ *
+ *  - Rle: runs overlapping the range are tested once each with
+ *    matchOne and emitted as index spans — NULL runs answer
+ *    IsNull/NotNull for thousands of rows with one compare;
+ *  - Pack: every op except Ne reduces to a code-domain interval
+ *    [clo, chi] (the code mapping is monotone; code 0 is NULL), so
+ *    Eq/StrEq become a single translated code compare and Between
+ *    uses transformed bounds.  Range ops take this path only when the
+ *    zone proves the block holds no string-tagged slots (@p z.max
+ *    below the string tag) — otherwise the code interval could admit
+ *    strings the predicate must exclude;
+ *  - Raw: the dispatched kernel runs directly over the stored slots;
+ *  - anything else decompresses into @p scratch (>= cb.rows slots,
+ *    preallocated per executor lane) and runs the dispatched kernel.
+ *
+ * Every path agrees with matchOne slot-for-slot; the returned path
+ * feeds the dvp_compressed_eval_total counters.
+ */
+CompressedPath evalColBlock(const storage::ColBlock &cb, size_t i0,
+                            size_t i1, const Pred &p,
+                            const storage::ZoneEntry &z,
+                            storage::Slot *scratch, SelVec &sel);
+
+/**
+ * Count one evalColBlock answer per path in the obs registry:
+ * dvp_compressed_eval_total{path="<path>"}.  Same handle discipline as
+ * countInvocation.
+ */
+void countCompressedEval(CompressedPath path);
 
 } // namespace dvp::engine::kernels
 

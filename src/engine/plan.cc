@@ -65,17 +65,43 @@ bindFilter(const Database &db, const Condition &c, FilterScanOp &op)
         return;
     }
 
-    if (c.op == CondOp::Eq || c.op == CondOp::Between) {
+    if (c.op == CondOp::Eq || c.op == CondOp::Between ||
+        c.op == CondOp::NotNull) {
         op.attr = c.attr;
         AttrLoc loc = db.locate(c.attr);
         if (loc.table < 0) {
             op.mode = FilterMode::Empty; // unknown column: no matches
             return;
         }
+        // NotNull is sound as one column scan: an object with a
+        // non-null cell is necessarily stored in the attribute's
+        // partition (sparse omission drops all-null records only).
         op.mode = FilterMode::ColumnPredicate;
         op.table = loc.table;
         op.col = loc.col;
         op.driving = loc.table;
+        return;
+    }
+
+    if (c.op == CondOp::IsNull) {
+        op.attr = c.attr;
+        AttrLoc loc = db.locate(c.attr);
+        std::vector<int> all(db.tableCount());
+        for (size_t t = 0; t < db.tableCount(); ++t)
+            all[t] = static_cast<int>(t);
+        op.driving = drivingTable(db, all);
+        if (loc.table < 0) {
+            // Unknown column: every present object has a NULL there.
+            op.mode = FilterMode::Presence;
+            return;
+        }
+        // IsNull cannot be answered from the attribute's partition
+        // alone: objects omitted from it (sparse omission) are NULL
+        // too.  The executor takes the presence union minus the
+        // NotNull matches of the located column.
+        op.mode = FilterMode::NullScan;
+        op.table = loc.table;
+        op.col = loc.col;
         return;
     }
 
@@ -287,6 +313,13 @@ PhysicalPlan::describe(const Database &db) const
             std::snprintf(line, sizeof(line),
                           "  FilterScan[empty] (condition column not "
                           "materialized)\n");
+            break;
+          case FilterMode::NullScan:
+            std::snprintf(line, sizeof(line),
+                          "  FilterScan[is-null] attr=%s presence "
+                          "minus p%d.%d (driving=p%d)\n",
+                          attrName(db, filter.attr).c_str(),
+                          filter.table, filter.col, filter.driving);
             break;
         }
         out += line;

@@ -51,9 +51,10 @@ struct MergeScanProjectOp
 enum class FilterMode : uint8_t
 {
     Presence,        ///< no predicate: presence union over all tables
-    ColumnPredicate, ///< Eq/Between scan of one located column
+    ColumnPredicate, ///< Eq/Between/NotNull scan of one located column
     AnyEq,           ///< merge scan of the flattened-array partitions
-    Empty            ///< condition column unknown: no matches
+    Empty,           ///< condition column unknown: no matches
+    NullScan         ///< IsNull: presence union minus NotNull matches
 };
 
 /** Bound WHERE clause scan. */

@@ -20,7 +20,8 @@ std::vector<AttrId>
 Query::conditionPart() const
 {
     std::vector<AttrId> out;
-    if (cond.op == CondOp::Eq || cond.op == CondOp::Between)
+    if (cond.op == CondOp::Eq || cond.op == CondOp::Between ||
+        cond.op == CondOp::IsNull || cond.op == CondOp::NotNull)
         out.push_back(cond.attr);
     for (AttrId a : cond.anyAttrs)
         out.push_back(a);

@@ -43,7 +43,9 @@ enum class CondOp
     None,    ///< no WHERE clause
     Eq,      ///< attr = value
     Between, ///< attr BETWEEN lo AND hi (numeric slots only)
-    AnyEq    ///< value = ANY array-attr (matches any of several columns)
+    AnyEq,   ///< value = ANY array-attr (matches any of several columns)
+    IsNull,  ///< attr IS NULL (missing or stored-NULL cell)
+    NotNull  ///< attr IS NOT NULL
 };
 
 /** A WHERE clause over one attribute (or one flattened array). */
@@ -55,7 +57,13 @@ struct Condition
     Slot lo = 0;                    ///< Eq value, or Between lower bound
     Slot hi = 0;                    ///< Between upper bound (inclusive)
 
-    /** True when a slot satisfies the predicate. */
+    /**
+     * True when a slot satisfies the predicate.  For IsNull this is
+     * the *slot* semantics (an object omitted from the attribute's
+     * partition has a NULL slot logically — doc.slotOf returns the
+     * sentinel — but no stored cell, which is why the planner answers
+     * IsNull as presence-minus-NotNull rather than one column scan).
+     */
     bool
     matches(Slot s) const
     {
@@ -67,6 +75,10 @@ struct Condition
             return !storage::isNull(s) && s == lo;
           case CondOp::Between:
             return storage::isNumericSlot(s) && s >= lo && s <= hi;
+          case CondOp::IsNull:
+            return storage::isNull(s);
+          case CondOp::NotNull:
+            return !storage::isNull(s);
         }
         return false;
     }

@@ -18,7 +18,8 @@ keywords()
         "SELECT", "FROM",   "WHERE", "BETWEEN", "AND",   "ANY",
         "COUNT",  "GROUP",  "BY",    "AS",      "INNER", "JOIN",
         "ON",     "LOAD",   "DATA",  "LOCAL",   "INFILE", "REPLACE",
-        "INTO",   "TABLE",  "TRUE",  "FALSE",   "EXPLAIN"};
+        "INTO",   "TABLE",  "TRUE",  "FALSE",   "EXPLAIN",
+        "IS",     "NOT",    "NULL"};
     return kw;
 }
 

@@ -228,7 +228,17 @@ class Parser
             q.cond.hi = hi;
             return true;
         }
-        err = fail("expected '=' or BETWEEN after column");
+        if (eatKeyword("IS")) {
+            bool not_null = eatKeyword("NOT");
+            if (!eatKeyword("NULL")) {
+                err = fail("expected NULL after IS");
+                return false;
+            }
+            q.cond.op = not_null ? CondOp::NotNull : CondOp::IsNull;
+            q.cond.attr = column(col_name);
+            return true;
+        }
+        err = fail("expected '=', BETWEEN, or IS after column");
         return false;
     }
 

@@ -1,0 +1,221 @@
+#include "storage/compress.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+
+namespace dvp::storage
+{
+
+namespace
+{
+
+/** Rle layout: runs * 8 value bytes, then runs * 4 start bytes. */
+size_t
+rleBytes(size_t runs)
+{
+    return runs * 12;
+}
+
+void
+storeU64(uint8_t *p, uint64_t v)
+{
+    std::memcpy(p, &v, sizeof v);
+}
+
+void
+storeU32(uint8_t *p, uint32_t v)
+{
+    std::memcpy(p, &v, sizeof v);
+}
+
+/** Pack code of slot @p s under @p base: 0 for NULL, monotone else. */
+uint64_t
+packCode(Slot s, Slot base)
+{
+    if (isNull(s))
+        return 0;
+    return static_cast<uint64_t>(s) - static_cast<uint64_t>(base) + 1;
+}
+
+} // namespace
+
+const char *
+fmtName(BlockFmt f)
+{
+    switch (f) {
+      case BlockFmt::Raw:
+        return "raw";
+      case BlockFmt::Rle:
+        return "rle";
+      case BlockFmt::Pack:
+        return "pack";
+    }
+    return "?";
+}
+
+ColBlock
+compressColumn(const Slot *col, size_t stride, size_t n)
+{
+    invariant(n > 0, "cannot compress an empty block");
+
+    // One pass for the format statistics: run count, non-null range.
+    size_t runs = 1;
+    Slot min = 0, max = 0;
+    bool any_nonnull = false;
+    for (size_t i = 0; i < n; ++i) {
+        Slot s = col[i * stride];
+        if (i > 0 && s != col[(i - 1) * stride])
+            ++runs;
+        if (!isNull(s)) {
+            if (!any_nonnull) {
+                min = max = s;
+                any_nonnull = true;
+            } else {
+                min = std::min(min, s);
+                max = std::max(max, s);
+            }
+        }
+    }
+
+    // Pack applicability and width: codes span [0, range + 1] where
+    // range = max - min (computed unsigned: slot extremes would
+    // overflow a signed difference).  Code 0 is the NULL escape, so an
+    // all-null column packs at width 1.
+    uint64_t range =
+        any_nonnull ? static_cast<uint64_t>(max) -
+                          static_cast<uint64_t>(min)
+                    : 0;
+    bool packable = range < (uint64_t{1} << kMaxPackWidth) - 1;
+    unsigned width = 1;
+    if (packable) {
+        uint64_t top = range + 1; // largest code
+        while ((uint64_t{1} << width) <= top && width < kMaxPackWidth)
+            ++width;
+    }
+
+    size_t raw_cost = n * 8;
+    size_t rle_cost = rleBytes(runs);
+    size_t pack_cost = packable ? (n * width + 7) / 8 : SIZE_MAX;
+
+    ColBlock cb;
+    cb.rows = static_cast<uint32_t>(n);
+
+    if (packable && pack_cost <= rle_cost && pack_cost <= raw_cost) {
+        cb.fmt = BlockFmt::Pack;
+        cb.width = static_cast<uint8_t>(width);
+        cb.base = any_nonnull ? min : 0;
+        cb.bytes.assign(pack_cost + 8, 0); // +8: unaligned-load slack
+        for (size_t i = 0; i < n; ++i) {
+            uint64_t code = packCode(col[i * stride], cb.base);
+            size_t bit = i * width;
+            uint64_t word = loadU64(cb.bytes.data() + bit / 8);
+            word |= code << (bit % 8);
+            storeU64(cb.bytes.data() + bit / 8, word);
+        }
+        return cb;
+    }
+
+    if (rle_cost < raw_cost) {
+        cb.fmt = BlockFmt::Rle;
+        cb.runs = static_cast<uint32_t>(runs);
+        cb.bytes.resize(rleBytes(runs));
+        uint8_t *values = cb.bytes.data();
+        uint8_t *starts = cb.bytes.data() + runs * 8;
+        size_t r = 0;
+        for (size_t i = 0; i < n; ++i) {
+            Slot s = col[i * stride];
+            if (i == 0 || s != col[(i - 1) * stride]) {
+                storeU64(values + r * 8, static_cast<uint64_t>(s));
+                storeU32(starts + r * 4, static_cast<uint32_t>(i));
+                ++r;
+            }
+        }
+        invariant(r == runs, "rle run count drifted between passes");
+        return cb;
+    }
+
+    cb.fmt = BlockFmt::Raw;
+    cb.bytes.resize(n * 8);
+    for (size_t i = 0; i < n; ++i)
+        storeU64(cb.bytes.data() + i * 8,
+                 static_cast<uint64_t>(col[i * stride]));
+    return cb;
+}
+
+void
+decompressColumn(const ColBlock &cb, Slot *out)
+{
+    size_t n = cb.rows;
+    switch (cb.fmt) {
+      case BlockFmt::Raw:
+        std::memcpy(out, cb.bytes.data(), n * 8);
+        return;
+      case BlockFmt::Rle: {
+        const uint8_t *values = cb.bytes.data();
+        const uint8_t *starts = cb.bytes.data() + size_t{cb.runs} * 8;
+        for (size_t r = 0; r < cb.runs; ++r) {
+            size_t s0;
+            {
+                uint32_t v;
+                std::memcpy(&v, starts + r * 4, sizeof v);
+                s0 = v;
+            }
+            size_t s1 = n;
+            if (r + 1 < cb.runs) {
+                uint32_t v;
+                std::memcpy(&v, starts + (r + 1) * 4, sizeof v);
+                s1 = v;
+            }
+            Slot value = static_cast<Slot>(loadU64(values + r * 8));
+            std::fill(out + s0, out + s1, value);
+        }
+        return;
+      }
+      case BlockFmt::Pack:
+        for (size_t i = 0; i < n; ++i) {
+            uint64_t code = packedCode(cb, i);
+            out[i] = code == 0
+                         ? kNullSlot
+                         : static_cast<Slot>(
+                               static_cast<uint64_t>(cb.base) + code -
+                               1);
+        }
+        return;
+    }
+    panic("unknown block format");
+}
+
+Slot
+columnValue(const ColBlock &cb, size_t i)
+{
+    switch (cb.fmt) {
+      case BlockFmt::Raw:
+        return static_cast<Slot>(loadU64(cb.bytes.data() + i * 8));
+      case BlockFmt::Rle: {
+        // Binary search the run starts for the last start <= i.
+        const uint8_t *starts = cb.bytes.data() + size_t{cb.runs} * 8;
+        size_t lo = 0, hi = cb.runs;
+        while (hi - lo > 1) {
+            size_t mid = lo + (hi - lo) / 2;
+            uint32_t s;
+            std::memcpy(&s, starts + mid * 4, sizeof s);
+            if (s <= i)
+                lo = mid;
+            else
+                hi = mid;
+        }
+        return static_cast<Slot>(loadU64(cb.bytes.data() + lo * 8));
+      }
+      case BlockFmt::Pack: {
+        uint64_t code = packedCode(cb, i);
+        if (code == 0)
+            return kNullSlot;
+        return static_cast<Slot>(static_cast<uint64_t>(cb.base) + code -
+                                 1);
+      }
+    }
+    panic("unknown block format");
+}
+
+} // namespace dvp::storage

@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Lightweight per-(block, column) compression for sealed partition
+ * blocks.
+ *
+ * A compressed Table (storage/table.hh) seals every full kZoneRows
+ * block at append time: each column of the block (the oid column
+ * included) is encoded independently into one of three formats, chosen
+ * by encoded size with an uncompressed fallback so a pathological block
+ * never regresses beyond its raw footprint:
+ *
+ *  - Raw:  the 2048 slots verbatim (8 bytes each).  Always applicable.
+ *  - Rle:  run-length pairs for NULL runs and repeated values.  The
+ *          run values (8 bytes) precede the run start indices
+ *          (4 bytes), both read via memcpy so alignment never matters;
+ *          random access is a binary search over the starts.
+ *  - Pack: frame-of-reference bit-packing for small-domain ints and
+ *          sorted/clustered columns (the oid column is the designed
+ *          client).  Non-null slot v encodes as code v - base + 1 in
+ *          `width` bits (base = the block's non-null minimum); code 0
+ *          is the NULL escape.  Codes are read with one unaligned
+ *          64-bit load + shift + mask, so width is capped at
+ *          kMaxPackWidth and the byte buffer carries 8 bytes of slack.
+ *
+ * The code mapping of Pack is strictly monotone in the slot value,
+ * which is what lets the scan kernels (engine/kernels.hh) evaluate
+ * equality and range predicates directly on the packed codes via
+ * translated bounds, and NULL tests as a code-zero compare, without
+ * materializing the block.
+ */
+
+#ifndef DVP_STORAGE_COMPRESS_HH
+#define DVP_STORAGE_COMPRESS_HH
+
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+#include "storage/value.hh"
+
+namespace dvp::storage
+{
+
+/** Per-(block, column) encoding, chosen at seal time. */
+enum class BlockFmt : uint8_t
+{
+    Raw,  ///< 8-byte slots verbatim
+    Rle,  ///< run-length (value, start) pairs
+    Pack  ///< frame-of-reference bit-packed codes, NULL escape 0
+};
+constexpr size_t kBlockFmts = 3;
+
+/** Stable lowercase name of @p f (metric labels, bench output). */
+const char *fmtName(BlockFmt f);
+
+/**
+ * Widest packed code readable with a single unaligned 64-bit load at
+ * any bit offset (7 shift bits + width <= 64, held back to a round 56).
+ */
+constexpr unsigned kMaxPackWidth = 56;
+
+/** One sealed column of one block. */
+struct ColBlock
+{
+    BlockFmt fmt = BlockFmt::Raw;
+    uint8_t width = 0;   ///< Pack: code width in bits (1..kMaxPackWidth)
+    uint32_t runs = 0;   ///< Rle: number of runs
+    uint32_t rows = 0;   ///< slots encoded (== the block's row count)
+    Slot base = 0;       ///< Pack: frame-of-reference base (non-null min)
+    std::vector<uint8_t> bytes; ///< encoded payload (incl. Pack slack)
+
+    /** Encoded footprint (payload only; struct overhead excluded). */
+    size_t payloadBytes() const { return bytes.size(); }
+};
+
+/**
+ * Encode @p n slots read from @p col at @p stride slots apart, choosing
+ * the smallest of the three formats (ties prefer Pack, then Rle: the
+ * cheaper one to scan).
+ */
+ColBlock compressColumn(const Slot *col, size_t stride, size_t n);
+
+/** Decode all rows of @p cb into @p out (cb.rows slots, stride 1). */
+void decompressColumn(const ColBlock &cb, Slot *out);
+
+/** Unaligned 64-bit load helper (memcpy folds to a plain mov). */
+inline uint64_t
+loadU64(const uint8_t *p)
+{
+    uint64_t v;
+    std::memcpy(&v, p, sizeof v);
+    return v;
+}
+
+/** Pack: the raw code of row @p i. @pre cb.fmt == Pack && i < rows */
+inline uint64_t
+packedCode(const ColBlock &cb, size_t i)
+{
+    size_t bit = i * cb.width;
+    uint64_t word = loadU64(cb.bytes.data() + bit / 8);
+    uint64_t mask = cb.width >= 64 ? ~uint64_t{0}
+                                   : (uint64_t{1} << cb.width) - 1;
+    return (word >> (bit % 8)) & mask;
+}
+
+/** Random-access decode of row @p i. @pre i < cb.rows */
+Slot columnValue(const ColBlock &cb, size_t i);
+
+} // namespace dvp::storage
+
+#endif // DVP_STORAGE_COMPRESS_HH

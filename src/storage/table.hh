@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "storage/catalog.hh"
+#include "storage/compress.hh"
 #include "storage/value.hh"
 #include "util/arena.hh"
 
@@ -74,9 +75,15 @@ class Table
      * @param arena     allocator implementing the cache-line shift policy
      * @param allow_pad when true, apply the narrow-padding decision of
      *                  §IV; when false the stride is exactly the payload
+     * @param compress  seal every full kZoneRows block into per-column
+     *                  compressed form (storage/compress.hh); only the
+     *                  tail block stays in raw record storage.  Zone
+     *                  maps, rowOf/lowerBound and the value accessors
+     *                  oid()/cell() are unaffected; record() becomes
+     *                  valid only for unsealed rows.
      */
     Table(std::string name, std::vector<AttrId> schema, Arena &arena,
-          bool allow_pad = true);
+          bool allow_pad = true, bool compress = false);
 
     Table(Table &&) noexcept = default;
     Table &operator=(Table &&) noexcept = default;
@@ -111,19 +118,36 @@ class Table
     /** Base address of record storage (for the perf tracer). */
     const uint8_t *base() const { return buf.data(); }
 
-    /** Pointer to the start (oid slot) of record @p row. */
+    /**
+     * Pointer to the start (oid slot) of record @p row.
+     * @pre row >= sealedRows() (always true when not compressed: the
+     *      raw buffer holds only unsealed rows, at offset 0 for the
+     *      uncompressed table).
+     */
     const Slot *
     record(size_t row) const
     {
         return reinterpret_cast<const Slot *>(buf.data()) +
-               row * stride_slots;
+               (row - sealed_rows) * stride_slots;
     }
 
-    /** Object id of record @p row. */
-    int64_t oid(size_t row) const { return record(row)[0]; }
+    /** Object id of record @p row (sealed rows decode on the fly). */
+    int64_t
+    oid(size_t row) const
+    {
+        if (row < sealed_rows)
+            return sealedCell(row, 0);
+        return record(row)[0];
+    }
 
     /** Cell at (@p row, @p col). @pre col < attrCount() */
-    Slot cell(size_t row, size_t col) const { return record(row)[1 + col]; }
+    Slot
+    cell(size_t row, size_t col) const
+    {
+        if (row < sealed_rows)
+            return sealedCell(row, 1 + col);
+        return record(row)[1 + col];
+    }
 
     /**
      * Row holding @p oid, or kNoRow.  Binary search over the sorted oid
@@ -137,8 +161,52 @@ class Table
      */
     size_t lowerBound(int64_t oid) const;
 
-    /** Total bytes of record storage currently allocated. */
+    /** Bytes the stored rows would occupy uncompressed. */
     size_t storageBytes() const { return nrows * strideBytes(); }
+
+    /**
+     * Bytes the stored rows actually occupy: compressed payloads for
+     * the sealed blocks plus raw storage for the tail.  Equal to
+     * storageBytes() for an uncompressed table.  This is the footprint
+     * the DVP cost model's memory term and the Fig-3-style reports
+     * consume.
+     */
+    size_t bytesUsed() const;
+
+    /**
+     * bytesUsed() restricted to one column: @p col -1 addresses the
+     * oid column, 0..attrCount()-1 the schema columns.  Tail rows
+     * charge 8 bytes per cell.
+     */
+    size_t columnBytesUsed(int col) const;
+
+    /** True when this table seals blocks into compressed form. */
+    bool isCompressed() const { return compress_; }
+
+    /** Rows living in sealed (compressed) blocks; 0 when raw. */
+    size_t sealedRows() const { return sealed_rows; }
+
+    /** Sealed block count (== sealedRows() / kZoneRows). */
+    size_t sealedBlocks() const { return sealed_rows / kZoneRows; }
+
+    /**
+     * Sealed column data for (@p block, @p slot) where slot 0 is the
+     * oid column and 1 + c addresses schema column c.
+     * @pre block < sealedBlocks()
+     */
+    const ColBlock &
+    sealedColumn(size_t block, size_t slot) const
+    {
+        return cblocks_[block * (1 + schema_.size()) + slot];
+    }
+
+    /**
+     * Decode record @p row (oid + attribute cells) into @p out, which
+     * must hold at least 1 + attrCount() slots.  Works for sealed and
+     * unsealed rows alike; the executor uses it where it would hand
+     * out a record pointer.
+     */
+    void materializeRecord(size_t row, Slot *out) const;
 
     /** Count of NULL cells stored (excludes omitted records). */
     uint64_t nullCells() const { return null_cells; }
@@ -177,6 +245,15 @@ class Table
 
   private:
     void reserve(size_t want_rows);
+    void sealTailBlock();
+
+    /** Decode one sealed cell; slot 0 = oid, 1 + c = schema column c. */
+    Slot
+    sealedCell(size_t row, size_t slot) const
+    {
+        return columnValue(sealedColumn(row / kZoneRows, slot),
+                           row % kZoneRows);
+    }
 
     std::string name_;
     std::vector<AttrId> schema_;
@@ -188,6 +265,9 @@ class Table
     size_t capacity = 0;
     uint64_t null_cells = 0;
     std::vector<ZoneEntry> zones_; ///< blockCount() x attrCount(), block-major
+    bool compress_ = false;
+    size_t sealed_rows = 0; ///< rows moved into cblocks_ (block multiple)
+    std::vector<ColBlock> cblocks_; ///< sealedBlocks() x (1 + attrCount())
 };
 
 } // namespace dvp::storage

@@ -67,6 +67,20 @@ class Reference
                 if (c.matches(doc.slotOf(a)))
                     return true;
             return false;
+          case CondOp::IsNull: {
+            // The engine answers IS NULL as presence-minus-NotNull, so
+            // only documents stored somewhere (>= 1 non-null cell) can
+            // match; absent-from-storage objects never surface.
+            bool present = false;
+            for (const auto &[a, s] : doc.attrs)
+                if (!isNull(s)) {
+                    present = true;
+                    break;
+                }
+            return present && isNull(doc.slotOf(c.attr));
+          }
+          case CondOp::NotNull:
+            return !isNull(doc.slotOf(c.attr));
         }
         return false;
     }
