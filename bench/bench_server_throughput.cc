@@ -17,6 +17,12 @@
  *
  * Reports QPS, rows/s, and p50/p95/p99 latency as a human table and,
  * with --json, as NDJSON metric records.
+ *
+ * --obs-overhead runs the closed loop twice against one server —
+ * first with the full observability surface off (legacy level-1
+ * clients, span tracer disabled), then with it on (trace-id TLVs on
+ * every query, tracer enabled) — and asserts the traced run keeps
+ * within --max-overhead-pct (default 5%) of the untraced QPS.
  */
 
 #include <algorithm>
@@ -33,6 +39,8 @@
 #include "adaptive/adaptive_engine.hh"
 #include "client/client.hh"
 #include "harness.hh"
+#include "net/wire.hh"
+#include "obs/trace.hh"
 #include "server/server.hh"
 
 using namespace dvp;
@@ -77,106 +85,36 @@ struct WorkerResult
     uint64_t errors = 0;
 };
 
-double
-percentileMs(const std::vector<uint64_t> &sorted, double p)
+/** How the load generator's connections exercise observability. */
+enum class ClientObs
 {
-    if (sorted.empty())
-        return 0;
-    size_t idx = static_cast<size_t>(p * (sorted.size() - 1));
-    return sorted[idx] / 1e6;
-}
+    Default, ///< negotiated feature level, no trace ids
+    Legacy,  ///< level-1 handshake: pre-TLV wire format
+    Traced,  ///< level 2 + a distinct trace id per connection
+};
 
-int
-usage(const char *argv0)
+/** One timed load: aggregated worker results + wall seconds. */
+struct LoadResult
 {
-    std::fprintf(
-        stderr,
-        "usage: %s [--docs N] [--seed S] [--connections C] "
-        "[--duration SECONDS] [--mode closed|open] [--rate QPS] "
-        "[--workers N] [--max-inflight N] [--json FILE]\n",
-        argv0);
-    return 2;
-}
+    WorkerResult total;
+    double elapsed = 0;
+};
 
-} // namespace
-
-int
-main(int argc, char **argv)
+/**
+ * Drive the server at @p port with @p connections clients for
+ * @p duration seconds (closed or open loop) and aggregate.
+ */
+LoadResult
+driveLoad(uint16_t port, size_t connections, double duration,
+          const std::string &mode, double rate, ClientObs obs)
 {
-    bench::Options opt;
-    opt.docs = 20000;
-    size_t connections = 4;
-    double duration = 5.0;
-    std::string mode = "closed";
-    double rate = 200.0;
-    server::Config scfg;
-    scfg.workers = 2;
-
-    for (int i = 1; i < argc; ++i) {
-        std::string a = argv[i];
-        auto next = [&]() -> const char * {
-            if (i + 1 >= argc)
-                std::exit(usage(argv[0]));
-            return argv[++i];
-        };
-        if (a == "--docs")
-            opt.docs = std::strtoull(next(), nullptr, 10);
-        else if (a == "--seed")
-            opt.seed = std::strtoull(next(), nullptr, 10);
-        else if (a == "--connections")
-            connections = std::strtoull(next(), nullptr, 10);
-        else if (a == "--duration")
-            duration = std::strtod(next(), nullptr);
-        else if (a == "--mode")
-            mode = next();
-        else if (a == "--rate")
-            rate = std::strtod(next(), nullptr);
-        else if (a == "--workers")
-            scfg.workers = std::strtoull(next(), nullptr, 10);
-        else if (a == "--max-inflight")
-            scfg.maxInflight = std::strtoull(next(), nullptr, 10);
-        else if (a == "--json")
-            opt.jsonPath = next();
-        else
-            return usage(argv[0]);
-    }
-    if (mode != "closed" && mode != "open")
-        return usage(argv[0]);
-    if (connections == 0)
-        connections = 1;
-    opt.threads = scfg.workers;
-
-    // Seed the engine and start the server on an ephemeral port.
-    engine::DataSet data;
-    nobench::Config ncfg = opt.nobenchConfig();
-    {
-        Rng rng{opt.seed};
-        Timer t;
-        for (uint64_t i = 0; i < opt.docs; ++i)
-            data.addObject(nobench::generateDoc(
-                ncfg, rng, static_cast<int64_t>(i)));
-        std::printf("generated %llu docs in %.1f ms\n",
-                    static_cast<unsigned long long>(opt.docs),
-                    t.milliseconds());
-    }
-    adaptive::Params params;
-    params.background = true;
-    adaptive::AdaptiveEngine engine(data, {}, params);
-    server::Server server(engine, scfg);
-    std::string err = server.start();
-    if (!err.empty()) {
-        std::fprintf(stderr, "server start failed: %s\n", err.c_str());
-        return 1;
-    }
-    uint16_t port = server.port();
-
-    // Drive it.
     std::atomic<uint64_t> next_query{0};
     std::atomic<bool> stop{false};
     std::vector<WorkerResult> results(connections);
     std::vector<std::thread> workers;
     const uint64_t t0 = nowNs();
-    const uint64_t deadline = t0 + static_cast<uint64_t>(duration * 1e9);
+    const uint64_t deadline =
+        t0 + static_cast<uint64_t>(duration * 1e9);
     const double per_conn_interval_ns =
         rate > 0 ? 1e9 * connections / rate : 0;
 
@@ -184,6 +122,10 @@ main(int argc, char **argv)
         workers.emplace_back([&, w] {
             WorkerResult &res = results[w];
             client::Client c;
+            if (obs == ClientObs::Legacy)
+                c.setMaxFeatureLevel(net::kFeatureBase);
+            else if (obs == ClientObs::Traced)
+                c.setTraceId(0x7ace000000000000ull + w + 1);
             if (!c.connect("127.0.0.1", port, "bench").empty()) {
                 ++res.errors;
                 return;
@@ -229,28 +171,193 @@ main(int argc, char **argv)
         });
     }
 
-    // Closed loop stops on the deadline inside each worker; open loop
-    // additionally needs the stop flag for schedule overrun.
     while (nowNs() < deadline)
         std::this_thread::sleep_for(std::chrono::milliseconds(20));
     stop.store(true, std::memory_order_relaxed);
     for (std::thread &t : workers)
         t.join();
-    double elapsed = (nowNs() - t0) / 1e9;
-    server.stop();
 
-    // Aggregate.
-    WorkerResult total;
+    LoadResult out;
+    out.elapsed = (nowNs() - t0) / 1e9;
     for (const WorkerResult &r : results) {
-        total.ok += r.ok;
-        total.rows += r.rows;
-        total.busy += r.busy;
-        total.errors += r.errors;
-        total.latenciesNs.insert(total.latenciesNs.end(),
-                                 r.latenciesNs.begin(),
-                                 r.latenciesNs.end());
+        out.total.ok += r.ok;
+        out.total.rows += r.rows;
+        out.total.busy += r.busy;
+        out.total.errors += r.errors;
+        out.total.latenciesNs.insert(out.total.latenciesNs.end(),
+                                     r.latenciesNs.begin(),
+                                     r.latenciesNs.end());
     }
-    std::sort(total.latenciesNs.begin(), total.latenciesNs.end());
+    std::sort(out.total.latenciesNs.begin(),
+              out.total.latenciesNs.end());
+    return out;
+}
+
+double
+percentileMs(const std::vector<uint64_t> &sorted, double p)
+{
+    if (sorted.empty())
+        return 0;
+    size_t idx = static_cast<size_t>(p * (sorted.size() - 1));
+    return sorted[idx] / 1e6;
+}
+
+int
+usage(const char *argv0)
+{
+    std::fprintf(
+        stderr,
+        "usage: %s [--docs N] [--seed S] [--connections C] "
+        "[--duration SECONDS] [--mode closed|open] [--rate QPS] "
+        "[--workers N] [--max-inflight N] [--json FILE] "
+        "[--obs-overhead] [--max-overhead-pct P]\n",
+        argv0);
+    return 2;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    bench::Options opt;
+    opt.docs = 20000;
+    size_t connections = 4;
+    double duration = 5.0;
+    std::string mode = "closed";
+    double rate = 200.0;
+    bool obs_overhead = false;
+    double max_overhead_pct = 5.0;
+    server::Config scfg;
+    scfg.workers = 2;
+
+    for (int i = 1; i < argc; ++i) {
+        std::string a = argv[i];
+        auto next = [&]() -> const char * {
+            if (i + 1 >= argc)
+                std::exit(usage(argv[0]));
+            return argv[++i];
+        };
+        if (a == "--docs")
+            opt.docs = std::strtoull(next(), nullptr, 10);
+        else if (a == "--seed")
+            opt.seed = std::strtoull(next(), nullptr, 10);
+        else if (a == "--connections")
+            connections = std::strtoull(next(), nullptr, 10);
+        else if (a == "--duration")
+            duration = std::strtod(next(), nullptr);
+        else if (a == "--mode")
+            mode = next();
+        else if (a == "--rate")
+            rate = std::strtod(next(), nullptr);
+        else if (a == "--workers")
+            scfg.workers = std::strtoull(next(), nullptr, 10);
+        else if (a == "--max-inflight")
+            scfg.maxInflight = std::strtoull(next(), nullptr, 10);
+        else if (a == "--json")
+            opt.jsonPath = next();
+        else if (a == "--obs-overhead")
+            obs_overhead = true;
+        else if (a == "--max-overhead-pct")
+            max_overhead_pct = std::strtod(next(), nullptr);
+        else
+            return usage(argv[0]);
+    }
+    if (mode != "closed" && mode != "open")
+        return usage(argv[0]);
+    if (connections == 0)
+        connections = 1;
+    opt.threads = scfg.workers;
+
+    // Seed the engine and start the server on an ephemeral port.
+    engine::DataSet data;
+    nobench::Config ncfg = opt.nobenchConfig();
+    {
+        Rng rng{opt.seed};
+        Timer t;
+        for (uint64_t i = 0; i < opt.docs; ++i)
+            data.addObject(nobench::generateDoc(
+                ncfg, rng, static_cast<int64_t>(i)));
+        std::printf("generated %llu docs in %.1f ms\n",
+                    static_cast<unsigned long long>(opt.docs),
+                    t.milliseconds());
+    }
+    adaptive::Params params;
+    params.background = true;
+    adaptive::AdaptiveEngine engine(data, {}, params);
+    server::Server server(engine, scfg);
+    std::string err = server.start();
+    if (!err.empty()) {
+        std::fprintf(stderr, "server start failed: %s\n", err.c_str());
+        return 1;
+    }
+    uint16_t port = server.port();
+
+    if (obs_overhead) {
+        // Twin closed-loop runs against one warmed server: the full
+        // observability surface off, then on.  Off first so the traced
+        // run inherits (not pays for) warmed caches.
+        driveLoad(port, connections, std::min(duration, 1.0), "closed",
+                  rate, ClientObs::Legacy); // warmup
+        obs::Tracer::global().disable();
+        LoadResult off = driveLoad(port, connections, duration,
+                                   "closed", rate, ClientObs::Legacy);
+        obs::Tracer::global().enable();
+        LoadResult on = driveLoad(port, connections, duration,
+                                  "closed", rate, ClientObs::Traced);
+        obs::Tracer::global().disable();
+        server.stop();
+
+        double qps_off = off.total.ok / off.elapsed;
+        double qps_on = on.total.ok / on.elapsed;
+        double overhead_pct =
+            qps_off > 0 ? (qps_off - qps_on) / qps_off * 100.0 : 0.0;
+
+        TablePrinter table({"run", "ok", "err", "QPS", "p95 ms"});
+        char buf[32];
+        auto addRun = [&](const char *name, const LoadResult &lr,
+                          double qps) {
+            std::vector<std::string> row{
+                name, std::to_string(lr.total.ok),
+                std::to_string(lr.total.errors)};
+            std::snprintf(buf, sizeof(buf), "%.1f", qps);
+            row.push_back(buf);
+            std::snprintf(buf, sizeof(buf), "%.3f",
+                          percentileMs(lr.total.latenciesNs, 0.95));
+            row.push_back(buf);
+            table.addRow(std::move(row));
+        };
+        addRun("tracing off", off, qps_off);
+        addRun("tracing on", on, qps_on);
+        bench::emit(table, "observability overhead (closed loop)",
+                    opt.csv);
+        std::printf("overhead: %.2f%% (limit %.2f%%)\n", overhead_pct,
+                    max_overhead_pct);
+
+        bench::JsonLog log(opt, "server_throughput");
+        log.value("server", "obs_overhead", "qps_off", qps_off, "1/s");
+        log.value("server", "obs_overhead", "qps_on", qps_on, "1/s");
+        log.value("server", "obs_overhead", "overhead_pct",
+                  overhead_pct, "%");
+
+        if (off.total.errors + on.total.errors > 0)
+            return 1;
+        if (overhead_pct > max_overhead_pct) {
+            std::fprintf(stderr,
+                         "FAIL: observability overhead %.2f%% exceeds "
+                         "%.2f%%\n",
+                         overhead_pct, max_overhead_pct);
+            return 1;
+        }
+        return 0;
+    }
+
+    LoadResult load =
+        driveLoad(port, connections, duration, mode, rate,
+                  ClientObs::Default);
+    server.stop();
+    WorkerResult &total = load.total;
+    double elapsed = load.elapsed;
     double qps = total.ok / elapsed;
     double rows_per_s = total.rows / elapsed;
     double p50 = percentileMs(total.latenciesNs, 0.50);

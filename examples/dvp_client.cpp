@@ -1,13 +1,18 @@
 /**
  * dvp_client — command-line client for a running dvpd server.
  *
- *   dvp_client [--host H] [--port P] [--stats] [SQL ...]
+ *   dvp_client [--host H] [--port P] [--stats] [--trace-id HEX]
+ *              [--legacy] [SQL ...]
  *
  * Each positional argument is one SQL statement, executed in order on
  * a single connection; rows print as tab-separated text with a header.
- * --stats fetches and prints the server's counters after the
- * statements (or alone).  Exit status is non-zero if any statement
- * failed.
+ * --stats fetches and pretty-prints the server's counters after the
+ * statements (or alone), grouping the adaptive-decision audit fields.
+ * --trace-id attaches a client-chosen trace id to every statement
+ * (echoed by the server and stamped into its span tracer).  --legacy
+ * speaks feature level 1 — the pre-TLV wire encoding — for
+ * compatibility smoke tests against new servers.  Exit status is
+ * non-zero if any statement failed.
  */
 
 #include <cstdio>
@@ -59,6 +64,42 @@ printResult(const client::Result &r)
                 r.execNs / 1e6);
 }
 
+void
+printExtras(const client::Result &r)
+{
+    if (r.hasTraceId)
+        std::printf("trace id %016llx\n",
+                    static_cast<unsigned long long>(r.traceId));
+    if (!r.opStats.empty()) {
+        std::printf("operator summary:\n");
+        for (const auto &[k, v] : r.opStats)
+            std::printf("  %-22s %12llu\n", k.c_str(),
+                        static_cast<unsigned long long>(v));
+    }
+}
+
+/** Pretty server-counter table, audit fields grouped separately. */
+void
+printStats(const client::Stats &s)
+{
+    std::printf("server counters:\n");
+    for (const auto &[k, v] : s.entries)
+        if (k.rfind("audit_", 0) != 0)
+            std::printf("  %-28s %12llu\n", k.c_str(),
+                        static_cast<unsigned long long>(v));
+    bool header = false;
+    for (const auto &[k, v] : s.entries) {
+        if (k.rfind("audit_", 0) != 0)
+            continue;
+        if (!header) {
+            std::printf("adaptive audit:\n");
+            header = true;
+        }
+        std::printf("  %-28s %12llu\n", k.c_str() + 6,
+                    static_cast<unsigned long long>(v));
+    }
+}
+
 } // namespace
 
 int
@@ -67,6 +108,8 @@ main(int argc, char **argv)
     std::string host = "127.0.0.1";
     uint16_t port = 7437;
     bool want_stats = false;
+    bool legacy = false;
+    uint64_t trace_id = 0;
     std::vector<std::string> statements;
 
     for (int i = 1; i < argc; ++i) {
@@ -78,18 +121,27 @@ main(int argc, char **argv)
                 std::strtoul(argv[++i], nullptr, 10));
         else if (a == "--stats")
             want_stats = true;
+        else if (a == "--legacy")
+            legacy = true;
+        else if (a == "--trace-id" && i + 1 < argc)
+            trace_id = std::strtoull(argv[++i], nullptr, 16);
         else
             statements.push_back(a);
     }
     if (statements.empty() && !want_stats) {
         std::fprintf(stderr,
                      "usage: %s [--host H] [--port P] [--stats] "
+                     "[--trace-id HEX] [--legacy] "
                      "\"SELECT ...\" ...\n",
                      argv[0]);
         return 2;
     }
 
     client::Client c;
+    if (legacy)
+        c.setMaxFeatureLevel(net::kFeatureBase);
+    if (trace_id != 0)
+        c.setTraceId(trace_id);
     std::string err = c.connect(host, port, "dvp_client");
     if (!err.empty()) {
         std::fprintf(stderr, "connect %s:%u: %s\n", host.c_str(),
@@ -113,6 +165,7 @@ main(int argc, char **argv)
             continue;
         }
         printResult(r);
+        printExtras(r);
     }
 
     if (want_stats && c.connected()) {
@@ -121,9 +174,7 @@ main(int argc, char **argv)
             std::fprintf(stderr, "stats: %s\n", s.error.c_str());
             ++failures;
         } else {
-            for (const auto &[k, v] : s.entries)
-                std::printf("%-24s %llu\n", k.c_str(),
-                            static_cast<unsigned long long>(v));
+            printStats(s);
         }
     }
 

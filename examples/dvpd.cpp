@@ -19,6 +19,14 @@
  *     --idle-timeout-ms N   reap idle sessions; 0 = never (default 0)
  *     --allow-load          permit LOAD DATA of server-local files
  *     --threads N           executor lanes per query (default 1)
+ *     --http-port P         serve GET /metrics and /healthz over HTTP
+ *                           (0 = ephemeral; omit to disable)
+ *     --http-port-file FILE write the bound HTTP port to FILE
+ *     --slow-ms N           slow-query threshold in ms (with
+ *                           --slow-query-log)
+ *     --slow-query-log FILE append one NDJSON record per slow query
+ *     --audit               dump the adaptive-decision audit ring at
+ *                           exit
  *     --metrics FILE        dump the metric registry at exit
  *     --trace FILE          dump spans at exit
  */
@@ -36,6 +44,7 @@
 #include "json/parser.hh"
 #include "nobench/generator.hh"
 #include "obs/export.hh"
+#include "server/http.hh"
 #include "server/server.hh"
 #include "util/random.hh"
 #include "util/timer.hh"
@@ -52,7 +61,9 @@ usage(const char *argv0)
                  "usage: %s [--gen N | --load FILE] [--host H] "
                  "[--port P] [--port-file FILE] [--workers N] "
                  "[--max-inflight N] [--idle-timeout-ms N] "
-                 "[--allow-load] [--threads N] [--metrics FILE] "
+                 "[--allow-load] [--threads N] [--http-port P] "
+                 "[--http-port-file FILE] [--slow-ms N] "
+                 "[--slow-query-log FILE] [--audit] [--metrics FILE] "
                  "[--trace FILE]\n",
                  argv0);
     return 2;
@@ -71,6 +82,10 @@ main(int argc, char **argv)
     cfg.port = 7437;
     size_t exec_threads = 1;
     std::string port_file;
+    bool http_enabled = false;
+    server::HttpConfig http_cfg;
+    std::string http_port_file;
+    bool dump_audit = false;
 
     for (int i = 1; i < argc; ++i) {
         std::string a = argv[i];
@@ -105,6 +120,19 @@ main(int argc, char **argv)
         else if (a == "--threads")
             exec_threads =
                 std::strtoull(next("--threads"), nullptr, 10);
+        else if (a == "--http-port") {
+            http_enabled = true;
+            http_cfg.port = static_cast<uint16_t>(
+                std::strtoul(next("--http-port"), nullptr, 10));
+        } else if (a == "--http-port-file")
+            http_port_file = next("--http-port-file");
+        else if (a == "--slow-ms")
+            cfg.slowMs = static_cast<uint32_t>(
+                std::strtoul(next("--slow-ms"), nullptr, 10));
+        else if (a == "--slow-query-log")
+            cfg.slowLogPath = next("--slow-query-log");
+        else if (a == "--audit")
+            dump_audit = true;
         else if (a == "--metrics" || a == "--trace")
             ++i; // consumed by obs::scanArgs
         else
@@ -161,6 +189,22 @@ main(int argc, char **argv)
         std::ofstream pf(port_file);
         pf << server.port() << "\n";
     }
+
+    server::HttpServer http(http_cfg);
+    if (http_enabled) {
+        err = http.start();
+        if (!err.empty()) {
+            std::fprintf(stderr, "http start failed: %s\n",
+                         err.c_str());
+            return 1;
+        }
+        if (!http_port_file.empty()) {
+            std::ofstream pf(http_port_file);
+            pf << http.port() << "\n";
+        }
+        std::printf("dvpd: metrics on http://%s:%u/metrics\n",
+                    http_cfg.host.c_str(), unsigned(http.port()));
+    }
     std::printf("dvpd: serving %zu docs on %s:%u — SIGINT/SIGTERM to "
                 "drain\n",
                 data.docs.size(), cfg.host.c_str(),
@@ -172,11 +216,35 @@ main(int argc, char **argv)
         std::this_thread::sleep_for(std::chrono::milliseconds(50));
     server.stop();
 
+    http.stop();
+
     server::ServerStats s = server.stats();
     std::printf("dvpd: drained — %llu connections, %llu requests, "
                 "%llu rejects\n",
                 static_cast<unsigned long long>(s.connections),
                 static_cast<unsigned long long>(s.requests),
                 static_cast<unsigned long long>(s.rejects));
+
+    if (dump_audit) {
+        std::printf("adaptive-decision audit (%zu records):\n",
+                    engine.auditTrail().size());
+        for (const adaptive::AuditRecord &rec : engine.auditTrail()) {
+            std::printf(
+                "  #%llu trigger=%s tables=%llu cost %.3f -> %.3f "
+                "(%llu iters, %llu moves) layout=%016llx "
+                "partition=%.1fms build=%.1fms swap=%.1fms "
+                "caught_up=%llu\n",
+                static_cast<unsigned long long>(rec.seq),
+                rec.trigger.c_str(),
+                static_cast<unsigned long long>(rec.tables),
+                rec.initialCost, rec.finalCost,
+                static_cast<unsigned long long>(rec.iterations),
+                static_cast<unsigned long long>(rec.moves),
+                static_cast<unsigned long long>(rec.layoutFingerprint),
+                rec.partitionerNs / 1e6, rec.buildNs / 1e6,
+                rec.swapNs / 1e6,
+                static_cast<unsigned long long>(rec.docsCaughtUp));
+        }
+    }
     return 0;
 }

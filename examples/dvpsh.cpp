@@ -11,6 +11,7 @@
  *   \stats           show workload statistics
  *   \repartition     force a repartition from observed statistics
  *   \explain <sql>   show the bound physical plan + cache provenance
+ *   \explain+ <sql>  EXPLAIN ANALYZE: execute and show operator stats
  *   \save <file>     snapshot data + layout to a binary image
  *   \open <file>     replace the session with a saved snapshot
  *   \quit
@@ -386,7 +387,8 @@ main(int argc, char **argv)
             if (verb == "help") {
                 std::printf(
                     "  \\load <file>   \\gen <n>   \\layout   \\stats\n"
-                    "  \\repartition   \\explain <sql>\n"
+                    "  \\repartition   \\explain <sql>   "
+                    "\\explain+ <sql> (EXPLAIN ANALYZE)\n"
                     "  \\save <file>   \\open <file>   \\quit\n");
             } else if (verb == "load") {
                 std::string path;
@@ -414,6 +416,10 @@ main(int argc, char **argv)
                 std::string rest;
                 std::getline(cmd, rest);
                 shell.execute("EXPLAIN " + rest);
+            } else if (verb == "explain+") {
+                std::string rest;
+                std::getline(cmd, rest);
+                shell.execute("EXPLAIN ANALYZE " + rest);
             } else {
                 std::printf("unknown command; try \\help\n");
             }

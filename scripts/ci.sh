@@ -123,12 +123,84 @@ print(f"server smoke: {metrics['qps']:.0f} QPS, "
       f"p99 {metrics['p99_ms']:.2f} ms ok")
 EOF
 
+echo "=== request-scoped observability ==="
+# dvpd with the HTTP scrape endpoint and slow-query log: /metrics and
+# /healthz must answer with valid Prometheus text, a traced join must
+# leave a parseable NDJSON slow-query record, EXPLAIN ANALYZE must
+# render over the wire, and a pre-TLV (level-1) client must complete
+# queries unchanged.
+./build-ci/examples/dvpd --gen 2000 --port 0 \
+    --port-file "$OBS_TMP/dvpd2.port" \
+    --http-port 0 --http-port-file "$OBS_TMP/http.port" \
+    --slow-ms 1 --slow-query-log "$OBS_TMP/slow.ndjson" \
+    > "$OBS_TMP/dvpd2.log" 2>&1 &
+DVPD_PID=$!
+for _ in $(seq 50); do
+    [ -s "$OBS_TMP/dvpd2.port" ] && [ -s "$OBS_TMP/http.port" ] && break
+    sleep 0.1
+done
+DVPD_PORT="$(cat "$OBS_TMP/dvpd2.port")"
+HTTP_PORT="$(cat "$OBS_TMP/http.port")"
+JOIN="SELECT * FROM t AS l INNER JOIN t AS r \
+ON l.nested_obj.str = r.str1 WHERE l.num BETWEEN 0 AND 999999"
+for _ in $(seq 10); do
+    ./build-ci/examples/dvp_client --port "$DVPD_PORT" \
+        --trace-id c1f00ddeadbeef01 "$JOIN" > /dev/null
+    [ -s "$OBS_TMP/slow.ndjson" ] && break
+done
+./build-ci/examples/dvp_client --port "$DVPD_PORT" \
+    "EXPLAIN ANALYZE SELECT str1, num FROM t" | grep -q "execution:"
+./build-ci/examples/dvp_client --port "$DVPD_PORT" --legacy --stats \
+    "SELECT str1, num FROM t" > "$OBS_TMP/legacy.out"
+grep -q "requests_total" "$OBS_TMP/legacy.out"
+python3 - "$OBS_TMP" "$HTTP_PORT" <<'EOF'
+import json, sys, urllib.request
+tmp, port = sys.argv[1], sys.argv[2]
+base = f"http://127.0.0.1:{port}"
+prom = urllib.request.urlopen(base + "/metrics", timeout=5).read().decode()
+# Prometheus text format: non-comment lines are "name[{labels}] value".
+names = set()
+for line in prom.splitlines():
+    if not line or line.startswith("#"):
+        continue
+    name, value = line.rsplit(None, 1)
+    float(value)
+    names.add(name.split("{")[0])
+assert "dvp_server_requests_total" in names, sorted(names)[:20]
+assert "dvp_queries_total" in names
+health = urllib.request.urlopen(base + "/healthz", timeout=5).read().decode()
+assert health.strip() == "ok", health
+recs = [json.loads(l) for l in open(f"{tmp}/slow.ndjson")]
+assert recs, "no slow-query records after 10 join executions"
+r = recs[0]
+assert r["statement"].startswith("SELECT * FROM t AS l"), r
+assert r["trace_id"] == "c1f00ddeadbeef01", r
+assert r["exec_ns"] > 0 and r["layout_epoch"] > 0, r
+assert r["stats"]["rows_out"] > 0, r
+print(f"request obs smoke: {len(names)} metric families, "
+      f"{len(recs)} slow-query records ok")
+EOF
+kill -TERM "$DVPD_PID"
+wait "$DVPD_PID"
+# Twin load run, observability off vs on: the local bar is 5%, but CI
+# machines are noisy, so gate on a generous threshold here.
+./build-ci/bench/bench_server_throughput --docs 2000 --duration 2 \
+    --connections 2 --obs-overhead --max-overhead-pct 25 \
+    --json "$OBS_TMP/obs_overhead.ndjson" > /dev/null
+python3 - "$OBS_TMP" <<'EOF'
+import json, sys
+rows = [json.loads(l) for l in open(f"{sys.argv[1]}/obs_overhead.ndjson")]
+m = {r["metric"]: r["value"] for r in rows}
+assert m["qps_on"] > 0 and m["qps_off"] > 0, m
+print(f"obs overhead: {m['overhead_pct']:.2f}% ok")
+EOF
+
 echo "=== thread-sanitizer build ==="
 cmake -B build-tsan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
     -DDVP_SANITIZE=thread
 cmake --build build-tsan -j "$JOBS"
 DVP_TEST_DOCS=800 ctest --test-dir build-tsan --output-on-failure \
-    -j "$JOBS" -R 'test_parallel|test_util|test_adaptive|test_obs|test_plan|test_kernels|test_compress|test_server'
+    -j "$JOBS" -R 'test_parallel|test_util|test_adaptive|test_obs|test_plan|test_kernels|test_compress|test_server|test_analyze'
 
 echo "=== address-sanitizer build ==="
 # ASan catches lifetime bugs the plan cache could introduce: a cached
@@ -138,6 +210,6 @@ cmake -B build-asan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
     -DDVP_SANITIZE=address
 cmake --build build-asan -j "$JOBS"
 DVP_TEST_DOCS=800 ctest --test-dir build-asan --output-on-failure \
-    -j "$JOBS" -R 'test_plan|test_adaptive|test_layout|test_kernels|test_compress|test_server'
+    -j "$JOBS" -R 'test_plan|test_adaptive|test_layout|test_kernels|test_compress|test_server|test_analyze'
 
 echo "ci.sh: all suites passed"

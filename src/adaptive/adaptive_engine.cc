@@ -20,9 +20,39 @@ AdaptiveEngine::AdaptiveEngine(engine::DataSet &data,
     core::SearchResult res = partitioner.run();
     adapt_stats.lastPartitionerSeconds = res.seconds;
     adapt_stats.lastLayoutTables = res.layout.partitionCount();
+    Timer build;
     db = std::make_shared<engine::Database>(data, res.layout, "DVP",
                                             /*allow_pad=*/true, nullptr,
                                             prm.compress);
+
+    AuditRecord rec;
+    rec.trigger = "initial";
+    rec.initialCost = res.initialCost;
+    rec.finalCost = res.finalCost;
+    rec.iterations = res.iterations;
+    rec.moves = res.moves;
+    rec.tables = res.layout.partitionCount();
+    rec.layoutFingerprint = res.layout.fingerprint();
+    rec.partitionerNs = static_cast<uint64_t>(res.seconds * 1e9);
+    rec.buildNs = static_cast<uint64_t>(build.seconds() * 1e9);
+    pushAudit(std::move(rec));
+}
+
+void
+AdaptiveEngine::pushAudit(AuditRecord rec)
+{
+    std::lock_guard<std::mutex> lock(audit_mutex);
+    rec.seq = ++audit_seq;
+    audit_ring.push_back(std::move(rec));
+    if (audit_ring.size() > kAuditCapacity)
+        audit_ring.pop_front();
+}
+
+std::vector<AuditRecord>
+AdaptiveEngine::auditTrail() const
+{
+    std::lock_guard<std::mutex> lock(audit_mutex);
+    return {audit_ring.begin(), audit_ring.end()};
 }
 
 AdaptiveEngine::~AdaptiveEngine()
@@ -47,7 +77,7 @@ AdaptiveEngine::quiesce()
 }
 
 engine::ResultSet
-AdaptiveEngine::execute(const engine::Query &q)
+AdaptiveEngine::execute(const engine::Query &q, engine::QueryStats *stats)
 {
     // One snapshot per query, not per morsel: the executor's lanes all
     // scan the same tables, and the shared_ptr keeps them alive even if
@@ -61,7 +91,7 @@ AdaptiveEngine::execute(const engine::Query &q)
     engine::Executor exec(*current, threads());
     exec.setMorselRows(morselRows());
     exec.setPlanCache(&plan_cache);
-    engine::ResultSet rs = exec.run(q);
+    engine::ResultSet rs = exec.run(q, stats);
     double seconds = timer.seconds();
 
     uint64_t scanned = data->docs.size();
@@ -77,7 +107,7 @@ AdaptiveEngine::execute(const engine::Query &q)
     if (changed) {
         DVP_COUNTER_INC("dvp_changes_detected_total");
         DVP_TRACE_SPAN(change_span, "change_detected", q.name.c_str());
-        maybeRepartition();
+        maybeRepartition(q.name);
     }
     return rs;
 }
@@ -92,7 +122,7 @@ AdaptiveEngine::ingest(const json::JsonValue &doc)
 }
 
 void
-AdaptiveEngine::maybeRepartition()
+AdaptiveEngine::maybeRepartition(const std::string &trigger)
 {
     if (repartitioning.exchange(true))
         return; // one repartition in flight is enough
@@ -108,17 +138,19 @@ AdaptiveEngine::maybeRepartition()
     }
 
     if (!prm.background) {
-        repartitionNow(std::move(workload));
+        repartitionNow(std::move(workload), trigger);
         return;
     }
     quiesce(); // reap the previous worker, if any
-    worker = std::thread([this, w = std::move(workload)]() mutable {
-        repartitionNow(std::move(w));
-    });
+    worker = std::thread(
+        [this, w = std::move(workload), t = trigger]() mutable {
+            repartitionNow(std::move(w), std::move(t));
+        });
 }
 
 void
-AdaptiveEngine::repartitionNow(std::vector<engine::Query> workload)
+AdaptiveEngine::repartitionNow(std::vector<engine::Query> workload,
+                               std::string trigger)
 {
     DVP_TRACE_SPAN(repartition_span, "repartition", nullptr);
     Timer total;
@@ -148,25 +180,46 @@ AdaptiveEngine::repartitionNow(std::vector<engine::Query> workload)
     adapt_stats.lastPartitionerSeconds = res.seconds;
 
     // Bulk-build the new tables from the snapshot.
+    Timer build_timer;
     auto fresh = [&] {
         DVP_TRACE_SPAN(build_span, "build", "bulk-build tables");
         return std::make_shared<engine::Database>(
             *data, res.layout, "DVP", /*allow_pad=*/true, &doc_snapshot,
             prm.compress);
     }();
+    double build_seconds = build_timer.seconds();
 
     // Catch up with documents ingested during the build, then switch
     // through an atomic pointer swap (readers hold shared_ptrs, so a
     // query in flight keeps its tables alive).
+    Timer swap_timer;
+    uint64_t caught_up = 0;
     {
         DVP_TRACE_SPAN(swap_span, "swap", "catch-up + pointer swap");
         std::lock_guard<std::mutex> lock(db_mutex);
-        for (size_t i = fresh->docCount(); i < data->docs.size(); ++i)
+        for (size_t i = fresh->docCount(); i < data->docs.size(); ++i) {
             fresh->insert(data->docs[i]);
+            ++caught_up;
+        }
         db = std::move(fresh);
         adapt_stats.lastLayoutTables = res.layout.partitionCount();
         ++adapt_stats.repartitions;
     }
+    double swap_seconds = swap_timer.seconds();
+
+    AuditRecord rec;
+    rec.trigger = std::move(trigger);
+    rec.initialCost = res.initialCost;
+    rec.finalCost = res.finalCost;
+    rec.iterations = res.iterations;
+    rec.moves = res.moves;
+    rec.tables = res.layout.partitionCount();
+    rec.layoutFingerprint = res.layout.fingerprint();
+    rec.partitionerNs = static_cast<uint64_t>(res.seconds * 1e9);
+    rec.buildNs = static_cast<uint64_t>(build_seconds * 1e9);
+    rec.swapNs = static_cast<uint64_t>(swap_seconds * 1e9);
+    rec.docsCaughtUp = caught_up;
+    pushAudit(std::move(rec));
     {
         std::lock_guard<std::mutex> lock(stats_mutex);
         wstats.reset();

@@ -20,8 +20,10 @@
 #define DVP_ADAPTIVE_ADAPTIVE_ENGINE_HH
 
 #include <atomic>
+#include <deque>
 #include <memory>
 #include <mutex>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -83,6 +85,29 @@ struct AdaptationStats
     std::atomic<size_t> lastLayoutTables{0};
 };
 
+/**
+ * One adaptive layout decision (the initial bind or a repartition),
+ * kept in a bounded in-memory ring for audit: what triggered it, the
+ * cost-model verdict the search reached, the layout it chose and what
+ * the swap cost.  Served over the STATS wire exchange and dumped by
+ * dvpd --audit.
+ */
+struct AuditRecord
+{
+    uint64_t seq = 0;        ///< decision number, 1-based, monotonic
+    std::string trigger;     ///< query that tripped the detector
+    double initialCost = 0;  ///< cost model: incumbent layout
+    double finalCost = 0;    ///< cost model: chosen layout
+    uint64_t iterations = 0; ///< search iterations executed
+    uint64_t moves = 0;      ///< attribute migrations applied
+    uint64_t tables = 0;     ///< partition tables in the chosen layout
+    uint64_t layoutFingerprint = 0; ///< chosen layout identity
+    uint64_t partitionerNs = 0;     ///< refine/search wall time
+    uint64_t buildNs = 0;           ///< bulk table build wall time
+    uint64_t swapNs = 0;            ///< catch-up + pointer swap time
+    uint64_t docsCaughtUp = 0;      ///< docs ingested during the build
+};
+
 /** The engine. */
 class AdaptiveEngine
 {
@@ -104,8 +129,11 @@ class AdaptiveEngine
      * Execute one query, record its statistics, and possibly trigger a
      * repartition.  Thread-compatible with one in-flight background
      * repartition; queries themselves run on the caller's thread.
+     * @p stats, when non-null, receives per-query execution statistics
+     * (see engine/query_stats.hh).
      */
-    engine::ResultSet execute(const engine::Query &q);
+    engine::ResultSet execute(const engine::Query &q,
+                              engine::QueryStats *stats = nullptr);
 
     /** Ingest one new document (encode + store + catch-up queue). */
     int64_t ingest(const json::JsonValue &doc);
@@ -118,6 +146,17 @@ class AdaptiveEngine
 
     const AdaptationStats &adaptation() const { return adapt_stats; }
     const stats::WorkloadStats &workloadStats() const { return wstats; }
+
+    /**
+     * The adaptive-decision audit ring, oldest first.  Record 1 is the
+     * initial layout bind; each repartition appends one record.  The
+     * ring is bounded (kAuditCapacity) so a long-running server keeps
+     * only the most recent decisions.
+     */
+    std::vector<AuditRecord> auditTrail() const;
+
+    /** Ring capacity: decisions retained by auditTrail(). */
+    static constexpr size_t kAuditCapacity = 64;
 
     /**
      * Execution knobs, applied uniformly to every executor the engine
@@ -150,8 +189,10 @@ class AdaptiveEngine
     const engine::PlanCache &planCache() const { return plan_cache; }
 
   private:
-    void maybeRepartition();
-    void repartitionNow(std::vector<engine::Query> workload);
+    void maybeRepartition(const std::string &trigger);
+    void repartitionNow(std::vector<engine::Query> workload,
+                        std::string trigger);
+    void pushAudit(AuditRecord rec);
 
     engine::DataSet *data;
     Params prm;
@@ -172,6 +213,10 @@ class AdaptiveEngine
     stats::WorkloadStats wstats;
     stats::ChangeDetector detector;
     AdaptationStats adapt_stats;
+
+    mutable std::mutex audit_mutex;
+    std::deque<AuditRecord> audit_ring;
+    uint64_t audit_seq = 0;
 
     std::thread worker;
     std::atomic<bool> repartitioning{false};

@@ -26,7 +26,11 @@ Client::~Client()
 Client::Client(Client &&other) noexcept
     : fd(std::exchange(other.fd, -1)), in(std::move(other.in)),
       server_name(std::move(other.server_name)),
-      session_id(std::exchange(other.session_id, 0))
+      session_id(std::exchange(other.session_id, 0)),
+      max_feature_level(other.max_feature_level),
+      feature_level(
+          std::exchange(other.feature_level, net::kFeatureBase)),
+      trace_id(other.trace_id)
 {
 }
 
@@ -39,6 +43,10 @@ Client::operator=(Client &&other) noexcept
         in = std::move(other.in);
         server_name = std::move(other.server_name);
         session_id = std::exchange(other.session_id, 0);
+        max_feature_level = other.max_feature_level;
+        feature_level =
+            std::exchange(other.feature_level, net::kFeatureBase);
+        trace_id = other.trace_id;
     }
     return *this;
 }
@@ -56,6 +64,7 @@ Client::connect(const std::string &host, uint16_t port,
         return err;
 
     net::HelloBody hello;
+    hello.wireVersion = max_feature_level;
     hello.clientName = clientName;
     if (!sendFrame(net::FrameType::Hello, encodeHello(hello)))
         return "handshake send failed";
@@ -77,11 +86,16 @@ Client::connect(const std::string &host, uint16_t port,
         close();
         return "unexpected handshake response";
     }
-    if (ok.wireVersion != net::kWireVersion) {
+    // The server replies with the negotiated feature level: at most
+    // what we advertised, at least the base level.  Anything outside
+    // that window is a peer we cannot reason about.
+    if (ok.wireVersion < net::kFeatureBase ||
+        ok.wireVersion > max_feature_level) {
         close();
         return "server speaks wire version " +
                std::to_string(ok.wireVersion);
     }
+    feature_level = ok.wireVersion;
     server_name = ok.serverName;
     session_id = ok.sessionId;
     return "";
@@ -98,7 +112,12 @@ Client::query(const std::string &sql)
 
     net::QueryBody q;
     q.sql = sql;
-    if (!sendFrame(net::FrameType::Query, encodeQuery(q))) {
+    if (trace_id != 0 && feature_level >= net::kFeatureTrace) {
+        q.hasTraceId = true;
+        q.traceId = trace_id;
+    }
+    if (!sendFrame(net::FrameType::Query,
+                   encodeQuery(q, feature_level))) {
         r.error = "send failed (connection lost)";
         return r;
     }
@@ -141,8 +160,11 @@ Client::query(const std::string &sql)
         r.rows = std::move(body.rows);
         r.digest = body.digest;
         r.checksum = body.checksum;
-        r.execNs = body.execNs;
     }
+    r.execNs = body.execNs;
+    r.hasTraceId = body.hasTraceId;
+    r.traceId = body.traceId;
+    r.opStats = std::move(body.opStats);
     return r;
 }
 

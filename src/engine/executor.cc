@@ -35,6 +35,31 @@ cellDigest(AttrId attr, Slot s)
     return resultCellDigest(attr, s);
 }
 
+/** Accumulates scope wall time into a plain ns counter (RAII). */
+class PhaseTimer
+{
+  public:
+    explicit PhaseTimer(uint64_t &acc)
+        : acc(acc), t0(std::chrono::steady_clock::now())
+    {
+    }
+
+    ~PhaseTimer()
+    {
+        acc += static_cast<uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(
+                std::chrono::steady_clock::now() - t0)
+                .count());
+    }
+
+    PhaseTimer(const PhaseTimer &) = delete;
+    PhaseTimer &operator=(const PhaseTimer &) = delete;
+
+  private:
+    uint64_t &acc;
+    std::chrono::steady_clock::time_point t0;
+};
+
 /**
  * The plan-driven execution backend for one query.  All partition ids,
  * column offsets, and the driving table come pre-resolved from the
@@ -67,10 +92,23 @@ class Exec
     uint64_t obs_morsels = 0;          ///< morsel kernels dispatched
     uint64_t obs_blocks_scanned = 0;   ///< zone-map blocks scanned
     uint64_t obs_blocks_skipped = 0;   ///< zone-map blocks skipped
+    uint64_t obs_matches = 0;          ///< WHERE-clause matching oids
+    uint64_t obs_compressed[4] = {0, 0, 0, 0}; ///< eval paths taken
+
+    // Per-phase wall time, accumulated only on the top-level Exec (the
+    // public methods below never run on a forked lane — lanes execute
+    // range kernels directly), so each phase counts caller wall time
+    // including its scatter/merge.  join() calls matches() for its
+    // build side, so obs_filter_ns is included in obs_join_ns there.
+    uint64_t obs_project_ns = 0;
+    uint64_t obs_filter_ns = 0;
+    uint64_t obs_retrieve_ns = 0;
+    uint64_t obs_join_ns = 0;
 
     ResultSet
     project(const Query &)
     {
+        PhaseTimer phase(obs_project_ns);
         const MergeScanProjectOp &op = plan.project;
         if (op.tables.empty())
             return ResultSet{};
@@ -98,6 +136,35 @@ class Exec
      */
     std::vector<int64_t>
     matches(const Query &q)
+    {
+        PhaseTimer phase(obs_filter_ns);
+        std::vector<int64_t> m = matchesImpl(q);
+        obs_matches = m.size();
+        return m;
+    }
+
+    /** Retrieve all matches, morselized over the match list. */
+    ResultSet
+    retrieve(const Query &, const std::vector<int64_t> &matches)
+    {
+        PhaseTimer phase(obs_retrieve_ns);
+        DVP_TRACE_SPAN(retrieve_span, "retrieve", nullptr);
+        if (parallel() && matches.size() > morsel_rows) {
+            size_t nm = (matches.size() + morsel_rows - 1) / morsel_rows;
+            return concat(scatter<ResultSet>(
+                nm, [&](Exec &lane, size_t i) {
+                    size_t m0 = i * lane.morsel_rows;
+                    size_t n = std::min(lane.morsel_rows,
+                                        matches.size() - m0);
+                    return lane.retrieveRange(matches.data() + m0, n);
+                }));
+        }
+        return retrieveRange(matches.data(), matches.size());
+    }
+
+  private:
+    std::vector<int64_t>
+    matchesImpl(const Query &q)
     {
         DVP_TRACE_SPAN(scan_span, "scan", "condition scan");
         const Condition &c = q.cond;
@@ -154,27 +221,11 @@ class Exec
         panic("unhandled filter mode");
     }
 
-    /** Retrieve all matches, morselized over the match list. */
-    ResultSet
-    retrieve(const Query &, const std::vector<int64_t> &matches)
-    {
-        DVP_TRACE_SPAN(retrieve_span, "retrieve", nullptr);
-        if (parallel() && matches.size() > morsel_rows) {
-            size_t nm = (matches.size() + morsel_rows - 1) / morsel_rows;
-            return concat(scatter<ResultSet>(
-                nm, [&](Exec &lane, size_t i) {
-                    size_t m0 = i * lane.morsel_rows;
-                    size_t n = std::min(lane.morsel_rows,
-                                        matches.size() - m0);
-                    return lane.retrieveRange(matches.data() + m0, n);
-                }));
-        }
-        return retrieveRange(matches.data(), matches.size());
-    }
-
+  public:
     ResultSet
     join(const Query &q)
     {
+        PhaseTimer phase(obs_join_ns);
         invariant(q.joinLeftAttr != storage::kNoAttr &&
                       q.joinRightAttr != storage::kNoAttr,
                   "join query needs both ON columns");
@@ -606,6 +657,8 @@ class Exec
             obs_partition_touches += l.obs_partition_touches;
             obs_blocks_scanned += l.obs_blocks_scanned;
             obs_blocks_skipped += l.obs_blocks_skipped;
+            for (size_t i = 0; i < 4; ++i)
+                obs_compressed[i] += l.obs_compressed[i];
         }
     }
 
@@ -924,6 +977,7 @@ class Exec
                     cb, s0 - b * kZoneRows, s1 - b * kZoneRows, p,
                     t.zone(b, ucol), scratch_.data(), sel);
                 kernels::countCompressedEval(path);
+                ++obs_compressed[static_cast<size_t>(path)];
                 const storage::ColBlock &ob = t.sealedColumn(b, 0);
                 for (uint32_t i = 0; i < sel.n; ++i)
                     matches.push_back(storage::columnValue(
@@ -1064,15 +1118,35 @@ flushQueryMetrics(const Database &db, const Query &q, uint64_t ns,
 }
 #endif
 
+/** Copy one execution's merged lane counters into @p s. */
+void
+fillStats(QueryStats &s, const Exec<NullTracer> &exec,
+          const ResultSet &rs)
+{
+    s.rowsScanned = exec.obs_rows_scanned;
+    s.partitionTouches = exec.obs_partition_touches;
+    s.blocksScanned = exec.obs_blocks_scanned;
+    s.blocksSkipped = exec.obs_blocks_skipped;
+    s.matches = exec.obs_matches;
+    s.rowsOut = rs.rowCount();
+    s.morsels = exec.obs_morsels;
+    for (size_t i = 0; i < 4; ++i)
+        s.compressedEval[i] = exec.obs_compressed[i];
+    s.projectNs = exec.obs_project_ns;
+    s.filterNs = exec.obs_filter_ns;
+    s.retrieveNs = exec.obs_retrieve_ns;
+    s.joinNs = exec.obs_join_ns;
+}
+
 } // namespace
 
 const PhysicalPlan *
 Executor::bound(const Query &q, std::shared_ptr<const PhysicalPlan> &keep,
-                PhysicalPlan &local)
+                PhysicalPlan &local, bool *cache_hit)
 {
     DVP_TRACE_SPAN(plan_span, "plan", q.name.c_str());
     if (plan_cache != nullptr) {
-        keep = plan_cache->bind(*db, q);
+        keep = plan_cache->bind(*db, q, cache_hit);
         return keep.get();
     }
     local = bindPlan(*db, q);
@@ -1080,25 +1154,42 @@ Executor::bound(const Query &q, std::shared_ptr<const PhysicalPlan> &keep,
 }
 
 ResultSet
-Executor::run(const Query &q)
+Executor::run(const Query &q, QueryStats *stats)
 {
 #ifndef DVP_OBS_DISABLED
     DVP_TRACE_SPAN(query_span, "query", q.name.c_str());
-    auto t0 = std::chrono::steady_clock::now();
 #endif
+    auto t0 = std::chrono::steady_clock::now();
     std::shared_ptr<const PhysicalPlan> keep;
     PhysicalPlan local;
-    const PhysicalPlan *plan = bound(q, keep, local);
+    bool cache_hit = false;
+    const PhysicalPlan *plan = bound(q, keep, local, &cache_hit);
+    auto t1 = std::chrono::steady_clock::now();
     Exec<NullTracer> exec(*db, *plan, NullTracer{}, threads_,
                           morsel_rows, vectorized_);
     ResultSet rs = ops::runQuery(exec, q);
-#ifndef DVP_OBS_DISABLED
     auto ns = static_cast<uint64_t>(
         std::chrono::duration_cast<std::chrono::nanoseconds>(
             std::chrono::steady_clock::now() - t0)
             .count());
+#ifndef DVP_OBS_DISABLED
     flushQueryMetrics(*db, q, ns, exec);
 #endif
+    if (stats != nullptr) {
+        fillStats(*stats, exec, rs);
+        stats->execNs = ns;
+        stats->planNs = static_cast<uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(t1 -
+                                                                 t0)
+                .count());
+        stats->planSource = plan_cache == nullptr
+                                ? PlanSource::AdHoc
+                                : (cache_hit ? PlanSource::CacheHit
+                                             : PlanSource::CacheMiss);
+        stats->planEpoch = plan->epoch;
+        stats->layoutFingerprint = plan->layoutFingerprint;
+        stats->threads = threads_;
+    }
     return rs;
 }
 
@@ -1121,24 +1212,34 @@ Executor::run(const Query &q, perf::MemoryHierarchy &mh)
 }
 
 ResultSet
-Executor::execute(const PhysicalPlan &plan, const Query &q)
+Executor::execute(const PhysicalPlan &plan, const Query &q,
+                  QueryStats *stats)
 {
     invariant(plan.epoch == db->epoch(),
               "plan bound against a different database");
 #ifndef DVP_OBS_DISABLED
     DVP_TRACE_SPAN(query_span, "query", q.name.c_str());
-    auto t0 = std::chrono::steady_clock::now();
 #endif
+    auto t0 = std::chrono::steady_clock::now();
     Exec<NullTracer> exec(*db, plan, NullTracer{}, threads_,
                           morsel_rows, vectorized_);
     ResultSet rs = ops::runQuery(exec, q);
-#ifndef DVP_OBS_DISABLED
     auto ns = static_cast<uint64_t>(
         std::chrono::duration_cast<std::chrono::nanoseconds>(
             std::chrono::steady_clock::now() - t0)
             .count());
+#ifndef DVP_OBS_DISABLED
     flushQueryMetrics(*db, q, ns, exec);
 #endif
+    if (stats != nullptr) {
+        fillStats(*stats, exec, rs);
+        stats->execNs = ns;
+        stats->planNs = 0;
+        stats->planSource = PlanSource::PreBound;
+        stats->planEpoch = plan.epoch;
+        stats->layoutFingerprint = plan.layoutFingerprint;
+        stats->threads = threads_;
+    }
     return rs;
 }
 

@@ -35,6 +35,7 @@
 #include "engine/plan.hh"
 #include "engine/plan_cache.hh"
 #include "engine/query.hh"
+#include "engine/query_stats.hh"
 #include "engine/tracer.hh"
 
 namespace dvp::engine
@@ -93,8 +94,14 @@ class Executor
      */
     void setPlanCache(PlanCache *cache) { plan_cache = cache; }
 
-    /** Execute on the timing path (no simulation overhead). */
-    ResultSet run(const Query &q);
+    /**
+     * Execute on the timing path (no simulation overhead).  @p stats,
+     * when non-null, receives per-query execution statistics filled
+     * from the same merged lane counters that feed the dvp_* metrics
+     * (see query_stats.hh), so EXPLAIN ANALYZE numbers reconcile
+     * exactly with the exported counter deltas.
+     */
+    ResultSet run(const Query &q, QueryStats *stats = nullptr);
 
     /**
      * Execute while feeding every table access into @p mh.  Always
@@ -107,13 +114,18 @@ class Executor
      * Execute a pre-bound plan.  @p plan must have been bound against
      * this executor's Database (checked via the epoch stamp).
      */
-    ResultSet execute(const PhysicalPlan &plan, const Query &q);
+    ResultSet execute(const PhysicalPlan &plan, const Query &q,
+                      QueryStats *stats = nullptr);
 
   private:
-    /** Plan for @p q: cached when possible, else bound into @p local. */
+    /**
+     * Plan for @p q: cached when possible, else bound into @p local.
+     * @p cache_hit, when non-null, receives whether the plan came from
+     * the cache (false when no cache is attached).
+     */
     const PhysicalPlan *
     bound(const Query &q, std::shared_ptr<const PhysicalPlan> &keep,
-          PhysicalPlan &local);
+          PhysicalPlan &local, bool *cache_hit = nullptr);
 
     Database *db;
     size_t threads_;

@@ -16,11 +16,13 @@ PlanCache::fresh(const PhysicalPlan &p, const Database &db,
 }
 
 std::shared_ptr<const PhysicalPlan>
-PlanCache::bind(const Database &db, const Query &q)
+PlanCache::bind(const Database &db, const Query &q, bool *hit)
 {
     uint64_t sig = planSignature(q);
     std::vector<uint64_t> key = templateKey(q);
 
+    if (hit != nullptr)
+        *hit = false;
     bool newer_epoch_cached = false;
     {
         std::lock_guard<std::mutex> lock(mu);
@@ -31,6 +33,8 @@ PlanCache::bind(const Database &db, const Query &q)
                 ++st.hits;
                 ++it->second.uses;
                 DVP_COUNTER_INC("dvp_plan_cache_hits_total");
+                if (hit != nullptr)
+                    *hit = true;
                 return it->second.plan;
             }
             if (p.epoch <= db.epoch()) {

@@ -44,9 +44,12 @@ class PlanCache
      * fresh (same epoch, layout fingerprint, catalog width, template
      * key), a newly bound one otherwise.  Also exported as the
      * dvp_plan_cache_{hits,misses,invalidations}_total counters.
+     * @p hit, when non-null, receives whether the lookup was served
+     * from cache (per-query plan provenance for EXPLAIN ANALYZE).
      */
     std::shared_ptr<const PhysicalPlan> bind(const Database &db,
-                                             const Query &q);
+                                             const Query &q,
+                                             bool *hit = nullptr);
 
     /**
      * Cached-plan lookup without counter side effects (EXPLAIN's

@@ -162,11 +162,49 @@ decodeHelloOk(const std::string &payload, HelloOkBody &out)
     return r.exhausted();
 }
 
+namespace
+{
+
+/** Append one TLV entry: u8 tag + u32 length + value bytes. */
+void
+putTlv(Writer &w, uint8_t tag, const std::string &value)
+{
+    w.u8(tag);
+    w.str(value);
+}
+
+/**
+ * Consume the TLV extension block at the reader's tail, dispatching
+ * each known tag to @p handle(tag, value reader) and skipping unknown
+ * ones.  Returns false on a malformed block (truncated length).
+ */
+template <typename Fn>
+bool
+readTlvs(Reader &r, Fn handle)
+{
+    while (r.remaining() > 0) {
+        uint8_t tag = r.u8();
+        std::string value = r.str();
+        if (!r.ok())
+            return false;
+        Reader vr(value);
+        handle(tag, vr);
+    }
+    return r.exhausted();
+}
+
+} // namespace
+
 std::string
-encodeQuery(const QueryBody &b)
+encodeQuery(const QueryBody &b, uint32_t level)
 {
     Writer w;
     w.str(b.sql);
+    if (level >= kFeatureTrace && b.hasTraceId) {
+        Writer v;
+        v.u64(b.traceId);
+        putTlv(w, kExtTraceId, v.bytes());
+    }
     return w.bytes();
 }
 
@@ -175,7 +213,14 @@ decodeQuery(const std::string &payload, QueryBody &out)
 {
     Reader r(payload);
     out.sql = r.str();
-    return r.exhausted();
+    out.hasTraceId = false;
+    out.traceId = 0;
+    return readTlvs(r, [&out](uint8_t tag, Reader &v) {
+        if (tag == kExtTraceId) {
+            out.traceId = v.u64();
+            out.hasTraceId = v.ok();
+        }
+    });
 }
 
 std::string
@@ -197,7 +242,7 @@ decodeError(const std::string &payload, ErrorBody &out)
 }
 
 std::string
-encodeResult(const ResultBody &b)
+encodeResult(const ResultBody &b, uint32_t level)
 {
     Writer w;
     w.u8(static_cast<uint8_t>(b.kind));
@@ -222,6 +267,22 @@ encodeResult(const ResultBody &b)
     w.u64(b.digest);
     w.u64(b.checksum);
     w.u64(b.execNs);
+    if (level >= kFeatureTrace) {
+        if (b.hasTraceId) {
+            Writer v;
+            v.u64(b.traceId);
+            putTlv(w, kExtTraceId, v.bytes());
+        }
+        if (!b.opStats.empty()) {
+            Writer v;
+            v.u32(static_cast<uint32_t>(b.opStats.size()));
+            for (const auto &[key, value] : b.opStats) {
+                v.str(key);
+                v.u64(value);
+            }
+            putTlv(w, kExtOpStats, v.bytes());
+        }
+    }
     return w.bytes();
 }
 
@@ -275,7 +336,26 @@ decodeResult(const std::string &payload, ResultBody &out)
     out.digest = r.u64();
     out.checksum = r.u64();
     out.execNs = r.u64();
-    return r.exhausted();
+    out.hasTraceId = false;
+    out.traceId = 0;
+    out.opStats.clear();
+    return readTlvs(r, [&out, &payload](uint8_t tag, Reader &v) {
+        if (tag == kExtTraceId) {
+            out.traceId = v.u64();
+            out.hasTraceId = v.ok();
+        } else if (tag == kExtOpStats) {
+            uint32_t n = v.u32();
+            if (!v.ok() || n > payload.size())
+                return;
+            out.opStats.reserve(n);
+            for (uint32_t i = 0; i < n && v.ok(); ++i) {
+                std::string key = v.str();
+                uint64_t value = v.u64();
+                if (v.ok())
+                    out.opStats.emplace_back(std::move(key), value);
+            }
+        }
+    });
 }
 
 std::string

@@ -24,6 +24,18 @@
  * STATS -> STATS_RESULT exchanges, then CLOSE.  The server additionally
  * pushes ERROR frames for protocol violations and typed rejections
  * (SERVER_BUSY, SHUTTING_DOWN) — see server.hh for the session rules.
+ *
+ * Feature levels: the header version byte stays kWireVersion — body
+ * decoders require exact payload consumption, so new fields cannot be
+ * appended unconditionally.  Instead the HELLO exchange negotiates a
+ * *feature level*: the client advertises the highest level it speaks in
+ * HelloBody::wireVersion, the server replies min(client, kFeatureLevel)
+ * in HelloOkBody::wireVersion, and both sides emit the extra encoding
+ * only at the agreed level.  At kFeatureTrace (2), QUERY and RESULT
+ * bodies append a TLV extension block after the fixed fields — u8 tag +
+ * u32 length + value per entry; decoders skip unknown tags, so later
+ * levels can add tags without renegotiating.  Level-1 peers never see
+ * TLV bytes and their frames decode unchanged.
  */
 
 #ifndef DVP_NET_WIRE_HH
@@ -37,8 +49,22 @@
 namespace dvp::net
 {
 
-/** Protocol version spoken by this tree. */
+/** Protocol version spoken by this tree (the frame-header byte). */
 constexpr uint8_t kWireVersion = 1;
+
+/**
+ * Feature levels negotiated in the HELLO exchange (see the file
+ * comment).  kFeatureTrace adds trace-id and operator-summary TLVs to
+ * QUERY/RESULT bodies; kFeatureLevel is the highest level this tree
+ * speaks.
+ */
+constexpr uint32_t kFeatureBase = 1;
+constexpr uint32_t kFeatureTrace = 2;
+constexpr uint32_t kFeatureLevel = kFeatureTrace;
+
+/** TLV tags of the QUERY/RESULT extension block. */
+constexpr uint8_t kExtTraceId = 1; ///< u64 client-chosen trace id
+constexpr uint8_t kExtOpStats = 2; ///< u32 count + (str key, u64 value)*
 
 /** Header magic (little-endian on the wire). */
 constexpr uint16_t kMagic = 0xD59A;
@@ -183,6 +209,9 @@ class Reader
     /** True when the whole payload was consumed exactly. */
     bool exhausted() const { return ok_ && pos == n; }
 
+    /** Unconsumed bytes (0 after an overrun) — TLV loop guard. */
+    size_t remaining() const { return ok_ ? n - pos : 0; }
+
   private:
     void
     take(void *out, size_t bytes)
@@ -261,10 +290,14 @@ struct HelloOkBody
     uint64_t sessionId = 0;
 };
 
-/** QUERY: one SQL statement. */
+/** QUERY: one SQL statement (+ optional trace-id TLV at level >= 2). */
 struct QueryBody
 {
     std::string sql;
+
+    /** Client-generated trace id propagated into server spans. */
+    bool hasTraceId = false;
+    uint64_t traceId = 0;
 };
 
 /** ERROR: typed failure. */
@@ -301,6 +334,11 @@ struct ResultBody
     uint64_t digest = 0;
     uint64_t checksum = 0;
     uint64_t execNs = 0;
+
+    /** Level >= 2 TLVs: trace-id echo + per-operator summary. */
+    bool hasTraceId = false;
+    uint64_t traceId = 0;
+    std::vector<std::pair<std::string, uint64_t>> opStats;
 };
 
 /** STATS_RESULT: ordered key -> value counters. */
@@ -315,13 +353,22 @@ bool decodeHello(const std::string &payload, HelloBody &out);
 std::string encodeHelloOk(const HelloOkBody &b);
 bool decodeHelloOk(const std::string &payload, HelloOkBody &out);
 
-std::string encodeQuery(const QueryBody &b);
+/**
+ * QUERY/RESULT codecs take the session's negotiated feature level:
+ * encoders emit the TLV extension block only at kFeatureTrace or
+ * later (level-1 output is byte-identical to the pre-TLV encoding);
+ * decoders accept TLVs regardless, so a mixed-level pipe fails only
+ * in the direction that actually matters (old decoder, new bytes).
+ */
+std::string encodeQuery(const QueryBody &b,
+                        uint32_t level = kFeatureBase);
 bool decodeQuery(const std::string &payload, QueryBody &out);
 
 std::string encodeError(const ErrorBody &b);
 bool decodeError(const std::string &payload, ErrorBody &out);
 
-std::string encodeResult(const ResultBody &b);
+std::string encodeResult(const ResultBody &b,
+                         uint32_t level = kFeatureBase);
 bool decodeResult(const std::string &payload, ResultBody &out);
 
 std::string encodeStats(const StatsBody &b);

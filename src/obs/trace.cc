@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <chrono>
 
+#include "obs/metrics.hh"
+
 namespace dvp::obs
 {
 
@@ -100,12 +102,17 @@ Tracer::endSpan(uint64_t id, uint64_t parent, uint64_t startNs,
     std::strncpy(rec.name, name, sizeof(rec.name) - 1);
     std::strncpy(rec.detail, detail, sizeof(rec.detail) - 1);
 
-    std::lock_guard<std::mutex> lock(mu);
-    if (ring.empty())
-        return; // disabled before ever enabled
-    ring[head] = rec;
-    head = (head + 1) % ring.size();
-    ++total;
+    {
+        std::lock_guard<std::mutex> lock(mu);
+        if (ring.empty())
+            return; // disabled before ever enabled
+        if (total >= ring.size())
+            DVP_COUNTER_INC("dvp_trace_dropped_total");
+        ring[head] = rec;
+        head = (head + 1) % ring.size();
+        ++total;
+    }
+    DVP_COUNTER_INC("dvp_trace_spans_total");
 }
 
 std::vector<SpanRecord>

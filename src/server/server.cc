@@ -1,8 +1,11 @@
 #include "server/server.hh"
 
+#include <algorithm>
 #include <cerrno>
 #include <chrono>
+#include <cinttypes>
 #include <csignal>
+#include <cstdio>
 #include <cstring>
 #include <fcntl.h>
 #include <fstream>
@@ -103,6 +106,9 @@ struct Server::Session
     uint64_t id = 0;
     net::FrameAssembler in;
     bool helloDone = false;
+
+    /** Negotiated feature level (min of both sides; see wire.hh). */
+    uint32_t featureLevel = net::kFeatureBase;
     int64_t lastActivityMs = 0;
     std::atomic<bool> dead{false};
     std::mutex write_mu;
@@ -448,7 +454,7 @@ Server::handleFrame(const std::shared_ptr<Session> &s,
             closeSession(s);
             return;
         }
-        if (hello.wireVersion != net::kWireVersion) {
+        if (hello.wireVersion < net::kFeatureBase) {
             s->writeError(net::ErrorCode::Protocol,
                           "unsupported wire version " +
                               std::to_string(hello.wireVersion));
@@ -456,7 +462,13 @@ Server::handleFrame(const std::shared_ptr<Session> &s,
             return;
         }
         s->helloDone = true;
+        // Negotiate down to the highest level both sides speak; a
+        // pre-TLV client (level 1) gets level-1 frames, byte-identical
+        // to the old encoding.
+        s->featureLevel =
+            std::min(hello.wireVersion, net::kFeatureLevel);
         net::HelloOkBody ok;
+        ok.wireVersion = s->featureLevel;
         ok.serverName = cfg.name;
         ok.sessionId = s->id;
         s->writeFrame(net::FrameType::HelloOk, encodeHelloOk(ok));
@@ -505,7 +517,8 @@ Server::handleFrame(const std::shared_ptr<Session> &s,
         }
         {
             std::lock_guard<std::mutex> lock(queue_mu);
-            queue.push_back(Task{s, std::move(q.sql), nowNs()});
+            queue.push_back(Task{s, std::move(q.sql), nowNs(),
+                                 q.hasTraceId, q.traceId});
             DVP_GAUGE_SET("dvp_server_queue_depth",
                           static_cast<int64_t>(queue.size()));
         }
@@ -558,10 +571,105 @@ Server::buildStats()
         // Shared statement lock: LOAD mutates the document vector the
         // doc count reads.
         std::shared_lock<std::shared_mutex> lock(statement_mu);
-        body.entries.emplace_back("docs",
-                                  engine->snapshot()->docCount());
+        auto snap = engine->snapshot();
+        body.entries.emplace_back("docs", snap->docCount());
+        body.entries.emplace_back("layout_epoch", snap->epoch());
+    }
+
+    // Adaptive-decision audit: ring occupancy plus the most recent
+    // record, flattened into counters (costs scaled to milli-units to
+    // fit the u64 schema).
+    std::vector<adaptive::AuditRecord> trail = engine->auditTrail();
+    body.entries.emplace_back("audit_records", trail.size());
+    if (!trail.empty()) {
+        const adaptive::AuditRecord &last = trail.back();
+        body.entries.emplace_back("audit_last_seq", last.seq);
+        body.entries.emplace_back("audit_last_tables", last.tables);
+        body.entries.emplace_back("audit_last_iterations",
+                                  last.iterations);
+        body.entries.emplace_back("audit_last_moves", last.moves);
+        body.entries.emplace_back(
+            "audit_last_initial_cost_milli",
+            static_cast<uint64_t>(last.initialCost * 1000.0));
+        body.entries.emplace_back(
+            "audit_last_final_cost_milli",
+            static_cast<uint64_t>(last.finalCost * 1000.0));
+        body.entries.emplace_back("audit_last_layout_fingerprint",
+                                  last.layoutFingerprint);
+        body.entries.emplace_back("audit_last_partitioner_ns",
+                                  last.partitionerNs);
+        body.entries.emplace_back("audit_last_build_ns", last.buildNs);
+        body.entries.emplace_back("audit_last_swap_ns", last.swapNs);
+        body.entries.emplace_back("audit_last_docs_caught_up",
+                                  last.docsCaughtUp);
     }
     return body;
+}
+
+namespace
+{
+
+/** Minimal JSON string escape for statement text in NDJSON records. */
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size() + 2);
+    for (char ch : s) {
+        switch (ch) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\r': out += "\\r"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(ch) < 0x20) {
+                char hex[8];
+                std::snprintf(hex, sizeof(hex), "\\u%04x",
+                              static_cast<unsigned>(
+                                  static_cast<unsigned char>(ch)));
+                out += hex;
+            } else {
+                out += ch;
+            }
+        }
+    }
+    return out;
+}
+
+} // namespace
+
+void
+Server::logSlowQuery(const Task &task, const sql::RunResult &r,
+                     uint64_t layoutEpoch)
+{
+    std::string line = "{\"statement\":\"" + jsonEscape(task.sql) +
+                       "\"";
+    if (task.hasTraceId) {
+        char id[32];
+        std::snprintf(id, sizeof(id), "%016" PRIx64, task.traceId);
+        line += std::string(",\"trace_id\":\"") + id + "\"";
+    }
+    line += ",\"exec_ns\":" +
+            std::to_string(static_cast<uint64_t>(r.seconds * 1e9));
+    line += ",\"layout_epoch\":" + std::to_string(layoutEpoch);
+    if (r.hasStats) {
+        line += ",\"stats\":{";
+        bool first = true;
+        for (const auto &[key, value] : r.stats.summary()) {
+            if (!first)
+                line += ",";
+            first = false;
+            line += "\"" + key + "\":" + std::to_string(value);
+        }
+        line += "}";
+    }
+    line += "}\n";
+
+    std::lock_guard<std::mutex> lock(slow_mu);
+    std::ofstream out(cfg.slowLogPath, std::ios::app);
+    if (out)
+        out << line;
 }
 
 // ---------------------------------------------------------------------
@@ -633,7 +741,16 @@ Server::executeTask(Task &task)
 
     sql::RunResult r;
     {
-        DVP_TRACE_SPAN(exec_span, "execute", nullptr);
+        // Client-propagated trace id, stamped into the span so a wire
+        // request can be matched against the server-side trace dump.
+        char trace_detail[32];
+        const char *detail = nullptr;
+        if (task.hasTraceId) {
+            std::snprintf(trace_detail, sizeof(trace_detail),
+                          "trace=%016" PRIx64, task.traceId);
+            detail = trace_detail;
+        }
+        DVP_TRACE_SPAN(exec_span, "execute", detail);
         if (looksLikeLoad(task.sql)) {
             std::unique_lock<std::shared_mutex> lock(statement_mu);
             r = sql::runStatement(*engine, task.sql, load);
@@ -675,11 +792,24 @@ Server::executeTask(Task &task)
             }
             body.digest = r.rows.digest();
             body.checksum = r.rows.checksum;
-            body.execNs =
-                static_cast<uint64_t>(r.seconds * 1e9);
         }
-        task.session->writeFrame(net::FrameType::Result,
-                                 encodeResult(body));
+        body.execNs = static_cast<uint64_t>(r.seconds * 1e9);
+        // Level-2 extras: echo the trace id and ship the per-operator
+        // summary.  encodeResult drops both on level-1 sessions, so a
+        // pre-TLV client still decodes the frame unchanged.
+        body.hasTraceId = task.hasTraceId;
+        body.traceId = task.traceId;
+        if (r.hasStats)
+            body.opStats = r.stats.summary();
+        task.session->writeFrame(
+            net::FrameType::Result,
+            encodeResult(body, task.session->featureLevel));
+
+        if (cfg.slowMs > 0 && !cfg.slowLogPath.empty() &&
+            r.seconds * 1000.0 >= static_cast<double>(cfg.slowMs)) {
+            DVP_COUNTER_INC("dvp_server_slow_queries_total");
+            logSlowQuery(task, r, r.stats.planEpoch);
+        }
     }
 
     DVP_HISTOGRAM_OBSERVE("dvp_server_request_ns",

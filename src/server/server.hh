@@ -54,6 +54,7 @@
 
 #include "adaptive/adaptive_engine.hh"
 #include "net/wire.hh"
+#include "sql/run.hh"
 
 namespace dvp::server
 {
@@ -85,6 +86,14 @@ struct Config
 
     /** Server name reported in HELLO_OK. */
     std::string name = "dvpd";
+
+    /**
+     * Slow-query log: a statement slower than slowMs appends one
+     * NDJSON record (statement, trace id, operator stats, layout
+     * epoch) to slowLogPath.  0 or an empty path disables it.
+     */
+    uint32_t slowMs = 0;
+    std::string slowLogPath;
 };
 
 /** Aggregate counters mirrored by the dvp_server_* metrics. */
@@ -167,6 +176,8 @@ class Server
         std::shared_ptr<Session> session;
         std::string sql;
         uint64_t enqueuedNs = 0;
+        bool hasTraceId = false; ///< client sent a trace-id TLV
+        uint64_t traceId = 0;
     };
 
     void eventLoop();
@@ -182,6 +193,8 @@ class Server
 
     void executeTask(Task &task);
     net::StatsBody buildStats();
+    void logSlowQuery(const Task &task, const sql::RunResult &r,
+                      uint64_t layoutEpoch);
 
     adaptive::AdaptiveEngine *engine;
     Config cfg;
@@ -221,6 +234,8 @@ class Server
 
     std::mutex hook_mu;
     std::function<void()> execute_hook;
+
+    std::mutex slow_mu; ///< serializes slow-query log appends
 
     std::mutex stop_mu; ///< serializes stop() callers
 };

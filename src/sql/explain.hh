@@ -13,6 +13,7 @@
 #include "engine/database.hh"
 #include "engine/plan_cache.hh"
 #include "engine/query.hh"
+#include "engine/query_stats.hh"
 
 namespace dvp::sql
 {
@@ -29,6 +30,21 @@ namespace dvp::sql
  */
 std::string explain(const engine::Database &db, const engine::Query &q,
                     const engine::PlanCache *cache = nullptr);
+
+/**
+ * EXPLAIN ANALYZE body: the bound plan (as explain()) followed by an
+ * execution section rendered from @p stats — per-operator wall times,
+ * rows scanned/matched/returned, zone-map block counts, the
+ * compressed-eval path mix, morsel/thread counts, and plan provenance.
+ * @p rows is the digest-verified result the numbers describe; its row
+ * count and checksum are printed so the section reconciles against the
+ * result the client received.  The caller executes the query first
+ * (through AdaptiveEngine::execute(q, &stats)) and passes the outcome.
+ */
+std::string explainAnalyze(const engine::Database &db,
+                           const engine::Query &q,
+                           const engine::QueryStats &stats,
+                           const engine::ResultSet &rows);
 
 } // namespace dvp::sql
 

@@ -31,9 +31,16 @@ class Parser
     {
         if (atKeyword("EXPLAIN")) {
             advance();
+            bool analyze = false;
+            if (atKeyword("ANALYZE")) {
+                advance();
+                analyze = true;
+            }
             ParseResult inner = parseSelect();
-            if (inner.ok)
+            if (inner.ok) {
                 inner.kind = StatementKind::Explain;
+                inner.analyze = analyze;
+            }
             return inner;
         }
         if (atKeyword("LOAD"))

@@ -52,6 +52,7 @@ struct ParseResult
     size_t errorPos = 0;
 
     StatementKind kind = StatementKind::Query;
+    bool analyze = false;  ///< EXPLAIN ANALYZE (execute, then render)
     engine::Query query;   ///< for Query/Explain statements
     std::string loadFile;  ///< for Load statements
     std::string table;     ///< FROM/INTO table name (informational)

@@ -49,6 +49,25 @@ runStatement(adaptive::AdaptiveEngine &eng, const std::string &text,
         res.ok = true;
         res.kind = RunResult::Kind::Message;
         res.query = parsed.query;
+        if (parsed.analyze) {
+            // Execute for real (workload stats and the plan cache see
+            // the query exactly as a plain SELECT would), then render
+            // the plan with the measured execution section.
+            Timer t;
+            engine::ResultSet rows =
+                eng.execute(parsed.query, &res.stats);
+            res.seconds = t.seconds();
+            res.hasStats = true;
+            // The snapshot may have been swapped by the execution's own
+            // repartition trigger; render against the epoch that ran.
+            std::shared_ptr<engine::Database> ran =
+                res.stats.planEpoch == db->epoch() ? db
+                                                   : eng.snapshot();
+            res.message = std::string(head) +
+                          explainAnalyze(*ran, parsed.query, res.stats,
+                                         rows);
+            return res;
+        }
         res.message = std::string(head) +
                       explain(*db, parsed.query, &eng.planCache());
         return res;
@@ -56,8 +75,9 @@ runStatement(adaptive::AdaptiveEngine &eng, const std::string &text,
 
       case StatementKind::Query: {
         Timer t;
-        res.rows = eng.execute(parsed.query);
+        res.rows = eng.execute(parsed.query, &res.stats);
         res.seconds = t.seconds();
+        res.hasStats = true;
         res.ok = true;
         res.kind = RunResult::Kind::Rows;
         res.query = std::move(parsed.query);

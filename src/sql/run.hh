@@ -65,6 +65,16 @@ struct RunResult
     engine::ResultSet rows; ///< Kind::Rows payload
     std::string message;    ///< Kind::Message payload
     double seconds = 0;     ///< execution wall time (Rows only)
+
+    /**
+     * Per-query execution statistics, filled whenever the statement
+     * actually executed (SELECT and EXPLAIN ANALYZE) — the operator
+     * summary front ends ship over the wire and the slow-query log
+     * records.  hasStats distinguishes a real execution from the
+     * zero-initialized default (plain EXPLAIN, LOAD).
+     */
+    engine::QueryStats stats;
+    bool hasStats = false;
 };
 
 /**

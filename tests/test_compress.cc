@@ -663,6 +663,8 @@ TEST(CompressedAdaptive, SurvivesRepartitionSwap)
     nobench::Config cfg;
     cfg.numDocs = std::min<size_t>(testDocs(), 4096 + 512);
     cfg.seed = 77;
+    if (cfg.numDocs < kZoneRows * 2)
+        GTEST_SKIP() << "too few docs to seal a block";
     DataSet data = nobench::generateDataSet(cfg);
     nobench::QuerySet qs(data, cfg);
     Rng rng(79);
@@ -805,6 +807,8 @@ TEST(NullPredicates, ZonePruningSkipsDecidedBlocks)
 TEST(Observability, FootprintGaugesPublished)
 {
     CompressWorld &w = cworld();
+    if (w.cfg.numDocs < kZoneRows * 2)
+        GTEST_SKIP() << "too few docs to seal a block";
     auto &reg = obs::Registry::global();
 
     // Re-publish (construction already did once) and check both forms.

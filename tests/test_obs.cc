@@ -176,6 +176,30 @@ TEST(Tracer, RingOverflowKeepsNewestAndCountsDropped)
     EXPECT_EQ(t.dropped(), 0u);
 }
 
+TEST(Tracer, SpanVolumeReachesTheCounterRegistry)
+{
+    // Satellite counters: every committed span bumps
+    // dvp_trace_spans_total, every overwrite bumps
+    // dvp_trace_dropped_total — so a Prometheus scrape can watch span
+    // volume and ring pressure without pulling the trace dump.
+    auto &reg = Registry::global();
+    uint64_t spans0 = reg.counter("dvp_trace_spans_total").value();
+    uint64_t dropped0 = reg.counter("dvp_trace_dropped_total").value();
+
+    Tracer t;
+    t.enable(/*capacity=*/4);
+    for (int i = 0; i < 10; ++i) {
+        uint64_t id = t.beginSpan();
+        t.endSpan(id, 0, Tracer::nowNs(), "tick", "");
+    }
+
+    EXPECT_EQ(reg.counter("dvp_trace_spans_total").value() - spans0,
+              10u);
+    EXPECT_EQ(reg.counter("dvp_trace_dropped_total").value() -
+                  dropped0,
+              6u);
+}
+
 TEST(Tracer, SpanNestingRecordsParentChild)
 {
     Tracer &t = Tracer::global();

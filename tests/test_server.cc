@@ -36,6 +36,7 @@
 #include "nobench/workload.hh"
 #include "obs/export.hh"
 #include "obs/metrics.hh"
+#include "server/http.hh"
 #include "server/server.hh"
 #include "sql/run.hh"
 
@@ -845,6 +846,214 @@ TEST_F(ServerWorld, ServerMetricsReachThePrometheusExporter)
     // Gauges exist even when they currently read zero.
     EXPECT_NE(text.find("dvp_server_sessions_active"),
               std::string::npos);
+}
+
+// ---------------------------------------------------------------------
+// Request-scoped observability over the wire.
+// ---------------------------------------------------------------------
+
+TEST_F(ServerWorld, TraceIdAndOperatorSummaryPropagate)
+{
+    World w;
+    server::Server srv(*w.engine, {});
+    ASSERT_EQ(srv.start(), "");
+
+    client::Client c;
+    c.setTraceId(0xabad1deaf00dfeedull);
+    ASSERT_EQ(c.connect("127.0.0.1", srv.port(), "traced"), "");
+    // Both ends speak level 2, so the handshake lands there.
+    EXPECT_EQ(c.featureLevel(), net::kFeatureTrace);
+
+    client::Result r =
+        c.query("SELECT * FROM t WHERE num BETWEEN 1000 AND 1999");
+    ASSERT_TRUE(r.ok) << r.error;
+    // The server echoes the trace id and ships the operator summary.
+    EXPECT_TRUE(r.hasTraceId);
+    EXPECT_EQ(r.traceId, 0xabad1deaf00dfeedull);
+    EXPECT_GT(r.execNs, 0u);
+    ASSERT_FALSE(r.opStats.empty());
+    auto get = [&](const std::string &k) -> uint64_t {
+        for (const auto &[key, v] : r.opStats)
+            if (key == k)
+                return v;
+        ADD_FAILURE() << "missing opStats key " << k;
+        return 0;
+    };
+    EXPECT_EQ(get("rows_out"), r.rows.size());
+    EXPECT_GT(get("rows_scanned"), 0u);
+
+    // Clearing the trace id stops the echo but keeps the summary.
+    c.setTraceId(0);
+    client::Result r2 = c.query("SELECT str1, num FROM t");
+    ASSERT_TRUE(r2.ok) << r2.error;
+    EXPECT_FALSE(r2.hasTraceId);
+    EXPECT_FALSE(r2.opStats.empty());
+
+    c.close();
+    srv.stop();
+}
+
+TEST_F(ServerWorld, LegacyClientWithoutTlvSupportStillWorks)
+{
+    // Compat: a pre-TLV client advertises level 1; the session must
+    // degrade to the legacy encoding and complete queries unchanged.
+    World w;
+    server::Server srv(*w.engine, {});
+    ASSERT_EQ(srv.start(), "");
+
+    client::Client legacy;
+    legacy.setMaxFeatureLevel(net::kFeatureBase);
+    legacy.setTraceId(123); // must be ignored at level 1
+    ASSERT_EQ(legacy.connect("127.0.0.1", srv.port(), "old"), "");
+    EXPECT_EQ(legacy.featureLevel(), net::kFeatureBase);
+
+    client::Result r =
+        legacy.query("SELECT * FROM t WHERE num BETWEEN 1000 AND 1999");
+    ASSERT_TRUE(r.ok) << r.error;
+    EXPECT_FALSE(r.hasTraceId);
+    EXPECT_TRUE(r.opStats.empty());
+
+    sql::RunResult local = sql::runStatement(
+        *w.engine, "SELECT * FROM t WHERE num BETWEEN 1000 AND 1999");
+    ASSERT_TRUE(local.ok);
+    EXPECT_EQ(r.digest, local.rows.digest());
+    EXPECT_EQ(r.rows.size(), local.rows.rowCount());
+
+    legacy.close();
+    srv.stop();
+}
+
+TEST_F(ServerWorld, StatsExposeAdaptiveAuditTrail)
+{
+    World w;
+    server::Server srv(*w.engine, {});
+    ASSERT_EQ(srv.start(), "");
+
+    client::Client c;
+    ASSERT_EQ(c.connect("127.0.0.1", srv.port()), "");
+    client::Stats st = c.stats();
+    ASSERT_TRUE(st.ok) << st.error;
+
+    // Construction recorded the initial partitioning decision.
+    EXPECT_GE(st.get("audit_records"), 1u);
+    EXPECT_GE(st.get("audit_last_seq"), 1u);
+    EXPECT_GT(st.get("audit_last_tables"), 0u);
+    EXPECT_EQ(st.get("audit_last_layout_fingerprint"),
+              w.engine->snapshot()->layoutFingerprint());
+    EXPECT_EQ(st.get("layout_epoch"), w.engine->snapshot()->epoch());
+
+    c.close();
+    srv.stop();
+}
+
+// ---------------------------------------------------------------------
+// HTTP scrape endpoint.
+// ---------------------------------------------------------------------
+
+namespace
+{
+
+/** Blocking one-shot HTTP GET; returns the raw response bytes. */
+std::string
+httpGet(uint16_t port, const std::string &target)
+{
+    std::string err;
+    int fd = net::connectTcp("127.0.0.1", port, 2000, &err);
+    if (fd < 0)
+        return "connect failed: " + err;
+    std::string req = "GET " + target +
+                      " HTTP/1.1\r\nHost: localhost\r\n"
+                      "Connection: close\r\n\r\n";
+    net::sendAll(fd, req.data(), req.size());
+    std::string resp;
+    char buf[4096];
+    long got;
+    while ((got = net::recvSome(fd, buf, sizeof(buf))) > 0)
+        resp.append(buf, static_cast<size_t>(got));
+    net::closeFd(fd);
+    return resp;
+}
+
+} // namespace
+
+TEST(HttpEndpoint, MetricsAndHealthz)
+{
+    server::HttpServer http((server::HttpConfig()));
+    ASSERT_EQ(http.start(), "");
+    ASSERT_GT(http.port(), 0);
+
+    // Seed at least one counter so the exposition is non-trivial.
+    DVP_COUNTER_INC("dvp_http_test_counter_total");
+
+    std::string metrics = httpGet(http.port(), "/metrics");
+    EXPECT_NE(metrics.find("HTTP/1.1 200 OK"), std::string::npos);
+    EXPECT_NE(metrics.find("text/plain; version=0.0.4"),
+              std::string::npos);
+    EXPECT_NE(metrics.find("# TYPE dvp_http_test_counter_total "
+                           "counter"),
+              std::string::npos);
+
+    std::string health = httpGet(http.port(), "/healthz");
+    EXPECT_NE(health.find("HTTP/1.1 200 OK"), std::string::npos);
+    EXPECT_NE(health.find("ok"), std::string::npos);
+
+    std::string missing = httpGet(http.port(), "/nope");
+    EXPECT_NE(missing.find("HTTP/1.1 404"), std::string::npos);
+
+    EXPECT_GE(http.requestsServed(), 3u);
+    http.stop();
+    EXPECT_FALSE(http.running());
+}
+
+// ---------------------------------------------------------------------
+// Slow-query log.
+// ---------------------------------------------------------------------
+
+TEST_F(ServerWorld, SlowQueryLogWritesNdjsonRecords)
+{
+    World w;
+    std::string path = "slow_query_test.ndjson";
+    std::remove(path.c_str());
+
+    server::Config scfg;
+    scfg.slowMs = 1;
+    scfg.slowLogPath = path;
+    server::Server srv(*w.engine, scfg);
+    ASSERT_EQ(srv.start(), "");
+
+    client::Client c;
+    c.setTraceId(0x5105105105105105ull);
+    ASSERT_EQ(c.connect("127.0.0.1", srv.port()), "");
+
+    // The self-join materializes one pair per document — heavy enough
+    // to cross a 1 ms threshold; retry a few times to be safe.
+    const std::string join =
+        "SELECT * FROM t AS l INNER JOIN t AS r "
+        "ON l.nested_obj.str = r.str1 "
+        "WHERE l.num BETWEEN 0 AND 999999";
+    std::string line;
+    for (int attempt = 0; attempt < 20 && line.empty(); ++attempt) {
+        ASSERT_TRUE(c.query(join).ok);
+        std::ifstream in(path);
+        std::getline(in, line);
+    }
+    c.close();
+    srv.stop();
+
+    ASSERT_FALSE(line.empty())
+        << "no slow-query record after 20 join executions";
+    // One NDJSON object per line with the documented fields.
+    EXPECT_EQ(line.front(), '{');
+    EXPECT_EQ(line.back(), '}');
+    EXPECT_NE(line.find("\"statement\":\"SELECT * FROM t AS l"),
+              std::string::npos);
+    EXPECT_NE(line.find("\"trace_id\":\"5105105105105105\""),
+              std::string::npos);
+    EXPECT_NE(line.find("\"exec_ns\":"), std::string::npos);
+    EXPECT_NE(line.find("\"layout_epoch\":"), std::string::npos);
+    EXPECT_NE(line.find("\"stats\":{"), std::string::npos);
+    EXPECT_NE(line.find("\"rows_out\":"), std::string::npos);
+    std::remove(path.c_str());
 }
 
 } // namespace
