@@ -2,10 +2,15 @@
  * dvp_client — command-line client for a running dvpd server.
  *
  *   dvp_client [--host H] [--port P] [--stats] [--trace-id HEX]
- *              [--legacy] [SQL ...]
+ *              [--legacy] [--exec FILE|-] [SQL ...]
  *
  * Each positional argument is one SQL statement, executed in order on
  * a single connection; rows print as tab-separated text with a header.
+ * --exec reads additional statements from FILE (or stdin with "-"),
+ * one per line — blank lines and lines starting with '#' or "--" are
+ * skipped — so bulk INSERT scripts can be piped at a server without
+ * shell-quoting every document.  File statements run after the
+ * positional ones.
  * --stats fetches and pretty-prints the server's counters after the
  * statements (or alone), grouping the adaptive-decision audit fields.
  * --trace-id attaches a client-chosen trace id to every statement
@@ -17,6 +22,8 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
+#include <iostream>
 #include <string>
 #include <vector>
 
@@ -78,6 +85,29 @@ printExtras(const client::Result &r)
     }
 }
 
+/**
+ * Append statements from @p in, one per line; blank lines and '#'/"--"
+ * comment lines are skipped.  Returns how many were added.
+ */
+size_t
+readStatements(std::istream &in, std::vector<std::string> &out)
+{
+    size_t added = 0;
+    std::string line;
+    while (std::getline(in, line)) {
+        size_t b = line.find_first_not_of(" \t\r");
+        if (b == std::string::npos)
+            continue;
+        size_t e = line.find_last_not_of(" \t\r");
+        std::string stmt = line.substr(b, e - b + 1);
+        if (stmt[0] == '#' || stmt.rfind("--", 0) == 0)
+            continue;
+        out.push_back(std::move(stmt));
+        ++added;
+    }
+    return added;
+}
+
 /** Pretty server-counter table, audit fields grouped separately. */
 void
 printStats(const client::Stats &s)
@@ -110,6 +140,7 @@ main(int argc, char **argv)
     bool want_stats = false;
     bool legacy = false;
     uint64_t trace_id = 0;
+    std::string exec_path;
     std::vector<std::string> statements;
 
     for (int i = 1; i < argc; ++i) {
@@ -125,13 +156,28 @@ main(int argc, char **argv)
             legacy = true;
         else if (a == "--trace-id" && i + 1 < argc)
             trace_id = std::strtoull(argv[++i], nullptr, 16);
+        else if (a == "--exec" && i + 1 < argc)
+            exec_path = argv[++i];
         else
             statements.push_back(a);
+    }
+    if (!exec_path.empty()) {
+        if (exec_path == "-") {
+            readStatements(std::cin, statements);
+        } else {
+            std::ifstream in(exec_path);
+            if (!in) {
+                std::fprintf(stderr, "cannot open '%s'\n",
+                             exec_path.c_str());
+                return 1;
+            }
+            readStatements(in, statements);
+        }
     }
     if (statements.empty() && !want_stats) {
         std::fprintf(stderr,
                      "usage: %s [--host H] [--port P] [--stats] "
-                     "[--trace-id HEX] [--legacy] "
+                     "[--trace-id HEX] [--legacy] [--exec FILE|-] "
                      "\"SELECT ...\" ...\n",
                      argv[0]);
         return 2;

@@ -18,6 +18,9 @@
  *     --max-inflight N      admission watermark     (default 64)
  *     --idle-timeout-ms N   reap idle sessions; 0 = never (default 0)
  *     --allow-load          permit LOAD DATA of server-local files
+ *     --allow-insert        permit INSERT statements (writes go to the
+ *                           engine's delta store; readers keep their
+ *                           snapshot)
  *     --threads N           executor lanes per query (default 1)
  *     --http-port P         serve GET /metrics and /healthz over HTTP
  *                           (0 = ephemeral; omit to disable)
@@ -61,7 +64,8 @@ usage(const char *argv0)
                  "usage: %s [--gen N | --load FILE] [--host H] "
                  "[--port P] [--port-file FILE] [--workers N] "
                  "[--max-inflight N] [--idle-timeout-ms N] "
-                 "[--allow-load] [--threads N] [--http-port P] "
+                 "[--allow-load] [--allow-insert] [--threads N] "
+                 "[--http-port P] "
                  "[--http-port-file FILE] [--slow-ms N] "
                  "[--slow-query-log FILE] [--audit] [--metrics FILE] "
                  "[--trace FILE]\n",
@@ -117,6 +121,8 @@ main(int argc, char **argv)
                 std::strtol(next("--idle-timeout-ms"), nullptr, 10));
         else if (a == "--allow-load")
             cfg.allowLoad = true;
+        else if (a == "--allow-insert")
+            cfg.allowInsert = true;
         else if (a == "--threads")
             exec_threads =
                 std::strtoull(next("--threads"), nullptr, 10);

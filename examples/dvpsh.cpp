@@ -75,6 +75,55 @@ installSignalHandlers()
     sigaction(SIGTERM, &sa, nullptr);
 }
 
+/**
+ * Split one input line into statements at top-level semicolons.
+ * Quote-aware: ';' inside a single- or double-quoted literal (with
+ * doubled-quote escapes, matching the SQL lexer) never splits, so
+ * `INSERT INTO nobench VALUES ('{"a": 1}'); SELECT ...` round-trips.
+ * Empty segments are dropped; a line with no semicolon comes back as
+ * one statement.
+ */
+std::vector<std::string>
+splitStatements(const std::string &line)
+{
+    std::vector<std::string> out;
+    std::string cur;
+    char quote = 0;
+    for (size_t i = 0; i < line.size(); ++i) {
+        char c = line[i];
+        if (quote != 0) {
+            if (c == quote) {
+                if (i + 1 < line.size() && line[i + 1] == quote) {
+                    cur += c;
+                    cur += c;
+                    ++i;
+                    continue;
+                }
+                quote = 0;
+            }
+            cur += c;
+            continue;
+        }
+        if (c == '\'' || c == '"') {
+            quote = c;
+            cur += c;
+            continue;
+        }
+        if (c == ';') {
+            size_t b = cur.find_first_not_of(" \t");
+            if (b != std::string::npos)
+                out.push_back(cur.substr(b));
+            cur.clear();
+            continue;
+        }
+        cur += c;
+    }
+    size_t b = cur.find_first_not_of(" \t");
+    if (b != std::string::npos)
+        out.push_back(cur.substr(b));
+    return out;
+}
+
 /** Shell state: one DataSet + one adaptive engine over it. */
 class Shell
 {
@@ -425,7 +474,13 @@ main(int argc, char **argv)
             }
             continue;
         }
-        shell.execute(line);
+        // One line may carry several statements separated by top-level
+        // semicolons (quote-aware, so JSON INSERT bodies pass through).
+        for (const std::string &stmt : splitStatements(line)) {
+            shell.execute(stmt);
+            if (g_interrupted)
+                break;
+        }
     }
     if (g_interrupted)
         std::printf("\ninterrupt — exiting cleanly%s\n",

@@ -195,12 +195,75 @@ assert m["qps_on"] > 0 and m["qps_off"] > 0, m
 print(f"obs overhead: {m['overhead_pct']:.2f}% ok")
 EOF
 
+echo "=== live ingest ==="
+# The write path end to end: dvpd with --allow-insert takes wire
+# INSERTs (single and batch via --exec), the doc count and delta
+# gauges move, a read-only dvpd answers INSERT with the typed
+# READ_ONLY error, then the mixed read/write load generator must
+# sustain reads while folding deltas and emit parseable NDJSON.
+./build-ci/examples/dvpd --gen 500 --port 0 --allow-insert \
+    --port-file "$OBS_TMP/dvpd3.port" > "$OBS_TMP/dvpd3.log" 2>&1 &
+DVPD_PID=$!
+for _ in $(seq 50); do
+    [ -s "$OBS_TMP/dvpd3.port" ] && break
+    sleep 0.1
+done
+DVPD_PORT="$(cat "$OBS_TMP/dvpd3.port")"
+cat > "$OBS_TMP/inserts.sql" <<'EOF'
+-- two INSERT statements (three documents), then read them back
+INSERT INTO nobench VALUES ('{"ci_q": 1, "ci_v": 10}')
+INSERT INTO nobench VALUES ('{"ci_q": 2, "ci_v": 20}'), ('{"ci_q": 3, "ci_v": 30}')
+SELECT ci_q, ci_v FROM t WHERE ci_q BETWEEN 1 AND 3
+EOF
+./build-ci/examples/dvp_client --port "$DVPD_PORT" --stats \
+    --exec "$OBS_TMP/inserts.sql" > "$OBS_TMP/ingest.out"
+grep -q "INSERT 1 (501 docs" "$OBS_TMP/ingest.out"
+grep -q "INSERT 2 (503 docs" "$OBS_TMP/ingest.out"
+grep -q "3 row(s)" "$OBS_TMP/ingest.out"
+grep -Eq "delta_rows +3" "$OBS_TMP/ingest.out"
+grep -Eq "docs +503" "$OBS_TMP/ingest.out"
+kill -TERM "$DVPD_PID"
+wait "$DVPD_PID"
+# Read-only server: the same INSERT must fail typed, not crash.
+./build-ci/examples/dvpd --gen 100 --port 0 \
+    --port-file "$OBS_TMP/dvpd4.port" > "$OBS_TMP/dvpd4.log" 2>&1 &
+DVPD_PID=$!
+for _ in $(seq 50); do
+    [ -s "$OBS_TMP/dvpd4.port" ] && break
+    sleep 0.1
+done
+DVPD_PORT="$(cat "$OBS_TMP/dvpd4.port")"
+if ./build-ci/examples/dvp_client --port "$DVPD_PORT" \
+    "INSERT INTO nobench VALUES ('{\"x\": 1}')" \
+    > /dev/null 2> "$OBS_TMP/readonly.err"; then
+    echo "read-only dvpd accepted an INSERT" >&2; exit 1
+fi
+grep -q "READ_ONLY" "$OBS_TMP/readonly.err"
+kill -TERM "$DVPD_PID"
+wait "$DVPD_PID"
+./build-ci/bench/bench_ingest --docs 2000 --duration 2 \
+    --connections 2 --rate 100 --writers 2 --write-rate 300 \
+    --fold-rows 512 --json "$OBS_TMP/ingest.ndjson" > /dev/null
+python3 - "$OBS_TMP" <<'EOF'
+import json, sys
+rows = [json.loads(l) for l in open(f"{sys.argv[1]}/ingest.ndjson")]
+assert rows and all(r["bench"] == "ingest" for r in rows)
+m = {(r["query"], r["metric"]): r["value"] for r in rows}
+assert m[("insert_only", "inserts_per_s")] > 0, m
+assert m[("insert_only", "folds")] >= 1, m
+assert m[("read_only", "qps")] > 0 and m[("mixed", "qps")] > 0, m
+assert m[("mixed", "inserts_per_s")] > 0, m
+print(f"ingest smoke: {m[('insert_only', 'inserts_per_s')]:.0f} "
+      f"inserts/s, {m[('insert_only', 'folds')]:.0f} folds, "
+      f"mixed p95 {m[('mixed', 'p95_ms')]:.2f} ms ok")
+EOF
+
 echo "=== thread-sanitizer build ==="
 cmake -B build-tsan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
     -DDVP_SANITIZE=thread
 cmake --build build-tsan -j "$JOBS"
 DVP_TEST_DOCS=800 ctest --test-dir build-tsan --output-on-failure \
-    -j "$JOBS" -R 'test_parallel|test_util|test_adaptive|test_obs|test_plan|test_kernels|test_compress|test_server|test_analyze'
+    -j "$JOBS" -R 'test_parallel|test_util|test_adaptive|test_obs|test_plan|test_kernels|test_compress|test_server|test_analyze|test_ingest'
 
 echo "=== address-sanitizer build ==="
 # ASan catches lifetime bugs the plan cache could introduce: a cached
@@ -210,6 +273,6 @@ cmake -B build-asan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
     -DDVP_SANITIZE=address
 cmake --build build-asan -j "$JOBS"
 DVP_TEST_DOCS=800 ctest --test-dir build-asan --output-on-failure \
-    -j "$JOBS" -R 'test_plan|test_adaptive|test_layout|test_kernels|test_compress|test_server|test_analyze'
+    -j "$JOBS" -R 'test_plan|test_adaptive|test_layout|test_kernels|test_compress|test_server|test_analyze|test_ingest'
 
 echo "ci.sh: all suites passed"

@@ -24,6 +24,8 @@ AdaptiveEngine::AdaptiveEngine(engine::DataSet &data,
     db = std::make_shared<engine::Database>(data, res.layout, "DVP",
                                             /*allow_pad=*/true, nullptr,
                                             prm.compress);
+    delta_ = std::make_shared<storage::DeltaStore>(
+        static_cast<int64_t>(data.docs.size()));
 
     AuditRecord rec;
     rec.trigger = "initial";
@@ -67,6 +69,30 @@ AdaptiveEngine::snapshot() const
     return db;
 }
 
+Snapshot
+AdaptiveEngine::snapshotFull() const
+{
+    // Appends and swaps both happen under db_mutex, so (base, delta,
+    // delta->size()) read here is a consistent cut: every delta row in
+    // the prefix is fully published and no base document is counted
+    // twice.  Rows appended after this snapshot exist in the store but
+    // stay invisible to the query — the prefix is immutable.
+    std::lock_guard<std::mutex> lock(db_mutex);
+    Snapshot snap;
+    snap.base = db;
+    snap.delta = delta_;
+    snap.deltaRows = delta_->size();
+    snap.epoch = db->epoch();
+    return snap;
+}
+
+size_t
+AdaptiveEngine::deltaRows() const
+{
+    std::lock_guard<std::mutex> lock(db_mutex);
+    return delta_->size();
+}
+
 void
 AdaptiveEngine::quiesce()
 {
@@ -80,21 +106,25 @@ engine::ResultSet
 AdaptiveEngine::execute(const engine::Query &q, engine::QueryStats *stats)
 {
     // One snapshot per query, not per morsel: the executor's lanes all
-    // scan the same tables, and the shared_ptr keeps them alive even if
-    // a background repartition swaps the engine's pointer mid-query.
-    std::shared_ptr<engine::Database> current = snapshot();
+    // scan the same tables, and the shared_ptrs keep both the base and
+    // the delta alive even if a background repartition swaps the
+    // engine's pointers mid-query.  The delta prefix length pins the
+    // visibility cut, so concurrent ingest never perturbs a running
+    // query's result.
+    Snapshot snap = snapshotFull();
     if (repartitioning.load(std::memory_order_relaxed)) {
         ++adapt_stats.queriesDuringRepartition;
         DVP_COUNTER_INC("dvp_queries_during_repartition_total");
     }
     Timer timer;
-    engine::Executor exec(*current, threads());
+    engine::Executor exec(*snap.base, threads());
     exec.setMorselRows(morselRows());
     exec.setPlanCache(&plan_cache);
+    exec.setDelta(snap.delta.get(), snap.deltaRows);
     engine::ResultSet rs = exec.run(q, stats);
     double seconds = timer.seconds();
 
-    uint64_t scanned = data->docs.size();
+    uint64_t scanned = snap.base->docCount() + snap.deltaRows;
     bool changed = false;
     {
         std::lock_guard<std::mutex> lock(stats_mutex);
@@ -115,10 +145,62 @@ AdaptiveEngine::execute(const engine::Query &q, engine::QueryStats *stats)
 int64_t
 AdaptiveEngine::ingest(const json::JsonValue &doc)
 {
-    std::lock_guard<std::mutex> lock(db_mutex);
-    int64_t oid = data->addObject(doc);
-    db->insert(data->docs.back());
-    return oid;
+    return ingestMany(&doc, 1).lastOid;
+}
+
+IngestAck
+AdaptiveEngine::ingestBatch(const std::vector<json::JsonValue> &docs)
+{
+    return ingestMany(docs.data(), docs.size());
+}
+
+IngestAck
+AdaptiveEngine::ingestMany(const json::JsonValue *docs, size_t n)
+{
+    IngestAck ack;
+    std::shared_ptr<storage::DeltaStore> delta;
+    size_t first_idx = 0;
+    size_t pending = 0;
+    {
+        std::lock_guard<std::mutex> lock(db_mutex);
+        delta = delta_;
+        first_idx = delta->size();
+        for (size_t i = 0; i < n; ++i) {
+            ack.lastOid = data->addObject(docs[i]);
+            delta->append(data->docs.back());
+        }
+        pending = delta->size();
+        ack.count = n;
+        ack.totalDocs = data->docs.size();
+        ack.epoch = db->epoch();
+    }
+    if (n == 0)
+        return ack;
+    DVP_COUNTER_ADD("dvp_inserts_total", n);
+    DVP_GAUGE_SET("dvp_delta_rows", static_cast<int64_t>(pending));
+    DVP_GAUGE_SET("dvp_delta_bytes",
+                  static_cast<int64_t>(delta->bytes()));
+
+    // Feed the change detector's data-drift windows.  The appended
+    // rows are immutable, so reading them back through the captured
+    // shared_ptr is race-free even if a fold swaps the engine's delta
+    // meanwhile.
+    bool changed = false;
+    if (prm.adapt) {
+        std::lock_guard<std::mutex> lock(stats_mutex);
+        for (size_t i = first_idx; i < pending; ++i)
+            if (detector.observeIngest(delta->doc(i)))
+                changed = true;
+    }
+    if (changed) {
+        ++adapt_stats.changesDetected;
+        DVP_COUNTER_INC("dvp_changes_detected_total");
+        DVP_TRACE_SPAN(change_span, "change_detected", "ingest");
+        maybeRepartition("ingest-drift");
+    } else if (prm.deltaFoldRows > 0 && pending >= prm.deltaFoldRows) {
+        maybeRepartition("delta-fold");
+    }
+    return ack;
 }
 
 void
@@ -127,12 +209,15 @@ AdaptiveEngine::maybeRepartition(const std::string &trigger)
     if (repartitioning.exchange(true))
         return; // one repartition in flight is enough
 
+    // With adaptation off the layout is pinned: a repartition may only
+    // be a pure fold, so no workload is collected and the partitioner
+    // is skipped (repartitionNow keeps the current layout).
     std::vector<engine::Query> workload;
-    {
+    if (prm.adapt) {
         std::lock_guard<std::mutex> lock(stats_mutex);
         workload = wstats.representatives();
     }
-    if (workload.empty()) {
+    if (workload.empty() && deltaRows() == 0) {
         repartitioning.store(false);
         return;
     }
@@ -159,25 +244,55 @@ AdaptiveEngine::repartitionNow(std::vector<engine::Query> workload,
     // cost model copies the catalog statistics, and the documents are
     // copied under the lock so ingest can proceed concurrently.  The
     // expensive work below (search + bulk table build) then runs on
-    // stable private data.
+    // stable private data.  The document snapshot already contains the
+    // delta tail (the delta mirrors data->docs' suffix), so building
+    // from it IS the fold — delta rows land in the fresh partitions.
     layout::Layout current_layout;
     std::vector<storage::Document> doc_snapshot;
     std::unique_ptr<core::Partitioner> partitioner;
+    size_t old_base_docs = 0;
+    size_t catalog_width = 0;
     {
         std::lock_guard<std::mutex> lock(db_mutex);
+        auto dlock = data->readLock(); // lock order: db_mutex, then mu
         current_layout = db->layout();
         doc_snapshot = data->docs;
+        old_base_docs = db->docCount();
+        catalog_width = data->catalog.attrCount();
         // The partitioner's cost model copies the catalog statistics,
-        // so construct it under the lock too.
-        partitioner = std::make_unique<core::Partitioner>(
-            *data, std::move(workload), prm.search);
+        // so construct it under the lock too.  A pure fold (no
+        // workload) keeps the incumbent layout and skips the search.
+        if (!workload.empty())
+            partitioner = std::make_unique<core::Partitioner>(
+                *data, std::move(workload), prm.search);
     }
 
-    core::SearchResult res = [&] {
+    core::SearchResult res;
+    if (partitioner != nullptr) {
         DVP_TRACE_SPAN(part_span, "partitioner", "refine layout");
-        return partitioner->refine(current_layout);
-    }();
+        res = partitioner->refine(current_layout);
+    } else {
+        res.layout = current_layout;
+    }
     adapt_stats.lastPartitionerSeconds = res.seconds;
+
+    // Materialize attributes the layout has never seen — discovered by
+    // ingest after the incumbent layout was chosen — as singleton
+    // partitions, so folded documents keep every cell.  (Catalog growth
+    // happens under db_mutex, so attrs < catalog_width are stable.)
+    {
+        std::vector<std::vector<storage::AttrId>> parts(
+            res.layout.partitions().begin(),
+            res.layout.partitions().end());
+        bool grew = false;
+        for (storage::AttrId a = 0; a < catalog_width; ++a)
+            if (res.layout.partitionOf(a) == layout::kNoPart) {
+                parts.push_back({a});
+                grew = true;
+            }
+        if (grew)
+            res.layout = layout::Layout(std::move(parts));
+    }
 
     // Bulk-build the new tables from the snapshot.
     Timer build_timer;
@@ -191,21 +306,51 @@ AdaptiveEngine::repartitionNow(std::vector<engine::Query> workload,
 
     // Catch up with documents ingested during the build, then switch
     // through an atomic pointer swap (readers hold shared_ptrs, so a
-    // query in flight keeps its tables alive).
+    // query in flight keeps its tables alive).  A document carrying an
+    // attribute the new layout has no partition for (born during the
+    // build) must not lose cells to the fold — it and everything after
+    // it stay in the successor delta instead.
     Timer swap_timer;
     uint64_t caught_up = 0;
+    uint64_t folded = 0;
+    size_t new_delta_rows = 0;
+    size_t new_delta_bytes = 0;
     {
         DVP_TRACE_SPAN(swap_span, "swap", "catch-up + pointer swap");
         std::lock_guard<std::mutex> lock(db_mutex);
-        for (size_t i = fresh->docCount(); i < data->docs.size(); ++i) {
-            fresh->insert(data->docs[i]);
+        auto dlock = data->readLock(); // lock order: db_mutex, then mu
+        size_t i = fresh->docCount();
+        for (; i < data->docs.size(); ++i) {
+            const storage::Document &doc = data->docs[i];
+            if (!doc.attrs.empty() &&
+                doc.attrs.back().first >= catalog_width)
+                break;
+            fresh->insert(doc);
             ++caught_up;
         }
+        auto successor = std::make_shared<storage::DeltaStore>(
+            static_cast<int64_t>(i));
+        for (; i < data->docs.size(); ++i)
+            successor->append(data->docs[i]);
+        new_delta_rows = successor->size();
+        new_delta_bytes = successor->bytes();
+        folded = fresh->docCount() - old_base_docs;
         db = std::move(fresh);
+        delta_ = std::move(successor);
         adapt_stats.lastLayoutTables = res.layout.partitionCount();
         ++adapt_stats.repartitions;
     }
     double swap_seconds = swap_timer.seconds();
+    DVP_GAUGE_SET("dvp_delta_rows",
+                  static_cast<int64_t>(new_delta_rows));
+    DVP_GAUGE_SET("dvp_delta_bytes",
+                  static_cast<int64_t>(new_delta_bytes));
+    if (folded > 0) {
+        DVP_COUNTER_INC("dvp_delta_folds_total");
+        DVP_HISTOGRAM_OBSERVE(
+            "dvp_delta_fold_ns",
+            static_cast<uint64_t>((build_seconds + swap_seconds) * 1e9));
+    }
 
     AuditRecord rec;
     rec.trigger = std::move(trigger);
@@ -219,6 +364,7 @@ AdaptiveEngine::repartitionNow(std::vector<engine::Query> workload,
     rec.buildNs = static_cast<uint64_t>(build_seconds * 1e9);
     rec.swapNs = static_cast<uint64_t>(swap_seconds * 1e9);
     rec.docsCaughtUp = caught_up;
+    rec.deltaFolded = folded;
     pushAudit(std::move(rec));
     {
         std::lock_guard<std::mutex> lock(stats_mutex);

@@ -33,6 +33,7 @@
 #include "engine/query.hh"
 #include "stats/change_detector.hh"
 #include "stats/workload_stats.hh"
+#include "storage/delta.hh"
 
 namespace dvp::adaptive
 {
@@ -64,6 +65,15 @@ struct Params
      * compress flag), so the footprint reduction survives adaptation.
      */
     bool compress = false;
+
+    /**
+     * Fold the INSERT delta store into fresh partitions once it holds
+     * this many rows (an LSM-style compaction riding the repartition
+     * machinery; the layout is kept when no workload drift was
+     * observed).  0 disables the size trigger — the delta then drains
+     * only at workload- or drift-triggered repartitions.
+     */
+    size_t deltaFoldRows = 4096;
 };
 
 /**
@@ -106,6 +116,33 @@ struct AuditRecord
     uint64_t buildNs = 0;           ///< bulk table build wall time
     uint64_t swapNs = 0;            ///< catch-up + pointer swap time
     uint64_t docsCaughtUp = 0;      ///< docs ingested during the build
+    uint64_t deltaFolded = 0;       ///< delta rows drained into the build
+};
+
+/**
+ * A consistent read snapshot of the engine: the epoch-stamped base
+ * partitions plus an immutable prefix of the INSERT delta tail.  Every
+ * query runs against one of these, so writers never block readers and
+ * a query's result is a function of the cut alone — the same documents
+ * are visible whether they sit in the delta or were folded into the
+ * partitions since.  The shared_ptrs keep both sides alive across a
+ * concurrent repartition swap.
+ */
+struct Snapshot
+{
+    std::shared_ptr<engine::Database> base;
+    std::shared_ptr<storage::DeltaStore> delta;
+    size_t deltaRows = 0; ///< visible prefix of the delta tail
+    uint64_t epoch = 0;   ///< base->epoch() shorthand
+};
+
+/** Acknowledgement for an ingest batch (surfaced in INSERT acks). */
+struct IngestAck
+{
+    size_t count = 0;     ///< documents appended by this call
+    size_t totalDocs = 0; ///< engine document count after the append
+    uint64_t epoch = 0;   ///< base epoch the append landed next to
+    int64_t lastOid = -1; ///< oid of the last appended document
 };
 
 /** The engine. */
@@ -135,11 +172,29 @@ class AdaptiveEngine
     engine::ResultSet execute(const engine::Query &q,
                               engine::QueryStats *stats = nullptr);
 
-    /** Ingest one new document (encode + store + catch-up queue). */
+    /**
+     * Ingest one new document: encode + append to the row-major delta
+     * store, never touching the sealed partitions.  Readers observe it
+     * on their next snapshot; the delta drains into fresh partitions
+     * at the next repartition (fold).  @return the document's oid.
+     */
     int64_t ingest(const json::JsonValue &doc);
+
+    /** Batch form of ingest(): one lock acquisition for all docs. */
+    IngestAck ingestBatch(const std::vector<json::JsonValue> &docs);
 
     /** Current database snapshot (shared; stays valid across swaps). */
     std::shared_ptr<engine::Database> snapshot() const;
+
+    /**
+     * Consistent read snapshot: base partitions + the immutable delta
+     * tail prefix appended so far.  This is the cut every execute()
+     * call queries.
+     */
+    Snapshot snapshotFull() const;
+
+    /** Delta rows currently pending a fold (monitoring/tests). */
+    size_t deltaRows() const;
 
     /** Wait for any in-flight background repartition to finish. */
     void quiesce();
@@ -193,6 +248,7 @@ class AdaptiveEngine
     void repartitionNow(std::vector<engine::Query> workload,
                         std::string trigger);
     void pushAudit(AuditRecord rec);
+    IngestAck ingestMany(const json::JsonValue *docs, size_t n);
 
     engine::DataSet *data;
     Params prm;
@@ -201,6 +257,7 @@ class AdaptiveEngine
 
     mutable std::mutex db_mutex;   ///< guards db swaps and doc appends
     std::shared_ptr<engine::Database> db;
+    std::shared_ptr<storage::DeltaStore> delta_; ///< swap under db_mutex
     engine::PlanCache plan_cache;
 
     /**

@@ -12,6 +12,7 @@ namespace dvp::engine
 int64_t
 DataSet::addObject(const json::JsonValue &doc)
 {
+    std::unique_lock<std::shared_mutex> g(mu);
     storage::Encoder enc(catalog, dict);
     // Encoder oid assignment restarts per call; keep docs authoritative.
     storage::Document d = enc.encodeObject(doc);
@@ -23,6 +24,7 @@ DataSet::addObject(const json::JsonValue &doc)
 int64_t
 DataSet::addFlat(const std::vector<json::FlatAttr> &flat)
 {
+    std::unique_lock<std::shared_mutex> g(mu);
     storage::Encoder enc(catalog, dict);
     storage::Document d = enc.encode(flat);
     d.oid = static_cast<int64_t>(docs.size());

@@ -31,6 +31,7 @@ QueryStats::summary() const
         {"blocks_skipped", blocksSkipped},
         {"matches", matches},
         {"rows_out", rowsOut},
+        {"delta_rows", deltaRows},
         {"compressed_rle", compressedEval[0]},
         {"compressed_pack", compressedEval[1]},
         {"compressed_raw", compressedEval[2]},

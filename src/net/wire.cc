@@ -414,6 +414,7 @@ errorCodeName(ErrorCode c)
       case ErrorCode::ShuttingDown: return "SHUTTING_DOWN";
       case ErrorCode::Protocol: return "PROTOCOL_ERROR";
       case ErrorCode::Unsupported: return "UNSUPPORTED";
+      case ErrorCode::ReadOnly: return "READ_ONLY";
     }
     return "?";
 }

@@ -98,6 +98,7 @@ enum class ErrorCode : uint16_t
     ShuttingDown = 4, ///< server is draining; no new statements
     Protocol = 5,     ///< malformed frame or out-of-order exchange
     Unsupported = 6,  ///< statement kind the server refuses (e.g. LOAD)
+    ReadOnly = 7,     ///< writes (INSERT) disabled on this server
 };
 
 /** CRC-32 (IEEE 802.3 polynomial, reflected) of @p n bytes. */

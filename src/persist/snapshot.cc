@@ -200,7 +200,9 @@ deserialize(const std::string &bytes)
     auto fail = [&](const std::string &msg) {
         out.ok = false;
         out.error = r.error().empty() ? msg : r.error();
-        return out;
+        // DataSet is move-only now (it owns a shared_mutex), so the
+        // captured result must be moved out, not copied.
+        return std::move(out);
     };
 
     uint64_t magic;

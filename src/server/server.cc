@@ -568,12 +568,16 @@ Server::buildStats()
         engine->adaptation().repartitions.load(
             std::memory_order_relaxed));
     {
-        // Shared statement lock: LOAD mutates the document vector the
-        // doc count reads.
-        std::shared_lock<std::shared_mutex> lock(statement_mu);
-        auto snap = engine->snapshot();
-        body.entries.emplace_back("docs", snap->docCount());
-        body.entries.emplace_back("layout_epoch", snap->epoch());
+        // One consistent cut: base partitions plus the delta-store
+        // prefix visible at this instant.  "docs" counts everything a
+        // query started now would see.
+        adaptive::Snapshot snap = engine->snapshotFull();
+        body.entries.emplace_back("docs",
+                                  snap.base->docCount() +
+                                      snap.deltaRows);
+        body.entries.emplace_back("delta_rows", snap.deltaRows);
+        body.entries.emplace_back("delta_bytes", snap.delta->bytes());
+        body.entries.emplace_back("layout_epoch", snap.epoch);
     }
 
     // Adaptive-decision audit: ring occupancy plus the most recent
@@ -602,6 +606,8 @@ Server::buildStats()
         body.entries.emplace_back("audit_last_swap_ns", last.swapNs);
         body.entries.emplace_back("audit_last_docs_caught_up",
                                   last.docsCaughtUp);
+        body.entries.emplace_back("audit_last_delta_folded",
+                                  last.deltaFolded);
     }
     return body;
 }
@@ -752,11 +758,18 @@ Server::executeTask(Task &task)
         }
         DVP_TRACE_SPAN(exec_span, "execute", detail);
         if (looksLikeLoad(task.sql)) {
+            // Bulk ingest is the one statement kind that still takes
+            // the lock exclusively.
             std::unique_lock<std::shared_mutex> lock(statement_mu);
-            r = sql::runStatement(*engine, task.sql, load);
+            r = sql::runStatement(*engine, task.sql, load,
+                                  cfg.allowInsert);
         } else {
+            // Queries and INSERTs share: the engine snapshots an
+            // (epoch, base, delta-prefix) cut per statement, so a
+            // concurrent append never changes what a reader sees.
             std::shared_lock<std::shared_mutex> lock(statement_mu);
-            r = sql::runStatement(*engine, task.sql, load);
+            r = sql::runStatement(*engine, task.sql, load,
+                                  cfg.allowInsert);
         }
     }
 
@@ -766,6 +779,8 @@ Server::executeTask(Task &task)
             code = net::ErrorCode::Parse;
         else if (r.errorKind == sql::RunResult::Error::Unsupported)
             code = net::ErrorCode::Unsupported;
+        else if (r.errorKind == sql::RunResult::Error::ReadOnly)
+            code = net::ErrorCode::ReadOnly;
         task.session->writeError(code, r.error);
     } else {
         net::ResultBody body;
@@ -775,13 +790,18 @@ Server::executeTask(Task &task)
         } else {
             const engine::DataSet &data = engine->snapshot()->data();
             body.kind = net::ResultBody::Kind::Rows;
-            body.columns = sql::resultColumns(data, r.query);
+            {
+                // Catalog names can reallocate under concurrent
+                // ingest; resolve headers under the read lock.
+                auto lock = data.readLock();
+                body.columns = sql::resultColumns(data, r.query);
+            }
             body.oids = r.rows.oids;
             body.rows.reserve(r.rows.rows.size());
             {
-                // Shared statement lock while decoding string ids: a
-                // concurrent LOAD may grow the dictionary.
-                std::shared_lock<std::shared_mutex> lock(statement_mu);
+                // DataSet read lock while decoding string ids: a
+                // concurrent INSERT or LOAD grows the dictionary.
+                auto lock = data.readLock();
                 for (const auto &row : r.rows.rows) {
                     std::vector<net::Cell> cells;
                     cells.reserve(row.size());

@@ -21,9 +21,10 @@
  * Backpressure: QUERY frames past the Config::maxInflight watermark
  * (queued + executing) are rejected immediately with a typed
  * SERVER_BUSY error; the connection stays usable.  Statements execute
- * under a shared/exclusive statement lock: queries share, LOAD DATA is
- * exclusive, so bulk ingest never races a concurrent scan's view of
- * the raw document vector.
+ * under a shared/exclusive statement lock: queries AND INSERTs share
+ * (the engine's epoch snapshot + delta store give every reader a
+ * consistent cut, so writers never block readers), only bulk LOAD
+ * DATA is exclusive.
  *
  * Graceful drain: requestStop() (directly, via stop(), or from the
  * SIGINT/SIGTERM handlers) stops accepting, answers new QUERY frames
@@ -83,6 +84,14 @@ struct Config
      * deployment decision, not a protocol default.
      */
     bool allowLoad = false;
+
+    /**
+     * Accept INSERT statements.  Off by default for the same reason as
+     * allowLoad: whether remote clients may write is a deployment
+     * decision.  When off, INSERT answers with a typed READ_ONLY
+     * error and the engine is never touched.
+     */
+    bool allowInsert = false;
 
     /** Server name reported in HELLO_OK. */
     std::string name = "dvpd";
@@ -216,10 +225,10 @@ class Server
     bool workers_quit = false;
 
     /**
-     * Statement lock: queries take it shared, LOAD DATA exclusive.
-     * The engine's own locking covers layout swaps; this additionally
-     * keeps bulk ingest from racing concurrent statement parses that
-     * sample the raw document vector.
+     * Statement lock: queries and INSERTs take it shared, LOAD DATA
+     * exclusive.  The engine's own locking covers layout swaps and
+     * per-document appends (snapshot + delta store); this additionally
+     * keeps bulk ingest from starving an open cursor's decode pass.
      */
     std::shared_mutex statement_mu;
 

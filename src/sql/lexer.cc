@@ -19,7 +19,7 @@ keywords()
         "COUNT",  "GROUP",  "BY",    "AS",      "INNER", "JOIN",
         "ON",     "LOAD",   "DATA",  "LOCAL",   "INFILE", "REPLACE",
         "INTO",   "TABLE",  "TRUE",  "FALSE",   "EXPLAIN",
-        "ANALYZE", "IS",    "NOT",   "NULL"};
+        "ANALYZE", "IS",    "NOT",   "NULL",    "INSERT", "VALUES"};
     return kw;
 }
 

@@ -45,9 +45,11 @@ class Parser
         }
         if (atKeyword("LOAD"))
             return parseLoad();
+        if (atKeyword("INSERT"))
+            return parseInsert();
         if (atKeyword("SELECT"))
             return parseSelect();
-        return fail("expected SELECT, EXPLAIN or LOAD");
+        return fail("expected SELECT, EXPLAIN, INSERT or LOAD");
     }
 
   private:
@@ -274,6 +276,42 @@ class Parser
         r.ok = true;
         r.kind = StatementKind::Load;
         r.query.name = "load";
+        r.query.kind = QueryKind::Insert;
+        return r;
+    }
+
+    ParseResult
+    parseInsert()
+    {
+        ParseResult r;
+        // INSERT INTO t VALUES ('<json>')[, ('<json>')]*
+        // The document is one quoted JSON literal per VALUES tuple;
+        // validation (and encoding) happens at execution time against
+        // the live catalog, not here.
+        if (!(eatKeyword("INSERT") && eatKeyword("INTO")))
+            return fail("malformed INSERT statement");
+        if (cur().kind != TokKind::Ident)
+            return fail("expected table name after INTO");
+        r.table = cur().text;
+        advance();
+        if (!eatKeyword("VALUES"))
+            return fail("expected VALUES");
+        do {
+            if (!eatPunct('('))
+                return fail("expected '(' before document literal");
+            if (cur().kind != TokKind::String)
+                return fail("expected quoted JSON document");
+            r.insertJson.push_back(cur().text);
+            advance();
+            if (!eatPunct(')'))
+                return fail("expected ')' after document literal");
+        } while (eatPunct(','));
+        eatPunct(';');
+        if (cur().kind != TokKind::End)
+            return fail("trailing input after statement");
+        r.ok = true;
+        r.kind = StatementKind::Insert;
+        r.query.name = "insert";
         r.query.kind = QueryKind::Insert;
         return r;
     }

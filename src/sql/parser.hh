@@ -11,6 +11,7 @@
  *   SELECT * FROM t AS l INNER JOIN t AS r ON l.x = r.y
  *       [WHERE <cond-on-l>]
  *   LOAD DATA LOCAL INFILE 'file' REPLACE INTO TABLE t
+ *   INSERT INTO t VALUES ('<json>')[, ('<json>')]*
  *
  *   <cond> := col = <lit>
  *           | col BETWEEN <int> AND <int>
@@ -29,6 +30,7 @@
 #define DVP_SQL_PARSER_HH
 
 #include <string>
+#include <vector>
 
 #include "engine/database.hh"
 #include "engine/query.hh"
@@ -41,7 +43,8 @@ enum class StatementKind
 {
     Query,   ///< SELECT ... (result.query is the executable query)
     Load,    ///< LOAD DATA ... (result.loadFile names the JSON input)
-    Explain  ///< EXPLAIN SELECT ... (query parsed, not for execution)
+    Explain, ///< EXPLAIN SELECT ... (query parsed, not for execution)
+    Insert   ///< INSERT INTO ... (result.insertJson holds documents)
 };
 
 /** Parse outcome. */
@@ -56,6 +59,9 @@ struct ParseResult
     engine::Query query;   ///< for Query/Explain statements
     std::string loadFile;  ///< for Load statements
     std::string table;     ///< FROM/INTO table name (informational)
+
+    /** Insert statements: raw JSON document literals, in VALUES order. */
+    std::vector<std::string> insertJson;
 };
 
 /**

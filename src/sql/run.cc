@@ -2,6 +2,7 @@
 
 #include <cstdio>
 
+#include "json/parser.hh"
 #include "sql/explain.hh"
 #include "sql/parser.hh"
 #include "util/timer.hh"
@@ -11,12 +12,19 @@ namespace dvp::sql
 
 RunResult
 runStatement(adaptive::AdaptiveEngine &eng, const std::string &text,
-             const LoadHandler &load)
+             const LoadHandler &load, bool allowInsert)
 {
     RunResult res;
     std::shared_ptr<engine::Database> db = eng.snapshot();
 
-    ParseResult parsed = parse(text, db->data());
+    ParseResult parsed;
+    {
+        // Parsing resolves names against the live catalog/dictionary,
+        // which a concurrent INSERT grows: hold the DataSet read lock
+        // for the duration.
+        auto lock = db->data().readLock();
+        parsed = parse(text, db->data());
+    }
     if (!parsed.ok) {
         res.errorKind = RunResult::Error::Parse;
         res.error = parsed.error;
@@ -39,6 +47,35 @@ runStatement(adaptive::AdaptiveEngine &eng, const std::string &text,
         res.ok = true;
         res.kind = RunResult::Kind::Message;
         res.message = outcome.message;
+        return res;
+      }
+
+      case StatementKind::Insert: {
+        if (!allowInsert) {
+            res.errorKind = RunResult::Error::ReadOnly;
+            res.error = "INSERT is not allowed on this connection";
+            return res;
+        }
+        std::vector<json::JsonValue> docs;
+        docs.reserve(parsed.insertJson.size());
+        for (const std::string &body : parsed.insertJson) {
+            json::ParseResult doc = json::parse(body);
+            if (!doc.ok) {
+                res.errorKind = RunResult::Error::Parse;
+                res.error = "bad JSON document: " + doc.error;
+                return res;
+            }
+            docs.push_back(std::move(doc.value));
+        }
+        adaptive::IngestAck ack = eng.ingestBatch(docs);
+        char buf[96];
+        std::snprintf(buf, sizeof(buf),
+                      "INSERT %zu (%zu docs, epoch %llu)", ack.count,
+                      ack.totalDocs,
+                      static_cast<unsigned long long>(ack.epoch));
+        res.ok = true;
+        res.kind = RunResult::Kind::Message;
+        res.message = buf;
         return res;
       }
 

@@ -47,6 +47,7 @@ struct RunResult
         Parse,       ///< SQL did not parse (message has the offset)
         Exec,        ///< statement failed while executing
         Unsupported, ///< statement kind this front end refuses
+        ReadOnly,    ///< writes (INSERT) disabled on this connection
     };
 
     /** What a successful statement produced. */
@@ -81,11 +82,16 @@ struct RunResult
  * Parse and run one statement against @p eng.  Queries execute through
  * AdaptiveEngine::execute (feeding workload statistics and possibly
  * triggering a repartition); EXPLAIN renders the bound plan with
- * plan-cache provenance; LOAD dispatches to @p load.
+ * plan-cache provenance; LOAD dispatches to @p load; INSERT appends to
+ * the engine's delta store (AdaptiveEngine::ingestBatch) — the ack
+ * message carries the appended count, the post-append document count,
+ * and the base epoch.  @p allowInsert false maps INSERT to a ReadOnly
+ * error without touching the engine.
  */
 RunResult runStatement(adaptive::AdaptiveEngine &eng,
                        const std::string &text,
-                       const LoadHandler &load = {});
+                       const LoadHandler &load = {},
+                       bool allowInsert = true);
 
 /**
  * Column headers for @p q's result rows, resolved against @p data's

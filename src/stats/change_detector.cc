@@ -40,6 +40,10 @@ ChangeDetector::reset()
     previous.clear();
     seen = 0;
     windows = 0;
+    dcurrent.clear();
+    dprevious.clear();
+    dseen = 0;
+    dwindows = 0;
 }
 
 bool
@@ -60,6 +64,25 @@ ChangeDetector::observe(const engine::Query &q)
     previous = std::move(current);
     current = Histogram{};
     seen = 0;
+    return changed;
+}
+
+bool
+ChangeDetector::observeIngest(const storage::Document &doc)
+{
+    for (const auto &[attr, slot] : doc.attrs)
+        dcurrent[attr] += 1.0;
+
+    if (++dseen < window)
+        return false;
+
+    ++dwindows;
+    bool changed = false;
+    if (dwindows > 1)
+        changed = distance(dcurrent, dprevious) > threshold;
+    dprevious = std::move(dcurrent);
+    dcurrent = Histogram{};
+    dseen = 0;
     return changed;
 }
 

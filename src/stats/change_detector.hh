@@ -20,6 +20,7 @@
 
 #include "engine/query.hh"
 #include "storage/catalog.hh"
+#include "storage/encoder.hh"
 
 namespace dvp::stats
 {
@@ -44,8 +45,24 @@ class ChangeDetector
      */
     bool observe(const engine::Query &q);
 
+    /**
+     * Observe one ingested document (its present attributes).  Data
+     * drift is tracked in its own pair of windows, independent of the
+     * query windows: a burst of documents whose attribute-presence
+     * histogram departs from the previous burst's signals that the
+     * stored sparseness the current layout was sized for has shifted
+     * — the ingest-side analogue of a workload change.
+     *
+     * @return true when this observation completes a data window whose
+     *         histogram departs from the previous data window's.
+     */
+    bool observeIngest(const storage::Document &doc);
+
     /** Windows completed so far. */
     uint64_t windowsCompleted() const { return windows; }
+
+    /** Data (ingest) windows completed so far. */
+    uint64_t dataWindowsCompleted() const { return dwindows; }
 
     /**
      * Forget all window state.  Called after a repartition: the new
@@ -66,6 +83,11 @@ class ChangeDetector
     Histogram previous; ///< last completed window
     size_t seen = 0;
     uint64_t windows = 0;
+
+    Histogram dcurrent;  ///< accumulating data (ingest) window
+    Histogram dprevious; ///< last completed data window
+    size_t dseen = 0;
+    uint64_t dwindows = 0;
 };
 
 } // namespace dvp::stats

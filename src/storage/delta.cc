@@ -1,0 +1,55 @@
+#include "storage/delta.hh"
+
+#include "util/logging.hh"
+
+namespace dvp::storage
+{
+
+DeltaStore::DeltaStore(int64_t first_oid)
+    : first_oid_(first_oid),
+      dir_(new std::atomic<Chunk *>[kChunks])
+{
+    for (size_t i = 0; i < kChunks; ++i)
+        dir_[i].store(nullptr, std::memory_order_relaxed);
+}
+
+DeltaStore::~DeltaStore()
+{
+    for (size_t i = 0; i < kChunks; ++i)
+        delete dir_[i].load(std::memory_order_relaxed);
+}
+
+const Document &
+DeltaStore::doc(size_t i) const
+{
+    Chunk *c = dir_[i / kChunkRows].load(std::memory_order_acquire);
+    invariant(c != nullptr, "DeltaStore::doc past published size");
+    return c->rows[i % kChunkRows];
+}
+
+int64_t
+DeltaStore::append(const Document &doc)
+{
+    std::lock_guard<std::mutex> g(write_mu_);
+    size_t i = size_.load(std::memory_order_relaxed);
+    invariant(i < kChunks * kChunkRows, "DeltaStore full");
+    invariant(doc.oid == first_oid_ + static_cast<int64_t>(i),
+              "DeltaStore::append oid out of sequence");
+
+    size_t ci = i / kChunkRows;
+    Chunk *c = dir_[ci].load(std::memory_order_relaxed);
+    if (c == nullptr) {
+        c = new Chunk();
+        c->rows.reserve(kChunkRows); // addresses stay stable forever
+        dir_[ci].store(c, std::memory_order_release);
+    }
+    c->rows.push_back(doc); // never reallocates: capacity pre-reserved
+    bytes_.fetch_add(sizeof(Document) +
+                         doc.attrs.size() *
+                             sizeof(std::pair<AttrId, Slot>),
+                     std::memory_order_relaxed);
+    size_.store(i + 1, std::memory_order_release);
+    return doc.oid;
+}
+
+} // namespace dvp::storage

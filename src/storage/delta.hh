@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Row-major delta store for live ingest (DESIGN.md §16).
+ *
+ * Sealed partition tables never change shape under a reader, so the
+ * write path needs somewhere else to land documents that arrive while
+ * queries run.  A DeltaStore is that place: an append-only, row-major
+ * tail of encoded Documents keyed by oid, installed next to a base
+ * Database and drained ("folded") into freshly built partitions at the
+ * next adaptive repartition.
+ *
+ * Concurrency contract — single-writer, many lock-free readers:
+ *
+ *  - append() is serialized by an internal mutex (the engine already
+ *    funnels ingest through one lock, but the store defends itself).
+ *  - Readers never take a lock.  They acquire-load size() once to fix
+ *    their visible prefix and then read rows below that prefix.  Rows
+ *    live in fixed-capacity chunks whose vectors are reserved up front,
+ *    so a row's address never moves once the release-store of size()
+ *    made it visible; the chunk directory itself is an array of atomic
+ *    pointers published with release stores.
+ *
+ * Oids: the store is installed with firstOid() = the base database's
+ * document count, and row i holds the document with oid firstOid()+i.
+ * Since the engine assigns oids densely in arrival order, every delta
+ * oid sorts strictly after every base oid — which is exactly what lets
+ * the executor's sorted-oid merge scans treat the delta as a suffix.
+ */
+
+#ifndef DVP_STORAGE_DELTA_HH
+#define DVP_STORAGE_DELTA_HH
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "storage/encoder.hh"
+
+namespace dvp::storage
+{
+
+/** Append-only row-major document tail; see the file comment. */
+class DeltaStore
+{
+  public:
+    /** Rows per chunk; chunk vectors are reserved to this capacity. */
+    static constexpr size_t kChunkRows = 1024;
+
+    /** Directory slots; caps the store at kChunks * kChunkRows rows. */
+    static constexpr size_t kChunks = 4096;
+
+    /** @param first_oid oid of row 0 (= base docCount at install). */
+    explicit DeltaStore(int64_t first_oid);
+    ~DeltaStore();
+
+    DeltaStore(const DeltaStore &) = delete;
+    DeltaStore &operator=(const DeltaStore &) = delete;
+
+    /** Oid of row 0; rows hold consecutive oids from here. */
+    int64_t firstOid() const { return first_oid_; }
+
+    /**
+     * Rows appended so far (acquire).  A reader that loads size() == n
+     * may freely read rows [0, n) with no further synchronization.
+     */
+    size_t size() const { return size_.load(std::memory_order_acquire); }
+
+    /** Approximate heap bytes held by the rows (for the gauges). */
+    size_t bytes() const
+    {
+        return bytes_.load(std::memory_order_relaxed);
+    }
+
+    /** Row @p i (must be < a previously loaded size()). */
+    const Document &doc(size_t i) const;
+
+    /**
+     * Append a copy of @p doc (oid already assigned by the caller's
+     * encoder; it must equal firstOid() + size()).  Returns the row's
+     * oid.  Panics if the store is full — the fold threshold keeps real
+     * deltas orders of magnitude below capacity.
+     */
+    int64_t append(const Document &doc);
+
+  private:
+    struct Chunk
+    {
+        std::vector<Document> rows; ///< reserved to kChunkRows
+    };
+
+    int64_t first_oid_;
+    std::atomic<size_t> size_{0};
+    std::atomic<size_t> bytes_{0};
+    std::mutex write_mu_;
+    std::unique_ptr<std::atomic<Chunk *>[]> dir_;
+};
+
+} // namespace dvp::storage
+
+#endif // DVP_STORAGE_DELTA_HH
