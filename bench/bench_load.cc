@@ -1,0 +1,198 @@
+/**
+ * @file
+ * LOAD-pipeline bench (DESIGN.md §17, EXPERIMENTS.md E15): what the
+ * DOM-free tape parser buys over the recursive DOM parser on NoBench
+ * JSON-lines input, and how the parallel chunked loader scales.
+ *
+ * Two stages, both emitted as human tables and (--json) NDJSON:
+ *
+ *  - parse stage: flatten-only throughput (docs/s, MB/s) of the DOM
+ *    baseline vs the tape parser with the scalar structural index vs
+ *    the AVX2 index, at 1/2/4/8 parser lanes;
+ *
+ *  - end-to-end stage: full LOAD wall time into a fresh DataSet
+ *    (parse + encode + catalog/dictionary growth) with the per-phase
+ *    breakdown (structural index / flatten walk / serial encode).
+ *
+ * Every tape-loaded database is compared document-by-document against
+ * the serial DOM-loaded reference; the bench aborts on any mismatch
+ * (a coarse differential check at full data scale — the fine-grained
+ * one lives in tests/test_json_tape.cc).
+ */
+
+#include "harness.hh"
+
+#include "engine/load.hh"
+#include "json/tape.hh"
+#include "util/logging.hh"
+
+namespace dvp::bench
+{
+namespace
+{
+
+/** One measured parser configuration. */
+struct ParserForm
+{
+    const char *name;
+    engine::LoadParser parser;
+    json::TapeForm form;
+    bool available;
+};
+
+/** Abort unless @p got holds exactly the reference documents. */
+void
+checkAgainst(const engine::DataSet &ref, const engine::DataSet &got,
+             const std::string &what)
+{
+    if (ref.docs.size() != got.docs.size())
+        panic("load differential: %s produced %zu docs, expected %zu",
+              what.c_str(), got.docs.size(), ref.docs.size());
+    for (size_t i = 0; i < ref.docs.size(); ++i)
+        if (ref.docs[i].oid != got.docs[i].oid ||
+            ref.docs[i].attrs != got.docs[i].attrs)
+            panic("load differential: %s disagrees with the serial "
+                  "DOM load at doc %zu",
+                  what.c_str(), i);
+}
+
+int
+run(int argc, char **argv)
+{
+    Options opt = Options::parse(argc, argv, /*default_docs=*/20000);
+    nobench::Config cfg = opt.nobenchConfig();
+    std::string text = nobench::generateJsonLines(cfg, opt.docs);
+    const double mbytes = static_cast<double>(text.size()) / 1e6;
+    const double ndocs = static_cast<double>(opt.docs);
+
+    JsonLog json(opt, "load");
+
+    const std::vector<ParserForm> forms = {
+        {"dom", engine::LoadParser::Dom, json::TapeForm::Auto, true},
+        {"tape_scalar", engine::LoadParser::Tape,
+         json::TapeForm::Scalar, true},
+        {"tape_avx2", engine::LoadParser::Tape, json::TapeForm::Simd,
+         json::tapeSimdAvailable()},
+    };
+    const std::vector<size_t> lane_counts = {1, 2, 4, 8};
+
+    // Serial DOM reference database: every other load must match it.
+    engine::DataSet ref;
+    {
+        engine::LoadOptions o;
+        o.parser = engine::LoadParser::Dom;
+        std::string err = engine::loadNdjson(ref, text, o);
+        if (!err.empty())
+            panic("reference DOM load failed: %s", err.c_str());
+    }
+
+    // Parse stage: flatten-only throughput (sink discards the flats),
+    // so encode/dictionary costs don't blur the parser comparison.
+    double dom1_dps = 0; // DOM at 1 lane: the speedup denominator
+    TablePrinter t({"Parser", "threads", "docs/s", "MB/s", "vs dom@1"});
+    for (const ParserForm &f : forms) {
+        if (!f.available) {
+            t.addRow({f.name, "-", "-", "-", "-"});
+            continue;
+        }
+        for (size_t lanes : lane_counts) {
+            engine::LoadOptions o;
+            o.parser = f.parser;
+            o.form = f.form;
+            o.threads = lanes;
+            size_t attrs = 0;
+            auto sink = [&](const std::vector<json::FlatAttr> &flat) {
+                attrs += flat.size();
+            };
+            std::string err =
+                engine::parseNdjsonFlat(text, o, nullptr, sink);
+            if (!err.empty())
+                panic("%s parse failed: %s", f.name, err.c_str());
+            double secs = timeMedian(opt.repeats, [&] {
+                engine::parseNdjsonFlat(text, o, nullptr, sink);
+            });
+            double dps = ndocs / secs;
+            double mbps = mbytes / secs;
+            if (f.parser == engine::LoadParser::Dom && lanes == 1)
+                dom1_dps = dps;
+            t.addRow({f.name, std::to_string(lanes), fmt(dps, 0),
+                      fmt(mbps, 1),
+                      dom1_dps > 0 ? fmt(dps / dom1_dps, 2) : "-"});
+            std::string cell = "t" + std::to_string(lanes);
+            json.value(f.name, cell, "docs_per_sec", dps, "docs/s");
+            json.value(f.name, cell, "mb_per_sec", mbps, "MB/s");
+            if (dom1_dps > 0)
+                json.value(f.name, cell, "speedup_vs_dom1",
+                           dps / dom1_dps);
+        }
+    }
+    emit(t,
+         "NDJSON flatten throughput (docs=" + std::to_string(opt.docs) +
+             ", " + fmt(mbytes, 1) + " MB, simd=" +
+             (json::tapeSimdAvailable() ? "avx2" : "none") + ")",
+         opt.csv);
+
+    // End-to-end stage: full LOAD into a fresh DataSet, with the
+    // index/walk/encode breakdown from an instrumented run and the
+    // document-level differential check against the DOM reference.
+    TablePrinter e({"Parser", "threads", "LOAD [ms]", "index [ms]",
+                    "walk [ms]", "encode [ms]"});
+    for (const ParserForm &f : forms) {
+        if (!f.available)
+            continue;
+        for (size_t lanes : lane_counts) {
+            engine::LoadOptions o;
+            o.parser = f.parser;
+            o.form = f.form;
+            o.threads = lanes;
+
+            engine::DataSet loaded;
+            o.timeStages = true;
+            engine::LoadStats stats;
+            std::string err =
+                engine::loadNdjson(loaded, text, o, &stats);
+            if (!err.empty())
+                panic("%s load failed: %s", f.name, err.c_str());
+            checkAgainst(ref, loaded,
+                         std::string(f.name) + " t" +
+                             std::to_string(lanes));
+
+            o.timeStages = false;
+            double secs = timeMedian(opt.repeats, [&] {
+                engine::DataSet fresh;
+                engine::loadNdjson(fresh, text, o);
+            });
+
+            e.addRow({f.name, std::to_string(lanes),
+                      fmt(secs * 1e3, 1),
+                      fmt(static_cast<double>(stats.indexNs) / 1e6, 1),
+                      fmt(static_cast<double>(stats.walkNs) / 1e6, 1),
+                      fmt(static_cast<double>(stats.encodeNs) / 1e6,
+                          1)});
+            std::string cell = "t" + std::to_string(lanes);
+            json.value(f.name, cell, "load_ms", secs * 1e3, "ms");
+            json.value(f.name, cell, "index_ns",
+                       static_cast<double>(stats.indexNs), "ns");
+            json.value(f.name, cell, "walk_ns",
+                       static_cast<double>(stats.walkNs), "ns");
+            json.value(f.name, cell, "encode_ns",
+                       static_cast<double>(stats.encodeNs), "ns");
+            json.value(f.name, cell, "fallback_docs",
+                       static_cast<double>(stats.fallbackDocs));
+        }
+    }
+    emit(e,
+         "End-to-end LOAD into a fresh DataSet (breakdown from one "
+         "instrumented run; wall times uninstrumented)",
+         opt.csv);
+    return 0;
+}
+
+} // namespace
+} // namespace dvp::bench
+
+int
+main(int argc, char **argv)
+{
+    return dvp::bench::run(argc, argv);
+}

@@ -22,6 +22,7 @@
  *                           engine's delta store; readers keep their
  *                           snapshot)
  *     --threads N           executor lanes per query (default 1)
+ *     --load-threads N      parser lanes for LOAD DATA (default 4)
  *     --http-port P         serve GET /metrics and /healthz over HTTP
  *                           (0 = ephemeral; omit to disable)
  *     --http-port-file FILE write the bound HTTP port to FILE
@@ -44,7 +45,7 @@
 #include <thread>
 
 #include "adaptive/adaptive_engine.hh"
-#include "json/parser.hh"
+#include "engine/load.hh"
 #include "nobench/generator.hh"
 #include "obs/export.hh"
 #include "server/http.hh"
@@ -65,6 +66,7 @@ usage(const char *argv0)
                  "[--port P] [--port-file FILE] [--workers N] "
                  "[--max-inflight N] [--idle-timeout-ms N] "
                  "[--allow-load] [--allow-insert] [--threads N] "
+                 "[--load-threads N] "
                  "[--http-port P] "
                  "[--http-port-file FILE] [--slow-ms N] "
                  "[--slow-query-log FILE] [--audit] [--metrics FILE] "
@@ -126,6 +128,9 @@ main(int argc, char **argv)
         else if (a == "--threads")
             exec_threads =
                 std::strtoull(next("--threads"), nullptr, 10);
+        else if (a == "--load-threads")
+            cfg.loadThreads =
+                std::strtoull(next("--load-threads"), nullptr, 10);
         else if (a == "--http-port") {
             http_enabled = true;
             http_cfg.port = static_cast<uint16_t>(
@@ -157,17 +162,21 @@ main(int argc, char **argv)
         }
         std::stringstream buf;
         buf << in.rdbuf();
-        std::string err;
-        auto docs = json::parseLines(buf.str(), &err);
+        // Tape-parse across lanes; the serial in-order sink keeps the
+        // seeded database bit-identical to a serial load.
+        engine::LoadOptions lopt;
+        lopt.threads = exec_threads == 0 ? 1 : exec_threads;
+        engine::LoadStats lstats;
+        std::string err =
+            engine::loadNdjson(data, buf.str(), lopt, &lstats);
         if (!err.empty()) {
             std::fprintf(stderr, "parse error in %s: %s\n",
                          load_path.c_str(), err.c_str());
             return 1;
         }
-        for (const auto &doc : docs)
-            data.addObject(doc);
-        std::printf("loaded %zu documents from %s in %.1f ms\n",
-                    docs.size(), load_path.c_str(), t.milliseconds());
+        std::printf("loaded %llu documents from %s in %.1f ms\n",
+                    static_cast<unsigned long long>(lstats.docs),
+                    load_path.c_str(), t.milliseconds());
     } else {
         nobench::Config ncfg;
         ncfg.numDocs = gen_docs;

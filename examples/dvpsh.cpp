@@ -38,7 +38,7 @@
 
 #include "adaptive/adaptive_engine.hh"
 #include "obs/export.hh"
-#include "json/parser.hh"
+#include "engine/load.hh"
 #include "nobench/generator.hh"
 #include "persist/snapshot.hh"
 #include "sql/run.hh"
@@ -173,19 +173,25 @@ class Shell
         }
         std::stringstream buf;
         buf << in.rdbuf();
-        std::string err;
-        auto docs = json::parseLines(buf.str(), &err);
+        Timer t;
+        // Tape-parse (DOM-free) and ingest through the flat fast
+        // path; documents before a bad line are kept, as before.
+        dvp::engine::LoadOptions opt;
+        size_t docs = 0;
+        std::string err = dvp::engine::parseNdjsonFlat(
+            buf.str(), opt, nullptr,
+            [&](const std::vector<json::FlatAttr> &flat) {
+                engine->ingestFlat(flat);
+                ++docs;
+            });
         if (!err.empty())
             std::printf("parse error: %s (loaded %zu docs before it)\n",
-                        err.c_str(), docs.size());
-        Timer t;
-        for (const auto &doc : docs)
-            engine->ingest(doc);
+                        err.c_str(), docs);
         char msg[128];
         std::snprintf(msg, sizeof(msg),
                       "ingested %zu documents in %.1f ms (%zu "
                       "attributes known)",
-                      docs.size(), t.milliseconds(),
+                      docs, t.milliseconds(),
                       data.catalog.attrCount());
         out.message = msg;
         return out;

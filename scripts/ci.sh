@@ -62,6 +62,40 @@ assert {"rows_per_sec_baseline", "rows_per_sec_scalar",
 print(f"scan kernels smoke: {len(rows)} NDJSON rows ok")
 EOF
 
+echo "=== tape parse ==="
+# The tape-vs-DOM suite registers twice in ctest (default dispatch and
+# DVP_FORCE_SCALAR=1); run both registrations explicitly, then smoke
+# the LOAD bench under both dispatch outcomes.  The bench itself is a
+# differential check at data scale: every tape-loaded DataSet is
+# compared document-by-document against the serial DOM load and the
+# bench aborts on any disagreement.  The NDJSON must carry the
+# throughput schema, and the single-thread tape speedup over DOM must
+# clear a floor — 2x is deliberately far under the ~3x a quiet
+# machine measures (EXPERIMENTS.md E15), because CI boxes are noisy.
+ctest --test-dir build-ci --output-on-failure -R 'test_json_tape'
+./build-ci/bench/bench_load --docs 4000 --repeats 3 \
+    --json "$OBS_TMP/load.ndjson" > /dev/null
+DVP_FORCE_SCALAR=1 ./build-ci/bench/bench_load --docs 4000 \
+    --repeats 1 > /dev/null
+python3 - "$OBS_TMP" <<'EOF'
+import json, sys
+rows = [json.loads(l) for l in open(f"{sys.argv[1]}/load.ndjson")]
+assert rows and all(r["bench"] == "load" for r in rows)
+assert all("rss_peak_bytes" in r for r in rows)
+metrics = {r["metric"] for r in rows}
+assert {"docs_per_sec", "mb_per_sec", "speedup_vs_dom1", "load_ms",
+        "index_ns", "walk_ns", "encode_ns"} <= metrics, metrics
+speed = {(r["engine"], r["query"]): r["value"] for r in rows
+         if r["metric"] == "speedup_vs_dom1"}
+tape1 = max(v for (e, q), v in speed.items()
+            if e.startswith("tape") and q == "t1")
+assert tape1 >= 2.0, speed
+falls = [r["value"] for r in rows if r["metric"] == "fallback_docs"]
+assert falls and all(v == 0 for v in falls), falls
+print(f"tape parse smoke: {len(rows)} NDJSON rows, "
+      f"tape {tape1:.2f}x DOM at 1 thread ok")
+EOF
+
 echo "=== compressed blocks ==="
 # The compressed-block bench builds plain/compressed twins and aborts
 # on any result-digest disagreement, so a tiny run is itself a
@@ -263,7 +297,7 @@ cmake -B build-tsan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
     -DDVP_SANITIZE=thread
 cmake --build build-tsan -j "$JOBS"
 DVP_TEST_DOCS=800 ctest --test-dir build-tsan --output-on-failure \
-    -j "$JOBS" -R 'test_parallel|test_util|test_adaptive|test_obs|test_plan|test_kernels|test_compress|test_server|test_analyze|test_ingest'
+    -j "$JOBS" -R 'test_parallel|test_util|test_adaptive|test_obs|test_plan|test_kernels|test_compress|test_server|test_analyze|test_ingest|test_json_tape'
 
 echo "=== address-sanitizer build ==="
 # ASan catches lifetime bugs the plan cache could introduce: a cached
@@ -273,6 +307,6 @@ cmake -B build-asan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
     -DDVP_SANITIZE=address
 cmake --build build-asan -j "$JOBS"
 DVP_TEST_DOCS=800 ctest --test-dir build-asan --output-on-failure \
-    -j "$JOBS" -R 'test_plan|test_adaptive|test_layout|test_kernels|test_compress|test_server|test_analyze|test_ingest'
+    -j "$JOBS" -R 'test_plan|test_adaptive|test_layout|test_kernels|test_compress|test_server|test_analyze|test_ingest|test_json_tape'
 
 echo "ci.sh: all suites passed"

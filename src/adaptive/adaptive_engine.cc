@@ -174,6 +174,45 @@ AdaptiveEngine::ingestMany(const json::JsonValue *docs, size_t n)
         ack.totalDocs = data->docs.size();
         ack.epoch = db->epoch();
     }
+    return finishIngest(ack, std::move(delta), first_idx, pending, n);
+}
+
+int64_t
+AdaptiveEngine::ingestFlat(const std::vector<json::FlatAttr> &flat)
+{
+    return ingestFlatBatch({flat}).lastOid;
+}
+
+IngestAck
+AdaptiveEngine::ingestFlatBatch(
+    const std::vector<std::vector<json::FlatAttr>> &docs)
+{
+    IngestAck ack;
+    std::shared_ptr<storage::DeltaStore> delta;
+    size_t first_idx = 0;
+    size_t pending = 0;
+    {
+        std::lock_guard<std::mutex> lock(db_mutex);
+        delta = delta_;
+        first_idx = delta->size();
+        for (const auto &flat : docs) {
+            ack.lastOid = data->addFlat(flat);
+            delta->append(data->docs.back());
+        }
+        pending = delta->size();
+        ack.count = docs.size();
+        ack.totalDocs = data->docs.size();
+        ack.epoch = db->epoch();
+    }
+    return finishIngest(ack, std::move(delta), first_idx, pending,
+                        docs.size());
+}
+
+IngestAck
+AdaptiveEngine::finishIngest(IngestAck ack,
+                             std::shared_ptr<storage::DeltaStore> delta,
+                             size_t first_idx, size_t pending, size_t n)
+{
     if (n == 0)
         return ack;
     DVP_COUNTER_ADD("dvp_inserts_total", n);

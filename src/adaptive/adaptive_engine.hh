@@ -183,6 +183,18 @@ class AdaptiveEngine
     /** Batch form of ingest(): one lock acquisition for all docs. */
     IngestAck ingestBatch(const std::vector<json::JsonValue> &docs);
 
+    /**
+     * Ingest one pre-flattened document (the tape-parser fast path:
+     * no JsonValue tree exists).  Semantics are identical to
+     * ingest(flatten-equivalent doc): delta append, drift windows,
+     * fold trigger.  @return the document's oid.
+     */
+    int64_t ingestFlat(const std::vector<json::FlatAttr> &flat);
+
+    /** Batch form of ingestFlat(): one lock acquisition for all. */
+    IngestAck ingestFlatBatch(
+        const std::vector<std::vector<json::FlatAttr>> &docs);
+
     /** Current database snapshot (shared; stays valid across swaps). */
     std::shared_ptr<engine::Database> snapshot() const;
 
@@ -249,6 +261,9 @@ class AdaptiveEngine
                         std::string trigger);
     void pushAudit(AuditRecord rec);
     IngestAck ingestMany(const json::JsonValue *docs, size_t n);
+    IngestAck finishIngest(IngestAck ack,
+                           std::shared_ptr<storage::DeltaStore> delta,
+                           size_t first_idx, size_t pending, size_t n);
 
     engine::DataSet *data;
     Params prm;

@@ -342,6 +342,8 @@ parseValue(Cursor &cur, JsonValue &out, int depth)
 ParseResult
 parse(std::string_view text, int max_depth)
 {
+    if (max_depth > kParseDepthCeiling)
+        max_depth = kParseDepthCeiling;
     Cursor cur(text, max_depth);
     ParseResult res;
     if (!parseValue(cur, res.value, 0)) {

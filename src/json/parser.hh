@@ -30,11 +30,21 @@ struct ParseResult
 };
 
 /**
+ * Hard ceiling on the depth limit parse() will honor.  parseValue
+ * recurses once per nesting level, so a caller-supplied max_depth is
+ * clamped here to keep the C stack bounded no matter what the caller
+ * passes; inputs nested past the clamp error cleanly.  The tape parser
+ * (tape.hh) walks with an explicit heap stack and has no such ceiling.
+ */
+constexpr int kParseDepthCeiling = 1000;
+
+/**
  * Parse one JSON document.  Trailing whitespace is permitted; any other
  * trailing content is an error.
  *
  * @param text the document.
- * @param max_depth nesting-depth limit guarding the recursion.
+ * @param max_depth nesting-depth limit guarding the recursion; values
+ *        above kParseDepthCeiling are clamped to it.
  */
 ParseResult parse(std::string_view text, int max_depth = 256);
 

@@ -94,6 +94,19 @@ class JsonValue
     /** Append an array element. @pre isArray() */
     void push(JsonValue v);
 
+    /**
+     * In-place string mutation for hot ingest paths: returns the
+     * held string, switching the alternative to String first if
+     * needed.  Unlike assigning a fresh JsonValue, re-using a slot
+     * that already holds a string keeps its heap allocation.
+     */
+    std::string &stringSlot()
+    {
+        if (auto *s = std::get_if<std::string>(&data))
+            return *s;
+        return data.emplace<std::string>();
+    }
+
     /** Number of members/elements; 0 for scalars. */
     size_t size() const;
 

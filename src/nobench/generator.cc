@@ -1,5 +1,6 @@
 #include "nobench/generator.hh"
 
+#include "engine/load.hh"
 #include "json/writer.hh"
 #include "util/logging.hh"
 
@@ -136,6 +137,19 @@ generateJsonLines(const Config &cfg, uint64_t count)
         out += '\n';
     }
     return out;
+}
+
+engine::DataSet
+generateDataSetNdjson(const Config &cfg, size_t threads)
+{
+    engine::DataSet data;
+    registerCatalog(data.catalog);
+    engine::LoadOptions opt;
+    opt.threads = threads;
+    std::string err = engine::loadNdjson(
+        data, generateJsonLines(cfg, cfg.numDocs), opt);
+    invariant(err.empty(), "NoBench NDJSON round-trip failed to load");
+    return data;
 }
 
 } // namespace dvp::nobench

@@ -90,6 +90,16 @@ void registerCatalog(storage::Catalog &catalog);
 /** Serialize @p count generated docs as newline-delimited JSON. */
 std::string generateJsonLines(const Config &cfg, uint64_t count);
 
+/**
+ * Like generateDataSet, but round-tripped through NDJSON text and the
+ * tape loader (engine/load.hh) at @p threads parse lanes.  The catalog
+ * is pre-registered first, exactly as generateDataSet does, so the
+ * result is bit-identical to generateDataSet for the same Config —
+ * that identity is asserted in tests/test_json_tape.cc.
+ */
+engine::DataSet generateDataSetNdjson(const Config &cfg,
+                                      size_t threads = 1);
+
 } // namespace dvp::nobench
 
 #endif // DVP_NOBENCH_GENERATOR_HH

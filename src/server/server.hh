@@ -54,6 +54,7 @@
 #include <vector>
 
 #include "adaptive/adaptive_engine.hh"
+#include "engine/load.hh"
 #include "net/wire.hh"
 #include "sql/run.hh"
 
@@ -92,6 +93,14 @@ struct Config
      * error and the engine is never touched.
      */
     bool allowInsert = false;
+
+    /**
+     * Parser lanes for LOAD DATA (tape parser over newline-aligned
+     * chunks; see engine/load.hh).  The loaded database is
+     * bit-identical at any value — parallel parse, serial encode.
+     * 1 = fully serial.
+     */
+    size_t loadThreads = 4;
 
     /** Server name reported in HELLO_OK. */
     std::string name = "dvpd";
@@ -203,7 +212,8 @@ class Server
     void executeTask(Task &task);
     net::StatsBody buildStats();
     void logSlowQuery(const Task &task, const sql::RunResult &r,
-                      uint64_t layoutEpoch);
+                      uint64_t layoutEpoch,
+                      const engine::LoadStats *loadStats = nullptr);
 
     adaptive::AdaptiveEngine *engine;
     Config cfg;
@@ -240,6 +250,18 @@ class Server
 
     mutable std::mutex stats_mu;
     ServerStats stats_;
+
+    /**
+     * Cumulative LOAD-pipeline counters (STATS: parse_docs_total,
+     * parse_bytes_total, load_*_ns_total).  Written by whichever
+     * worker holds the exclusive statement lock for a LOAD; read
+     * lock-free by the event loop's STATS handler.
+     */
+    std::atomic<uint64_t> parse_docs_{0};
+    std::atomic<uint64_t> parse_bytes_{0};
+    std::atomic<uint64_t> load_index_ns_{0};
+    std::atomic<uint64_t> load_flatten_ns_{0};
+    std::atomic<uint64_t> load_encode_ns_{0};
 
     std::mutex hook_mu;
     std::function<void()> execute_hook;

@@ -2,7 +2,7 @@
 
 #include <cstdio>
 
-#include "json/parser.hh"
+#include "json/tape.hh"
 #include "sql/explain.hh"
 #include "sql/parser.hh"
 #include "util/timer.hh"
@@ -56,18 +56,21 @@ runStatement(adaptive::AdaptiveEngine &eng, const std::string &text,
             res.error = "INSERT is not allowed on this connection";
             return res;
         }
-        std::vector<json::JsonValue> docs;
-        docs.reserve(parsed.insertJson.size());
-        for (const std::string &body : parsed.insertJson) {
-            json::ParseResult doc = json::parse(body);
-            if (!doc.ok) {
+        // Flatten each body with the tape parser (DOM-free fast path);
+        // thread_local so per-statement calls reuse the tape buffers.
+        thread_local json::TapeParser tape;
+        std::vector<std::vector<json::FlatAttr>> docs(
+            parsed.insertJson.size());
+        for (size_t i = 0; i < parsed.insertJson.size(); ++i) {
+            if (!tape.flatten(parsed.insertJson[i], docs[i])) {
                 res.errorKind = RunResult::Error::Parse;
-                res.error = "bad JSON document: " + doc.error;
+                res.error = "bad JSON document: " + tape.error();
                 return res;
             }
-            docs.push_back(std::move(doc.value));
+            json::countParsedDoc(json::tapeSimdActive(), false,
+                                 parsed.insertJson[i].size());
         }
-        adaptive::IngestAck ack = eng.ingestBatch(docs);
+        adaptive::IngestAck ack = eng.ingestFlatBatch(docs);
         char buf[96];
         std::snprintf(buf, sizeof(buf),
                       "INSERT %zu (%zu docs, epoch %llu)", ack.count,
