@@ -1,0 +1,308 @@
+/**
+ * @file
+ * Durability benchmarks (DESIGN.md §18, EXPERIMENTS.md E16).
+ *
+ * Four stages over the src/durability subsystem:
+ *
+ *  1. WAL append+commit throughput per fsync policy (none / interval
+ *     / always): batches of flattened NoBench documents through
+ *     logIngest-equivalent appends with a group-commit sync per
+ *     batch — the cost an acked INSERT pays for durability.
+ *  2. checkpoint bandwidth: serialize + atomic-write a consistent cut
+ *     of the seeded engine; reports snapshot MB/s and bytes.
+ *  3. cold-start WAL replay: a directory holding the whole corpus as
+ *     WAL records (no snapshot) is opened; reports replayed docs/s.
+ *  4. restart-to-serving wall: a realistic directory (checkpoint plus
+ *     a ~10% WAL tail) is recovered and an engine rebuilt from the
+ *     recovered layout — the full "kill -9 to first query" path.
+ *
+ * --json appends NDJSON records (rss_peak_bytes on every line); scale
+ * with --docs (EXPERIMENTS.md E16 runs 100k).
+ */
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <filesystem>
+#include <unistd.h>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "adaptive/adaptive_engine.hh"
+#include "durability/manager.hh"
+#include "durability/wal.hh"
+#include "harness.hh"
+#include "json/flatten.hh"
+
+using namespace dvp;
+namespace fs = std::filesystem;
+
+namespace
+{
+
+std::string
+tempDir(const char *tag)
+{
+    static std::atomic<uint64_t> counter{0};
+    std::string path =
+        (fs::temp_directory_path() /
+         ("dvp_bench_recovery_" + std::to_string(::getpid()) + "_" +
+          std::string(tag) + "_" +
+          std::to_string(counter.fetch_add(1))))
+            .string();
+    fs::remove_all(path);
+    fs::create_directories(path);
+    return path;
+}
+
+/** Pre-encoded WAL ingest bodies: batches of @p batch flat docs. */
+std::vector<std::string>
+encodeBatches(const std::vector<std::vector<json::FlatAttr>> &flats,
+              size_t batch)
+{
+    std::vector<std::string> bodies;
+    std::vector<std::vector<json::FlatAttr>> docs;
+    for (size_t i = 0; i < flats.size(); ++i) {
+        docs.push_back(flats[i]);
+        if (docs.size() == batch || i + 1 == flats.size()) {
+            bodies.push_back(
+                durability::Manager::encodeIngestBody(docs));
+            docs.clear();
+        }
+    }
+    return bodies;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    bench::Options opt = bench::Options::parse(argc, argv, 20000);
+    bench::JsonLog json(opt, "recovery");
+    nobench::Config cfg = opt.nobenchConfig();
+
+    std::printf("recovery bench: %llu docs, seed %llu\n\n",
+                static_cast<unsigned long long>(opt.docs),
+                static_cast<unsigned long long>(opt.seed));
+
+    // One flattened corpus drives every stage: WAL bodies, the seeded
+    // engine (via addFlat — the exact ingest path replay runs), and
+    // the restart directory.
+    Timer gen;
+    std::vector<std::vector<json::FlatAttr>> flats;
+    flats.reserve(opt.docs);
+    {
+        Rng rng(cfg.seed);
+        for (uint64_t i = 0; i < opt.docs; ++i)
+            flats.push_back(json::flatten(nobench::generateDoc(
+                cfg, rng, static_cast<int64_t>(i))));
+    }
+    std::printf("generated %llu docs in %.1f ms\n",
+                static_cast<unsigned long long>(opt.docs),
+                gen.milliseconds());
+
+    const size_t batch = 32;
+    std::vector<std::string> bodies = encodeBatches(flats, batch);
+    uint64_t body_bytes = 0;
+    for (const std::string &b : bodies)
+        body_bytes += b.size();
+
+    // ---- stage 1: WAL append throughput per fsync policy ----------
+    std::printf("\nWAL append+commit (batch %zu docs, group commit "
+                "per batch):\n",
+                batch);
+    struct PolicyRun
+    {
+        durability::FsyncPolicy policy;
+        const char *name;
+        /** always-fsync is seconds-per-batch bound: cap the batches. */
+        size_t maxBatches;
+    };
+    const PolicyRun runs[] = {
+        {durability::FsyncPolicy::None, "none", SIZE_MAX},
+        {durability::FsyncPolicy::Interval, "interval", SIZE_MAX},
+        {durability::FsyncPolicy::Always, "always", 256},
+    };
+    for (const PolicyRun &run : runs) {
+        std::string dir = tempDir(run.name);
+        durability::WalOptions wopts;
+        wopts.policy = run.policy;
+        durability::Wal wal(dir, wopts);
+        std::string err = wal.create(1);
+        if (!err.empty()) {
+            std::fprintf(stderr, "wal create: %s\n", err.c_str());
+            return 1;
+        }
+        size_t nbatches = std::min(bodies.size(), run.maxBatches);
+        uint64_t docs = 0, bytes = 0;
+        Timer t;
+        for (size_t i = 0; i < nbatches; ++i) {
+            uint64_t lsn = wal.append(durability::RecordType::Ingest,
+                                      bodies[i]);
+            wal.sync(lsn);
+            bytes += bodies[i].size();
+            docs += std::min<uint64_t>(batch, opt.docs - docs);
+        }
+        double secs = t.seconds();
+        std::printf("  fsync=%-8s %9.0f docs/s  %7.1f MB/s  "
+                    "(%llu docs, %.1f ms)\n",
+                    run.name, docs / secs, bytes / secs / 1e6,
+                    static_cast<unsigned long long>(docs),
+                    secs * 1e3);
+        std::string q = std::string("wal_fsync_") + run.name;
+        json.value("dvp", q, "wal_docs_per_sec", docs / secs);
+        json.value("dvp", q, "wal_mb_per_sec", bytes / secs / 1e6,
+                   "MB/s");
+        fs::remove_all(dir);
+    }
+
+    // ---- stage 2: checkpoint bandwidth -----------------------------
+    adaptive::Params params;
+    params.background = false;
+    params.adapt = false;
+    {
+        std::string dir = tempDir("ckpt");
+        durability::Config dcfg;
+        dcfg.dir = dir;
+        dcfg.fsyncPolicy = durability::FsyncPolicy::None;
+        durability::Manager mgr(dcfg);
+        engine::DataSet scratch;
+        for (const auto &f : flats)
+            scratch.addFlat(f);
+        durability::RecoveryInfo info;
+        mgr.open(scratch, info);
+        adaptive::AdaptiveEngine eng(
+            scratch, std::vector<engine::Query>{}, params);
+        eng.setDurability(&mgr);
+
+        durability::CheckpointResult ck = mgr.checkpointNow();
+        if (!ck.ok) {
+            std::fprintf(stderr, "checkpoint: %s\n",
+                         ck.error.c_str());
+            return 1;
+        }
+        double mbps = ck.bytes / ck.seconds / 1e6;
+        std::printf("\ncheckpoint: %llu bytes in %.1f ms  "
+                    "(%.1f MB/s)\n",
+                    static_cast<unsigned long long>(ck.bytes),
+                    ck.seconds * 1e3, mbps);
+        json.value("dvp", "checkpoint", "checkpoint_mb_per_sec",
+                   mbps, "MB/s");
+        json.value("dvp", "checkpoint", "checkpoint_bytes",
+                   static_cast<double>(ck.bytes), "bytes");
+        fs::remove_all(dir);
+    }
+
+    // ---- stage 3: cold-start WAL replay ----------------------------
+    {
+        std::string dir = tempDir("replay");
+        {
+            durability::Config dcfg;
+            dcfg.dir = dir;
+            dcfg.fsyncPolicy = durability::FsyncPolicy::None;
+            durability::Manager mgr(dcfg);
+            engine::DataSet empty;
+            durability::RecoveryInfo info;
+            mgr.open(empty, info);
+            for (const std::string &b : bodies)
+                mgr.commit(mgr.logIngest(b));
+        }
+        durability::Config dcfg;
+        dcfg.dir = dir;
+        dcfg.fsyncPolicy = durability::FsyncPolicy::None;
+        durability::Manager mgr(dcfg);
+        engine::DataSet recovered;
+        durability::RecoveryInfo info;
+        Timer t;
+        std::string err = mgr.open(recovered, info);
+        double secs = t.seconds();
+        if (!err.empty()) {
+            std::fprintf(stderr, "replay: %s\n", err.c_str());
+            return 1;
+        }
+        std::printf("\ncold replay: %llu docs from %llu records in "
+                    "%.1f ms  (%.0f docs/s)\n",
+                    static_cast<unsigned long long>(
+                        info.replayedDocs),
+                    static_cast<unsigned long long>(
+                        info.replayedRecords),
+                    secs * 1e3, info.replayedDocs / secs);
+        json.value("dvp", "replay", "replay_docs_per_sec",
+                   info.replayedDocs / secs);
+        fs::remove_all(dir);
+    }
+
+    // ---- stage 4: restart-to-serving wall --------------------------
+    {
+        std::string dir = tempDir("restart");
+        {
+            durability::Config dcfg;
+            dcfg.dir = dir;
+            dcfg.fsyncPolicy = durability::FsyncPolicy::None;
+            durability::Manager mgr(dcfg);
+            // Checkpoint ~90% of the corpus; the rest rides the WAL
+            // tail, mirroring a server killed between checkpoints.
+            size_t base = flats.size() * 9 / 10;
+            engine::DataSet head;
+            for (size_t i = 0; i < base; ++i)
+                head.addFlat(flats[i]);
+            durability::RecoveryInfo info;
+            mgr.open(head, info);
+            adaptive::AdaptiveEngine eng(
+                head, std::vector<engine::Query>{}, params);
+            eng.setDurability(&mgr);
+            mgr.checkpointNow();
+            std::vector<std::vector<json::FlatAttr>> one(1);
+            for (size_t i = base; i < flats.size(); ++i) {
+                one[0] = flats[i];
+                mgr.commit(mgr.logIngest(
+                    durability::Manager::encodeIngestBody(one)));
+            }
+        }
+        durability::Config dcfg;
+        dcfg.dir = dir;
+        dcfg.fsyncPolicy = durability::FsyncPolicy::None;
+        auto mgr = std::make_unique<durability::Manager>(dcfg);
+        engine::DataSet recovered;
+        durability::RecoveryInfo info;
+        Timer t;
+        std::string err = mgr->open(recovered, info);
+        if (!err.empty()) {
+            std::fprintf(stderr, "restart: %s\n", err.c_str());
+            return 1;
+        }
+        std::unique_ptr<adaptive::AdaptiveEngine> eng;
+        if (info.layout) {
+            adaptive::Restore r;
+            r.layout = *info.layout;
+            r.epoch = info.epoch;
+            r.baseDocs = info.baseDocs;
+            eng = adaptive::AdaptiveEngine::restore(
+                recovered, std::move(r), params);
+        } else {
+            eng = std::make_unique<adaptive::AdaptiveEngine>(
+                recovered, std::vector<engine::Query>{}, params);
+        }
+        eng->setDurability(mgr.get());
+        // "Serving" = the first query answers.
+        nobench::QuerySet qs(recovered, cfg);
+        Rng rng(opt.seed);
+        eng->execute(qs.instantiate(nobench::kQ1, rng));
+        double secs = t.seconds();
+        std::printf("\nrestart-to-serving: %.1f ms  (%zu docs: %llu "
+                    "snapshot + %llu WAL tail)\n",
+                    secs * 1e3, recovered.docs.size(),
+                    static_cast<unsigned long long>(
+                        info.snapshotDocs),
+                    static_cast<unsigned long long>(
+                        info.replayedDocs));
+        json.value("dvp", "restart", "restart_ms", secs * 1e3, "ms");
+        fs::remove_all(dir);
+    }
+
+    std::printf("\npeak RSS: %.1f MB\n",
+                bench::peakRssBytes() / 1e6);
+    return 0;
+}

@@ -33,6 +33,18 @@
  *                           exit
  *     --metrics FILE        dump the metric registry at exit
  *     --trace FILE          dump spans at exit
+ *
+ *   Durability (see src/durability/):
+ *     --data-dir DIR        durable data directory: WAL + checkpoints.
+ *                           On boot, existing state is recovered (load
+ *                           snapshot, replay WAL tail) and --gen/--load
+ *                           are ignored; a fresh directory is seeded
+ *                           and an initial checkpoint captures the seed.
+ *     --fsync POLICY        always | interval | none  (default always)
+ *     --fsync-interval-ms N interval policy timer     (default 50)
+ *     --checkpoint-wal-mb N auto-checkpoint after N MB of WAL growth;
+ *                           0 disables                (default 64)
+ *     --wal-segment-mb N    WAL segment roll size     (default 64)
  */
 
 #include <chrono>
@@ -40,11 +52,13 @@
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <memory>
 #include <sstream>
 #include <string>
 #include <thread>
 
 #include "adaptive/adaptive_engine.hh"
+#include "durability/manager.hh"
 #include "engine/load.hh"
 #include "nobench/generator.hh"
 #include "obs/export.hh"
@@ -70,7 +84,10 @@ usage(const char *argv0)
                  "[--http-port P] "
                  "[--http-port-file FILE] [--slow-ms N] "
                  "[--slow-query-log FILE] [--audit] [--metrics FILE] "
-                 "[--trace FILE]\n",
+                 "[--trace FILE] [--data-dir DIR] "
+                 "[--fsync always|interval|none] "
+                 "[--fsync-interval-ms N] [--checkpoint-wal-mb N] "
+                 "[--wal-segment-mb N]\n",
                  argv0);
     return 2;
 }
@@ -92,6 +109,8 @@ main(int argc, char **argv)
     server::HttpConfig http_cfg;
     std::string http_port_file;
     bool dump_audit = false;
+    durability::Config dur_cfg;
+    dur_cfg.checkpointWalBytes = 64u << 20;
 
     for (int i = 1; i < argc; ++i) {
         std::string a = argv[i];
@@ -144,16 +163,77 @@ main(int argc, char **argv)
             cfg.slowLogPath = next("--slow-query-log");
         else if (a == "--audit")
             dump_audit = true;
+        else if (a == "--data-dir")
+            dur_cfg.dir = next("--data-dir");
+        else if (a == "--fsync") {
+            const char *pol = next("--fsync");
+            if (!durability::parseFsyncPolicy(pol,
+                                              dur_cfg.fsyncPolicy)) {
+                std::fprintf(stderr,
+                             "--fsync must be always, interval or "
+                             "none (got '%s')\n",
+                             pol);
+                return 2;
+            }
+        } else if (a == "--fsync-interval-ms")
+            dur_cfg.fsyncIntervalMs = std::strtoull(
+                next("--fsync-interval-ms"), nullptr, 10);
+        else if (a == "--checkpoint-wal-mb")
+            dur_cfg.checkpointWalBytes =
+                std::strtoull(next("--checkpoint-wal-mb"), nullptr,
+                              10)
+                << 20;
+        else if (a == "--wal-segment-mb")
+            dur_cfg.walSegmentBytes =
+                std::strtoull(next("--wal-segment-mb"), nullptr, 10)
+                << 20;
         else if (a == "--metrics" || a == "--trace")
             ++i; // consumed by obs::scanArgs
         else
             return usage(argv[0]);
     }
 
-    // Seed the engine.
+    // Open the durable directory first: existing state wins over
+    // --gen/--load (restarting with the same --data-dir must resume,
+    // not reseed).
     engine::DataSet data;
+    std::unique_ptr<durability::Manager> dur;
+    durability::RecoveryInfo rinfo;
+    if (!dur_cfg.dir.empty()) {
+        dur = std::make_unique<durability::Manager>(dur_cfg);
+        Timer rt;
+        std::string derr = dur->open(data, rinfo);
+        if (!derr.empty()) {
+            std::fprintf(stderr, "dvpd: recovery of '%s' failed: %s\n",
+                         dur_cfg.dir.c_str(), derr.c_str());
+            return 1;
+        }
+        if (rinfo.recovered)
+            std::printf(
+                "dvpd: recovered %zu docs from %s (%llu from "
+                "snapshot, %llu replayed from %llu WAL records%s, "
+                "epoch %llu, lsn %llu) in %.1f ms\n",
+                data.docs.size(), dur_cfg.dir.c_str(),
+                static_cast<unsigned long long>(rinfo.snapshotDocs),
+                static_cast<unsigned long long>(rinfo.replayedDocs),
+                static_cast<unsigned long long>(rinfo.replayedRecords),
+                rinfo.truncatedTail ? ", torn tail truncated" : "",
+                static_cast<unsigned long long>(rinfo.epoch),
+                static_cast<unsigned long long>(rinfo.lastLsn),
+                rt.milliseconds());
+        else
+            std::printf("dvpd: initialized fresh data directory %s "
+                        "(fsync=%s)\n",
+                        dur_cfg.dir.c_str(),
+                        durability::fsyncPolicyName(
+                            dur_cfg.fsyncPolicy));
+    }
+
+    // Seed the engine (skipped when the data directory held state).
     Timer t;
-    if (!load_path.empty()) {
+    if (rinfo.recovered) {
+        // Nothing to seed; the DataSet above is the recovered corpus.
+    } else if (!load_path.empty()) {
         std::ifstream in(load_path);
         if (!in) {
             std::fprintf(stderr, "cannot open '%s'\n",
@@ -192,9 +272,45 @@ main(int argc, char **argv)
     adaptive::Params params;
     params.background = true; // repartition underneath live sessions
     params.threads = exec_threads;
-    adaptive::AdaptiveEngine engine(data, {}, params);
+    std::unique_ptr<adaptive::AdaptiveEngine> engine;
+    if (rinfo.recovered && rinfo.layout) {
+        // Resume the committed layout and epoch verbatim — queries
+        // after restart hit bit-identical partitions.
+        adaptive::Restore r;
+        r.layout = *rinfo.layout;
+        r.epoch = rinfo.epoch;
+        r.baseDocs = rinfo.baseDocs;
+        engine =
+            adaptive::AdaptiveEngine::restore(data, std::move(r),
+                                              params);
+    } else {
+        engine = std::make_unique<adaptive::AdaptiveEngine>(
+            data, std::vector<engine::Query>{}, params);
+    }
+    if (dur) {
+        engine->setDurability(dur.get());
+        if (!rinfo.recovered) {
+            // Seed documents bypassed the WAL (they were loaded into
+            // the DataSet directly), so they are only durable once
+            // this first checkpoint lands.  Refuse to serve if it
+            // fails: acking INSERTs against a base that would vanish
+            // on crash breaks the recovery contract.
+            durability::CheckpointResult ck = dur->checkpointNow();
+            if (!ck.ok) {
+                std::fprintf(stderr,
+                             "dvpd: initial checkpoint failed: %s\n",
+                             ck.error.c_str());
+                return 1;
+            }
+            std::printf("dvpd: initial checkpoint %s (%llu docs, "
+                        "%.1f ms)\n",
+                        ck.snapshotFile.c_str(),
+                        static_cast<unsigned long long>(ck.docs),
+                        ck.seconds * 1e3);
+        }
+    }
 
-    server::Server server(engine, cfg);
+    server::Server server(*engine, cfg);
     std::string err = server.start();
     if (!err.empty()) {
         std::fprintf(stderr, "start failed: %s\n", err.c_str());
@@ -233,6 +349,11 @@ main(int argc, char **argv)
 
     http.stop();
 
+    // Let an in-flight background checkpoint finish before the engine
+    // (the cut provider's target) is torn down.
+    if (dur)
+        dur->quiesce();
+
     server::ServerStats s = server.stats();
     std::printf("dvpd: drained — %llu connections, %llu requests, "
                 "%llu rejects\n",
@@ -242,8 +363,8 @@ main(int argc, char **argv)
 
     if (dump_audit) {
         std::printf("adaptive-decision audit (%zu records):\n",
-                    engine.auditTrail().size());
-        for (const adaptive::AuditRecord &rec : engine.auditTrail()) {
+                    engine->auditTrail().size());
+        for (const adaptive::AuditRecord &rec : engine->auditTrail()) {
             std::printf(
                 "  #%llu trigger=%s tables=%llu cost %.3f -> %.3f "
                 "(%llu iters, %llu moves) layout=%016llx "

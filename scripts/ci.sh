@@ -292,12 +292,99 @@ print(f"ingest smoke: {m[('insert_only', 'inserts_per_s')]:.0f} "
       f"mixed p95 {m[('mixed', 'p95_ms')]:.2f} ms ok")
 EOF
 
+echo "=== durability ==="
+# Crash recovery end to end over real sockets: dvpd with a data
+# directory (fsync=always) takes acked wire INSERTs and a CHECKPOINT,
+# then an insert storm is kill -9'd mid-stream.  The restart must
+# recover at least every acked document and answer the reference
+# query byte-identically.
+DUR_DIR="$OBS_TMP/durdata"
+./build-ci/examples/dvpd --gen 300 --port 0 --allow-insert \
+    --data-dir "$DUR_DIR" --fsync always \
+    --port-file "$OBS_TMP/dvpd5.port" > "$OBS_TMP/dvpd5.log" 2>&1 &
+DVPD_PID=$!
+for _ in $(seq 50); do
+    [ -s "$OBS_TMP/dvpd5.port" ] && break
+    sleep 0.1
+done
+DVPD_PORT="$(cat "$OBS_TMP/dvpd5.port")"
+grep -q "initial checkpoint" "$OBS_TMP/dvpd5.log"
+DUR_SELECT="SELECT dur_k, dur_v FROM t WHERE dur_k BETWEEN 1 AND 3"
+./build-ci/examples/dvp_client --port "$DVPD_PORT" \
+    "INSERT INTO nobench VALUES ('{\"dur_k\": 1, \"dur_v\": 11}')" \
+    "CHECKPOINT" \
+    "INSERT INTO nobench VALUES ('{\"dur_k\": 2, \"dur_v\": 22}'), ('{\"dur_k\": 3, \"dur_v\": 33}')" \
+    "$DUR_SELECT" > "$OBS_TMP/dur_ref.out"
+grep -q "INSERT 1 (301 docs" "$OBS_TMP/dur_ref.out"
+grep -q "CHECKPOINT (snapshot-" "$OBS_TMP/dur_ref.out"
+grep -q "INSERT 2 (303 docs" "$OBS_TMP/dur_ref.out"
+# Insert storm, killed -9 mid-stream: the client's acked count is the
+# durability floor.
+python3 - > "$OBS_TMP/storm.sql" <<'EOF'
+for i in range(500):
+    print(f'INSERT INTO nobench VALUES (\'{{"storm": {i}}}\')')
+EOF
+./build-ci/examples/dvp_client --port "$DVPD_PORT" \
+    --exec "$OBS_TMP/storm.sql" > "$OBS_TMP/storm.out" 2>&1 &
+STORM_PID=$!
+sleep 0.7
+kill -9 "$DVPD_PID"
+wait "$DVPD_PID" 2>/dev/null || true
+wait "$STORM_PID" 2>/dev/null || true
+ACKED=$(grep -c "^INSERT 1" "$OBS_TMP/storm.out" || true)
+echo "storm: $ACKED inserts acked before kill -9"
+# Restart on the same directory: recovery must cover every ack.
+./build-ci/examples/dvpd --port 0 --allow-insert \
+    --data-dir "$DUR_DIR" --fsync always \
+    --port-file "$OBS_TMP/dvpd6.port" > "$OBS_TMP/dvpd6.log" 2>&1 &
+DVPD_PID=$!
+for _ in $(seq 50); do
+    [ -s "$OBS_TMP/dvpd6.port" ] && break
+    sleep 0.1
+done
+DVPD_PORT="$(cat "$OBS_TMP/dvpd6.port")"
+grep -q "dvpd: recovered" "$OBS_TMP/dvpd6.log"
+RECOVERED=$(sed -n 's/^dvpd: recovered \([0-9]*\) docs.*/\1/p' \
+    "$OBS_TMP/dvpd6.log")
+[ "$RECOVERED" -ge $((303 + ACKED)) ] || {
+    echo "recovered $RECOVERED docs < 303 + $ACKED acked" >&2; exit 1; }
+./build-ci/examples/dvp_client --port "$DVPD_PORT" --stats \
+    "$DUR_SELECT" > "$OBS_TMP/dur_post.out"
+grep -Eq "recovered_docs +$RECOVERED" "$OBS_TMP/dur_post.out"
+# The reference rows must come back byte-identical after recovery.
+grep -A 100 "^dur_k" "$OBS_TMP/dur_ref.out" | head -4 \
+    > "$OBS_TMP/dur_ref.rows"
+grep -A 100 "^dur_k" "$OBS_TMP/dur_post.out" | head -4 \
+    > "$OBS_TMP/dur_post.rows"
+diff "$OBS_TMP/dur_ref.rows" "$OBS_TMP/dur_post.rows"
+kill -TERM "$DVPD_PID"
+wait "$DVPD_PID"
+# Recovery bench smoke: the NDJSON must carry every E16 metric.
+./build-ci/bench/bench_recovery --docs 2000 \
+    --json "$OBS_TMP/recovery.ndjson" > /dev/null
+python3 - "$OBS_TMP" <<'EOF'
+import json, sys
+rows = [json.loads(l) for l in open(f"{sys.argv[1]}/recovery.ndjson")]
+assert rows and all(r["bench"] == "recovery" for r in rows)
+assert all("rss_peak_bytes" in r for r in rows)
+m = {(r["query"], r["metric"]): r["value"] for r in rows}
+assert m[("wal_fsync_always", "wal_docs_per_sec")] > 0, m
+assert m[("wal_fsync_none", "wal_docs_per_sec")] > 0, m
+assert m[("checkpoint", "checkpoint_mb_per_sec")] > 0, m
+assert m[("replay", "replay_docs_per_sec")] > 0, m
+assert m[("restart", "restart_ms")] > 0, m
+print(f"recovery smoke: replay "
+      f"{m[('replay', 'replay_docs_per_sec')]:.0f} docs/s, "
+      f"restart {m[('restart', 'restart_ms')]:.1f} ms ok")
+EOF
+echo "durability smoke: $RECOVERED docs recovered, rows identical ok"
+
 echo "=== thread-sanitizer build ==="
 cmake -B build-tsan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
     -DDVP_SANITIZE=thread
 cmake --build build-tsan -j "$JOBS"
 DVP_TEST_DOCS=800 ctest --test-dir build-tsan --output-on-failure \
-    -j "$JOBS" -R 'test_parallel|test_util|test_adaptive|test_obs|test_plan|test_kernels|test_compress|test_server|test_analyze|test_ingest|test_json_tape'
+    -j "$JOBS" -R 'test_parallel|test_util|test_adaptive|test_obs|test_plan|test_kernels|test_compress|test_server|test_analyze|test_ingest|test_json_tape|test_durability'
 
 echo "=== address-sanitizer build ==="
 # ASan catches lifetime bugs the plan cache could introduce: a cached
@@ -307,6 +394,6 @@ cmake -B build-asan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
     -DDVP_SANITIZE=address
 cmake --build build-asan -j "$JOBS"
 DVP_TEST_DOCS=800 ctest --test-dir build-asan --output-on-failure \
-    -j "$JOBS" -R 'test_plan|test_adaptive|test_layout|test_kernels|test_compress|test_server|test_analyze|test_ingest|test_json_tape'
+    -j "$JOBS" -R 'test_plan|test_adaptive|test_layout|test_kernels|test_compress|test_server|test_analyze|test_ingest|test_json_tape|test_durability'
 
 echo "ci.sh: all suites passed"

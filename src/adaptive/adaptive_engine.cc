@@ -1,5 +1,6 @@
 #include "adaptive/adaptive_engine.hh"
 
+#include "json/flatten.hh"
 #include "obs/metrics.hh"
 #include "obs/trace.hh"
 #include "util/logging.hh"
@@ -38,6 +39,75 @@ AdaptiveEngine::AdaptiveEngine(engine::DataSet &data,
     rec.partitionerNs = static_cast<uint64_t>(res.seconds * 1e9);
     rec.buildNs = static_cast<uint64_t>(build.seconds() * 1e9);
     pushAudit(std::move(rec));
+}
+
+AdaptiveEngine::AdaptiveEngine(RestoreTag, engine::DataSet &data,
+                               Restore r, Params params)
+    : data(&data), prm(params),
+      threads_(params.threads == 0 ? 1 : params.threads),
+      morsel_rows_(params.morselRows),
+      detector(params.window, params.changeThreshold)
+{
+    // No partitioner run: the committed layout is rebuilt verbatim.
+    // docs[0, baseDocs) only reference attributes the logged layout
+    // covers (the swap that committed it grew singleton partitions
+    // for every catalog attribute), so the bulk build loses no cells;
+    // later documents go to the delta exactly as before the crash.
+    Timer build;
+    std::vector<storage::Document> base_docs(
+        data.docs.begin(),
+        data.docs.begin() + static_cast<ptrdiff_t>(r.baseDocs));
+    db = std::make_shared<engine::Database>(data, r.layout, "DVP",
+                                            /*allow_pad=*/true,
+                                            &base_docs, prm.compress);
+    db->adoptEpoch(r.epoch);
+    delta_ = std::make_shared<storage::DeltaStore>(
+        static_cast<int64_t>(r.baseDocs));
+    for (size_t i = r.baseDocs; i < data.docs.size(); ++i)
+        delta_->append(data.docs[i]);
+    adapt_stats.lastLayoutTables = r.layout.partitionCount();
+
+    AuditRecord rec;
+    rec.trigger = "recovery";
+    rec.tables = r.layout.partitionCount();
+    rec.layoutFingerprint = db->layoutFingerprint();
+    rec.buildNs = static_cast<uint64_t>(build.seconds() * 1e9);
+    pushAudit(std::move(rec));
+}
+
+std::unique_ptr<AdaptiveEngine>
+AdaptiveEngine::restore(engine::DataSet &data, Restore r, Params params)
+{
+    invariant(r.baseDocs <= data.docs.size(),
+              "restore: baseDocs exceeds recovered documents");
+    return std::unique_ptr<AdaptiveEngine>(new AdaptiveEngine(
+        RestoreTag{}, data, std::move(r), params));
+}
+
+void
+AdaptiveEngine::setDurability(durability::Manager *dur)
+{
+    dur_ = dur;
+    if (dur_)
+        dur_->setCutProvider([this] { return checkpointCut(); });
+}
+
+durability::CheckpointCut
+AdaptiveEngine::checkpointCut()
+{
+    std::lock_guard<std::mutex> lock(db_mutex);
+    auto dlock = data->readLock(); // lock order: db_mutex, then mu
+    durability::CheckpointCut cut;
+    // Ingest (doc append + WAL append) happens entirely under
+    // db_mutex, so the copied documents and the WAL position agree
+    // exactly: every logged record <= walLsn is in the copy, nothing
+    // newer is.
+    cut.data = *data;
+    cut.layout = db->layout();
+    cut.epoch = db->epoch();
+    cut.baseDocs = db->docCount();
+    cut.walLsn = dur_ ? dur_->wal()->appendedLsn() : 0;
+    return cut;
 }
 
 void
@@ -157,24 +227,15 @@ AdaptiveEngine::ingestBatch(const std::vector<json::JsonValue> &docs)
 IngestAck
 AdaptiveEngine::ingestMany(const json::JsonValue *docs, size_t n)
 {
-    IngestAck ack;
-    std::shared_ptr<storage::DeltaStore> delta;
-    size_t first_idx = 0;
-    size_t pending = 0;
-    {
-        std::lock_guard<std::mutex> lock(db_mutex);
-        delta = delta_;
-        first_idx = delta->size();
-        for (size_t i = 0; i < n; ++i) {
-            ack.lastOid = data->addObject(docs[i]);
-            delta->append(data->docs.back());
-        }
-        pending = delta->size();
-        ack.count = n;
-        ack.totalDocs = data->docs.size();
-        ack.epoch = db->epoch();
-    }
-    return finishIngest(ack, std::move(delta), first_idx, pending, n);
+    // Pre-flatten outside every lock and delegate: encode(flatten(d))
+    // is exactly what addObject runs, and the flat form is what the
+    // WAL logs, so both ingest surfaces produce identical log records
+    // and identical replay.
+    std::vector<std::vector<json::FlatAttr>> flats;
+    flats.reserve(n);
+    for (size_t i = 0; i < n; ++i)
+        flats.push_back(json::flatten(docs[i]));
+    return ingestFlatBatch(flats);
 }
 
 int64_t
@@ -191,6 +252,14 @@ AdaptiveEngine::ingestFlatBatch(
     std::shared_ptr<storage::DeltaStore> delta;
     size_t first_idx = 0;
     size_t pending = 0;
+    // Encode the WAL body outside the lock (it only reads the
+    // caller's documents); the append itself must happen under
+    // db_mutex so the log order equals the apply order.
+    std::string wal_body;
+    const bool log = dur_ != nullptr && !docs.empty();
+    if (log)
+        wal_body = durability::Manager::encodeIngestBody(docs);
+    uint64_t lsn = 0;
     {
         std::lock_guard<std::mutex> lock(db_mutex);
         delta = delta_;
@@ -203,6 +272,15 @@ AdaptiveEngine::ingestFlatBatch(
         ack.count = docs.size();
         ack.totalDocs = data->docs.size();
         ack.epoch = db->epoch();
+        if (log)
+            lsn = dur_->logIngest(wal_body);
+    }
+    if (log) {
+        // Log-before-ack: group-commit the record (and maybe trigger
+        // a checkpoint) before the caller sees the acknowledgement.
+        std::string err = dur_->commit(lsn);
+        if (!err.empty())
+            ack.walError = std::move(err);
     }
     return finishIngest(ack, std::move(delta), first_idx, pending,
                         docs.size());
@@ -354,6 +432,7 @@ AdaptiveEngine::repartitionNow(std::vector<engine::Query> workload,
     uint64_t folded = 0;
     size_t new_delta_rows = 0;
     size_t new_delta_bytes = 0;
+    uint64_t swap_lsn = 0;
     {
         DVP_TRACE_SPAN(swap_span, "swap", "catch-up + pointer swap");
         std::lock_guard<std::mutex> lock(db_mutex);
@@ -378,6 +457,18 @@ AdaptiveEngine::repartitionNow(std::vector<engine::Query> workload,
         delta_ = std::move(successor);
         adapt_stats.lastLayoutTables = res.layout.partitionCount();
         ++adapt_stats.repartitions;
+        // Log the committed swap inside the same critical section so
+        // its WAL position is ordered exactly like the swap itself
+        // relative to ingest records.
+        if (dur_)
+            swap_lsn = dur_->logSwap(db->layout(), db->epoch(),
+                                     db->docCount());
+    }
+    if (dur_) {
+        std::string err = dur_->commit(swap_lsn);
+        if (!err.empty())
+            warn("wal: layout swap record not durable: %s",
+                 err.c_str());
     }
     double swap_seconds = swap_timer.seconds();
     DVP_GAUGE_SET("dvp_delta_rows",

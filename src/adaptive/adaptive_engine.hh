@@ -27,6 +27,7 @@
 #include <thread>
 #include <vector>
 
+#include "durability/manager.hh"
 #include "dvp/partitioner.hh"
 #include "engine/database.hh"
 #include "engine/executor.hh"
@@ -143,6 +144,24 @@ struct IngestAck
     size_t totalDocs = 0; ///< engine document count after the append
     uint64_t epoch = 0;   ///< base epoch the append landed next to
     int64_t lastOid = -1; ///< oid of the last appended document
+    /**
+     * Non-empty when durable logging failed: the documents are in
+     * memory but NOT guaranteed recoverable, so the statement must be
+     * reported as failed instead of acknowledged (log-before-ack).
+     */
+    std::string walError;
+};
+
+/**
+ * Durably recovered layout state for AdaptiveEngine::restore(): the
+ * committed layout, its epoch, and how many documents were folded
+ * into the base when it was committed (the rest become the delta).
+ */
+struct Restore
+{
+    layout::Layout layout;
+    uint64_t epoch = 0;
+    uint64_t baseDocs = 0;
 };
 
 /** The engine. */
@@ -156,6 +175,18 @@ class AdaptiveEngine
     AdaptiveEngine(engine::DataSet &data,
                    const std::vector<engine::Query> &initial,
                    Params params = {});
+
+    /**
+     * Rebuild an engine from durably recovered state: the base
+     * partitions are built from docs[0, baseDocs) under the committed
+     * layout (no partitioner run), the epoch is adopted verbatim, and
+     * docs[baseDocs, ...) become the INSERT delta — exactly the state
+     * the pre-crash process was serving.  A static factory rather
+     * than a constructor so existing `AdaptiveEngine e(data, {},
+     * params)` call sites stay unambiguous.
+     */
+    static std::unique_ptr<AdaptiveEngine>
+    restore(engine::DataSet &data, Restore r, Params params = {});
 
     ~AdaptiveEngine();
 
@@ -255,7 +286,33 @@ class AdaptiveEngine
     engine::PlanCache &planCache() { return plan_cache; }
     const engine::PlanCache &planCache() const { return plan_cache; }
 
+    /**
+     * Attach a durability manager: every ingest batch is WAL-logged
+     * before it is acknowledged and every layout swap writes a Swap
+     * record; the manager's checkpoint cut provider is bound to
+     * checkpointCut().  Call once, before serving traffic.
+     */
+    void setDurability(durability::Manager *dur);
+
+    /** The attached durability manager; null when running in-memory. */
+    durability::Manager *durability() const { return dur_; }
+
+    /**
+     * A consistent checkpoint cut: a private copy of the data set
+     * plus {layout, epoch, baseDocs, walLsn} taken under the ingest
+     * lock, so the WAL position exactly covers the copied documents.
+     * The pause is the copy itself — the same order of stall as the
+     * existing repartition snapshot, and far shorter than a blocking
+     * serialize-to-disk would be.
+     */
+    durability::CheckpointCut checkpointCut();
+
   private:
+    struct RestoreTag
+    {
+    };
+    AdaptiveEngine(RestoreTag, engine::DataSet &data, Restore r,
+                   Params params);
     void maybeRepartition(const std::string &trigger);
     void repartitionNow(std::vector<engine::Query> workload,
                         std::string trigger);
@@ -267,6 +324,7 @@ class AdaptiveEngine
 
     engine::DataSet *data;
     Params prm;
+    durability::Manager *dur_ = nullptr;
     std::atomic<size_t> threads_{1};
     std::atomic<size_t> morsel_rows_{0};
 

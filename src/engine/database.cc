@@ -32,6 +32,12 @@ DataSet::addFlat(const std::vector<json::FlatAttr> &flat)
     return docs.back().oid;
 }
 
+/**
+ * Process-wide epoch source (file scope so adoptEpoch can lift it
+ * past a durably recovered epoch).
+ */
+static std::atomic<uint64_t> next_epoch{1};
+
 Database::Database(const DataSet &data, layout::Layout layout,
                    std::string name, bool allow_pad,
                    const std::vector<storage::Document> *docs_override,
@@ -39,7 +45,6 @@ Database::Database(const DataSet &data, layout::Layout layout,
     : data_(&data), layout_(std::move(layout)), name_(std::move(name)),
       compress_(compress)
 {
-    static std::atomic<uint64_t> next_epoch{1};
     epoch_ = next_epoch.fetch_add(1, std::memory_order_relaxed);
 
     Timer timer;
@@ -69,6 +74,20 @@ Database::Database(const DataSet &data, layout::Layout layout,
 
     build_seconds = timer.seconds();
     publishFootprint();
+}
+
+void
+Database::adoptEpoch(uint64_t epoch)
+{
+    epoch_ = epoch;
+    // Lift the process-wide source past the adopted value so the next
+    // repartition's epoch stays strictly greater — plan-cache keys and
+    // WAL Swap records rely on monotonicity.
+    uint64_t cur = next_epoch.load(std::memory_order_relaxed);
+    while (cur <= epoch &&
+           !next_epoch.compare_exchange_weak(
+               cur, epoch + 1, std::memory_order_relaxed)) {
+    }
 }
 
 std::vector<storage::Slot>

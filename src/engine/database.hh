@@ -142,6 +142,14 @@ class Database
      */
     uint64_t epoch() const { return epoch_; }
 
+    /**
+     * Replace this database's epoch with a durably recovered one and
+     * lift the process-wide epoch source past it, so recovery restores
+     * the exact pre-crash epoch and later swaps stay monotonic.  Call
+     * before the database is shared (no synchronization).
+     */
+    void adoptEpoch(uint64_t epoch);
+
     /** Layout::fingerprint() of this database, computed once. */
     uint64_t layoutFingerprint() const { return layout_fingerprint_; }
 

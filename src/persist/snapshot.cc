@@ -3,6 +3,9 @@
 #include <cstring>
 #include <fstream>
 
+#include "net/wire.hh"
+#include "util/durable_file.hh"
+
 namespace dvp::persist
 {
 
@@ -10,6 +13,7 @@ namespace
 {
 
 constexpr char kMagic[8] = {'D', 'V', 'P', 'S', 'N', 'A', 'P', '1'};
+constexpr char kMagic2[8] = {'D', 'V', 'P', 'S', 'N', 'A', 'P', '2'};
 
 /** Little-endian append-only writer. */
 class Writer
@@ -54,7 +58,16 @@ class Writer
 class Reader
 {
   public:
-    explicit Reader(const std::string &bytes) : data(bytes) {}
+    explicit Reader(const std::string &bytes)
+        : data(bytes), end(bytes.size())
+    {
+    }
+
+    /** Parse only the first @p limit bytes (rev 2 excludes the CRC). */
+    Reader(const std::string &bytes, size_t limit)
+        : data(bytes), end(limit)
+    {
+    }
 
     bool
     u8(uint8_t &v)
@@ -114,7 +127,7 @@ class Reader
         return true;
     }
 
-    bool atEnd() const { return pos == data.size(); }
+    bool atEnd() const { return pos == end; }
     const std::string &error() const { return err; }
 
     bool
@@ -129,7 +142,7 @@ class Reader
     bool
     need(size_t n)
     {
-        if (pos + n > data.size()) {
+        if (pos + n > end) {
             fail("truncated snapshot");
             return false;
         }
@@ -137,6 +150,7 @@ class Reader
     }
 
     const std::string &data;
+    size_t end;
     size_t pos = 0;
     std::string err;
 };
@@ -144,11 +158,18 @@ class Reader
 } // namespace
 
 std::string
-serialize(const engine::DataSet &data, const layout::Layout *layout)
+serialize(const engine::DataSet &data, const layout::Layout *layout,
+          const SnapshotMeta *meta)
 {
     Writer w;
-    w.u64(*reinterpret_cast<const uint64_t *>(kMagic));
+    w.u64(*reinterpret_cast<const uint64_t *>(kMagic2));
     w.u32(0); // flags, reserved
+
+    // Rev-2 meta block.
+    SnapshotMeta m = meta ? *meta : SnapshotMeta{};
+    w.u64(m.epoch);
+    w.u64(m.baseDocs);
+    w.u64(m.walLsn);
 
     // Catalog.
     const auto &cat = data.catalog;
@@ -189,14 +210,38 @@ serialize(const engine::DataSet &data, const layout::Layout *layout)
     } else {
         w.u32(0);
     }
-    return w.take();
+
+    // Trailing integrity CRC over everything above.
+    std::string out = w.take();
+    uint32_t crc = net::crc32(out.data(), out.size());
+    Writer tail;
+    tail.u32(crc);
+    out += tail.take();
+    return out;
 }
 
 LoadResult
 deserialize(const std::string &bytes)
 {
     LoadResult out;
-    Reader r(bytes);
+    const bool rev2 =
+        bytes.size() >= 8 && std::memcmp(bytes.data(), kMagic2, 8) == 0;
+    size_t limit = bytes.size();
+    if (rev2) {
+        // Verify the trailing CRC before trusting any field.
+        if (bytes.size() < 12) {
+            out.error = "truncated snapshot";
+            return out;
+        }
+        uint32_t stored = 0;
+        std::memcpy(&stored, bytes.data() + bytes.size() - 4, 4);
+        if (net::crc32(bytes.data(), bytes.size() - 4) != stored) {
+            out.error = "snapshot CRC mismatch";
+            return out;
+        }
+        limit = bytes.size() - 4;
+    }
+    Reader r(bytes, limit);
     auto fail = [&](const std::string &msg) {
         out.ok = false;
         out.error = r.error().empty() ? msg : r.error();
@@ -209,10 +254,18 @@ deserialize(const std::string &bytes)
     uint32_t flags;
     if (!r.u64(magic) || !r.u32(flags))
         return fail("truncated header");
-    if (std::memcmp(&magic, kMagic, 8) != 0)
+    if (!rev2 && std::memcmp(&magic, kMagic, 8) != 0)
         return fail("not a DVP snapshot (bad magic)");
     if (flags != 0)
         return fail("unsupported snapshot flags");
+
+    if (rev2) {
+        SnapshotMeta meta;
+        if (!r.u64(meta.epoch) || !r.u64(meta.baseDocs) ||
+            !r.u64(meta.walLsn))
+            return fail("truncated meta block");
+        out.meta = meta;
+    }
 
     // Catalog.
     uint32_t nattrs;
@@ -282,6 +335,8 @@ deserialize(const std::string &bytes)
         }
         out.data.docs.push_back(std::move(doc));
     }
+    if (out.meta && out.meta->baseDocs > ndocs)
+        return fail("meta baseDocs exceeds document count");
 
     // Optional layout.
     uint32_t has_layout;
@@ -313,9 +368,11 @@ deserialize(const std::string &bytes)
             }
             parts.push_back(std::move(attrs));
         }
-        for (bool covered : seen)
-            if (!covered)
-                return fail("corrupt layout: uncovered attribute");
+        // No full-coverage requirement: attributes discovered by
+        // INSERTs after the last layout swap live only in the delta,
+        // so a checkpoint cut legitimately carries a layout covering
+        // a strict subset of the catalog (restore re-deltas the docs
+        // beyond baseDocs, which are the only ones referencing them).
         out.layout = layout::Layout(std::move(parts));
     } else if (has_layout != 0) {
         return fail("corrupt layout flag");
@@ -329,17 +386,9 @@ deserialize(const std::string &bytes)
 
 std::string
 save(const std::string &path, const engine::DataSet &data,
-     const layout::Layout *layout)
+     const layout::Layout *layout, const SnapshotMeta *meta)
 {
-    std::ofstream out(path, std::ios::binary | std::ios::trunc);
-    if (!out)
-        return "cannot open '" + path + "' for writing";
-    std::string bytes = serialize(data, layout);
-    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
-    out.flush();
-    if (!out)
-        return "short write to '" + path + "'";
-    return "";
+    return atomicWriteFile(path, serialize(data, layout, meta));
 }
 
 LoadResult

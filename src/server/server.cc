@@ -624,6 +624,38 @@ Server::buildStats()
         body.entries.emplace_back("audit_last_delta_folded",
                                   last.deltaFolded);
     }
+
+    // Durability: WAL position and checkpoint/recovery counters, only
+    // when the engine runs with a durable data directory.
+    if (durability::Manager *dur = engine->durability()) {
+        const durability::Wal *wal = dur->wal();
+        const durability::ManagerStats &ds = dur->stats();
+        body.entries.emplace_back("wal_appended_lsn",
+                                  wal->appendedLsn());
+        body.entries.emplace_back("wal_durable_lsn", wal->durableLsn());
+        body.entries.emplace_back("wal_bytes_total",
+                                  wal->bytesAppended());
+        body.entries.emplace_back("wal_segments",
+                                  wal->liveSegments().size());
+        body.entries.emplace_back(
+            "checkpoints_total",
+            ds.checkpoints.load(std::memory_order_relaxed));
+        body.entries.emplace_back(
+            "last_checkpoint_lsn",
+            ds.lastCheckpointLsn.load(std::memory_order_relaxed));
+        body.entries.emplace_back(
+            "last_checkpoint_docs",
+            ds.lastCheckpointDocs.load(std::memory_order_relaxed));
+        body.entries.emplace_back(
+            "recovered_docs",
+            ds.recoveredDocs.load(std::memory_order_relaxed));
+        body.entries.emplace_back(
+            "wal_replayed_records",
+            ds.replayedRecords.load(std::memory_order_relaxed));
+        body.entries.emplace_back(
+            "recovery_ms",
+            ds.recoveryMs.load(std::memory_order_relaxed));
+    }
     return body;
 }
 

@@ -19,7 +19,8 @@ keywords()
         "COUNT",  "GROUP",  "BY",    "AS",      "INNER", "JOIN",
         "ON",     "LOAD",   "DATA",  "LOCAL",   "INFILE", "REPLACE",
         "INTO",   "TABLE",  "TRUE",  "FALSE",   "EXPLAIN",
-        "ANALYZE", "IS",    "NOT",   "NULL",    "INSERT", "VALUES"};
+        "ANALYZE", "IS",    "NOT",   "NULL",    "INSERT", "VALUES",
+        "CHECKPOINT"};
     return kw;
 }
 

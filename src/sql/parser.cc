@@ -47,9 +47,12 @@ class Parser
             return parseLoad();
         if (atKeyword("INSERT"))
             return parseInsert();
+        if (atKeyword("CHECKPOINT"))
+            return parseCheckpoint();
         if (atKeyword("SELECT"))
             return parseSelect();
-        return fail("expected SELECT, EXPLAIN, INSERT or LOAD");
+        return fail(
+            "expected SELECT, EXPLAIN, INSERT, CHECKPOINT or LOAD");
     }
 
   private:
@@ -277,6 +280,20 @@ class Parser
         r.kind = StatementKind::Load;
         r.query.name = "load";
         r.query.kind = QueryKind::Insert;
+        return r;
+    }
+
+    ParseResult
+    parseCheckpoint()
+    {
+        ParseResult r;
+        eatKeyword("CHECKPOINT");
+        eatPunct(';');
+        if (cur().kind != TokKind::End)
+            return fail("trailing input after CHECKPOINT");
+        r.ok = true;
+        r.kind = StatementKind::Checkpoint;
+        r.query.name = "checkpoint";
         return r;
     }
 

@@ -41,10 +41,11 @@ namespace dvp::sql
 /** Kinds of statement a parse can produce. */
 enum class StatementKind
 {
-    Query,   ///< SELECT ... (result.query is the executable query)
-    Load,    ///< LOAD DATA ... (result.loadFile names the JSON input)
-    Explain, ///< EXPLAIN SELECT ... (query parsed, not for execution)
-    Insert   ///< INSERT INTO ... (result.insertJson holds documents)
+    Query,     ///< SELECT ... (result.query is the executable query)
+    Load,      ///< LOAD DATA ... (result.loadFile names the JSON input)
+    Explain,   ///< EXPLAIN SELECT ... (query parsed, not for execution)
+    Insert,    ///< INSERT INTO ... (result.insertJson holds documents)
+    Checkpoint ///< CHECKPOINT (force a durability checkpoint now)
 };
 
 /** Parse outcome. */

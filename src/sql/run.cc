@@ -71,11 +71,47 @@ runStatement(adaptive::AdaptiveEngine &eng, const std::string &text,
                                  parsed.insertJson[i].size());
         }
         adaptive::IngestAck ack = eng.ingestFlatBatch(docs);
+        if (!ack.walError.empty()) {
+            // Log-before-ack: the durable log refused the batch, so
+            // the statement fails instead of acknowledging documents
+            // that would not survive a crash.
+            res.errorKind = RunResult::Error::Exec;
+            res.error = "INSERT not durable: " + ack.walError;
+            return res;
+        }
         char buf[96];
         std::snprintf(buf, sizeof(buf),
                       "INSERT %zu (%zu docs, epoch %llu)", ack.count,
                       ack.totalDocs,
                       static_cast<unsigned long long>(ack.epoch));
+        res.ok = true;
+        res.kind = RunResult::Kind::Message;
+        res.message = buf;
+        return res;
+      }
+
+      case StatementKind::Checkpoint: {
+        durability::Manager *dur = eng.durability();
+        if (!dur) {
+            res.errorKind = RunResult::Error::Unsupported;
+            res.error = "no durable storage configured (start with "
+                        "--data-dir)";
+            return res;
+        }
+        durability::CheckpointResult ck = dur->checkpointNow();
+        if (!ck.ok) {
+            res.errorKind = RunResult::Error::Exec;
+            res.error = "CHECKPOINT failed: " + ck.error;
+            return res;
+        }
+        char buf[160];
+        std::snprintf(buf, sizeof(buf),
+                      "CHECKPOINT (%s, %llu docs, lsn %llu, %zu "
+                      "segment(s) removed, %.3f ms)",
+                      ck.snapshotFile.c_str(),
+                      static_cast<unsigned long long>(ck.docs),
+                      static_cast<unsigned long long>(ck.walLsn),
+                      ck.segmentsRemoved, ck.seconds * 1e3);
         res.ok = true;
         res.kind = RunResult::Kind::Message;
         res.message = buf;

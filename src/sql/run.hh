@@ -3,9 +3,9 @@
  * One statement-dispatch surface over the adaptive engine.
  *
  * runStatement() is the single path from SQL text to an outcome —
- * parse, classify (query / EXPLAIN / LOAD), execute, and map errors —
- * shared by the interactive shell (examples/dvpsh.cpp) and the network
- * session handler (src/server).  Both front ends used to duplicate
+ * parse, classify (query / EXPLAIN / LOAD / INSERT / CHECKPOINT),
+ * execute, and map errors — shared by the interactive shell
+ * (examples/dvpsh.cpp) and the network session handler (src/server).  Both front ends used to duplicate
  * this dispatch; keeping it here means an error class or statement
  * kind added once shows up everywhere with identical wording.
  *
@@ -54,7 +54,7 @@ struct RunResult
     enum class Kind
     {
         Rows,    ///< a result set (SELECT)
-        Message, ///< text only (EXPLAIN, LOAD summary)
+        Message, ///< text only (EXPLAIN, LOAD/INSERT/CHECKPOINT ack)
     };
 
     bool ok = false;

@@ -1,0 +1,43 @@
+#include "util/fault.hh"
+
+#include <algorithm>
+
+namespace dvp
+{
+
+FaultInjector &
+FaultInjector::global()
+{
+    static FaultInjector inj;
+    return inj;
+}
+
+void
+FaultInjector::arm(uint64_t byte_budget)
+{
+    budget_.store(static_cast<int64_t>(byte_budget),
+                  std::memory_order_relaxed);
+    tripped_.store(false, std::memory_order_relaxed);
+    armed_.store(true, std::memory_order_relaxed);
+}
+
+void
+FaultInjector::disarm()
+{
+    armed_.store(false, std::memory_order_relaxed);
+}
+
+size_t
+FaultInjector::admit(size_t n)
+{
+    if (!armed_.load(std::memory_order_relaxed))
+        return n;
+    int64_t want = static_cast<int64_t>(n);
+    int64_t before = budget_.fetch_sub(want, std::memory_order_relaxed);
+    int64_t allowed = before < 0 ? 0 : std::min<int64_t>(before, want);
+    if (allowed < want)
+        tripped_.store(true, std::memory_order_relaxed);
+    return static_cast<size_t>(allowed);
+}
+
+} // namespace dvp

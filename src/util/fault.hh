@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Crash-injection hook for durable-write paths.
+ *
+ * A FaultInjector models "the process died mid-write": it is armed
+ * with a byte budget, every durable write asks admit(n) how many of
+ * its n bytes may reach the file, and the first write that exceeds
+ * the budget is truncated to the remainder and reported as failed.
+ * Writers that observe a short admit() must stop writing (the test
+ * then discards the writer objects and re-opens the directory, which
+ * is exactly what crash recovery sees after a kill -9 at that byte).
+ *
+ * Disarmed (the default, and the only production state) admit() is a
+ * single relaxed atomic load returning n — no locks, no syscalls.
+ *
+ * The injector is process-global on purpose: the WAL, the manifest
+ * writer and persist::save all funnel through it, so one test can
+ * sweep a fault point across every byte a durability commit writes.
+ */
+
+#ifndef DVP_UTIL_FAULT_HH
+#define DVP_UTIL_FAULT_HH
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+
+namespace dvp
+{
+
+/** Byte-budget fault injector; see the file comment. */
+class FaultInjector
+{
+  public:
+    /** The process-wide instance every durable writer consults. */
+    static FaultInjector &global();
+
+    /**
+     * Arm the injector: the next @p byte_budget bytes are admitted,
+     * everything after is refused.  Resets tripped().
+     */
+    void arm(uint64_t byte_budget);
+
+    /** Disarm: every write is admitted in full (production state). */
+    void disarm();
+
+    bool armed() const
+    {
+        return armed_.load(std::memory_order_relaxed);
+    }
+
+    /** True once a write was cut short by the budget. */
+    bool tripped() const
+    {
+        return tripped_.load(std::memory_order_relaxed);
+    }
+
+    /**
+     * How many of @p n bytes may be written.  Returns @p n when
+     * disarmed; consumes budget when armed, latching tripped() on the
+     * first short admission.
+     */
+    size_t admit(size_t n);
+
+  private:
+    std::atomic<bool> armed_{false};
+    std::atomic<bool> tripped_{false};
+    std::atomic<int64_t> budget_{0};
+};
+
+} // namespace dvp
+
+#endif // DVP_UTIL_FAULT_HH

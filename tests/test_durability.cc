@@ -1,0 +1,714 @@
+/**
+ * @file
+ * Tests for the durability subsystem (src/durability): WAL framing,
+ * segment roll + GC, torn-tail truncation at every byte offset of a
+ * record, manifest CRC + atomic replacement under injected faults,
+ * and end-to-end checkpoint/recover cycles through the adaptive
+ * engine asserting prefix-consistent recovery with query digests
+ * bit-identical to a never-crashed reference.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <thread>
+#include <unistd.h>
+#include <vector>
+
+#include "adaptive/adaptive_engine.hh"
+#include "durability/manager.hh"
+#include "durability/manifest.hh"
+#include "durability/wal.hh"
+#include "json/flatten.hh"
+#include "nobench/generator.hh"
+#include "nobench/queries.hh"
+#include "persist/snapshot.hh"
+#include "sql/run.hh"
+#include "util/fault.hh"
+#include "util/random.hh"
+
+namespace fs = std::filesystem;
+
+namespace dvp::durability
+{
+namespace
+{
+
+/** Unique scratch directory, removed (with contents) on scope exit. */
+struct TempDir
+{
+    std::string path;
+
+    TempDir()
+    {
+        static std::atomic<uint64_t> counter{0};
+        path = (fs::temp_directory_path() /
+                ("dvp_dur_" + std::to_string(::getpid()) + "_" +
+                 std::to_string(counter.fetch_add(1))))
+                   .string();
+        fs::remove_all(path);
+        fs::create_directories(path);
+    }
+    ~TempDir()
+    {
+        std::error_code ec;
+        fs::remove_all(path, ec);
+    }
+};
+
+/** The one small document shape the byte-sweep tests ingest. */
+json::JsonValue
+tinyDoc(int64_t i)
+{
+    json::JsonValue doc = json::JsonValue::makeObject();
+    doc.set("a", json::JsonValue(i));
+    doc.set("s", json::JsonValue(std::string("v") +
+                                 std::to_string(i % 7)));
+    return doc;
+}
+
+/** Q1..Q11 digests, instantiated deterministically against @p data. */
+std::vector<uint64_t>
+elevenDigests(adaptive::AdaptiveEngine &eng,
+              const engine::DataSet &data, const nobench::Config &cfg)
+{
+    nobench::QuerySet qs(data, cfg);
+    Rng rng(4242);
+    std::vector<uint64_t> out;
+    for (int i = 0; i < nobench::kNumTemplates; ++i)
+        out.push_back(eng.execute(qs.instantiate(i, rng)).digest());
+    return out;
+}
+
+adaptive::Params
+quietParams()
+{
+    adaptive::Params p;
+    p.background = false;
+    p.adapt = false; // keep digest runs deterministic
+    return p;
+}
+
+// ---------------------------------------------------------------------
+// WAL
+// ---------------------------------------------------------------------
+
+TEST(Wal, ParseFsyncPolicy)
+{
+    FsyncPolicy p = FsyncPolicy::None;
+    EXPECT_TRUE(parseFsyncPolicy("always", p));
+    EXPECT_EQ(p, FsyncPolicy::Always);
+    EXPECT_TRUE(parseFsyncPolicy("interval", p));
+    EXPECT_EQ(p, FsyncPolicy::Interval);
+    EXPECT_TRUE(parseFsyncPolicy("none", p));
+    EXPECT_EQ(p, FsyncPolicy::None);
+    EXPECT_FALSE(parseFsyncPolicy("sometimes", p));
+    EXPECT_STREQ(fsyncPolicyName(FsyncPolicy::Always), "always");
+}
+
+TEST(Wal, AppendScanRoundTrip)
+{
+    TempDir dir;
+    WalOptions opts;
+    opts.policy = FsyncPolicy::None;
+    Wal wal(dir.path, opts);
+    ASSERT_EQ(wal.create(1), "");
+
+    ASSERT_EQ(wal.append(RecordType::Ingest, "alpha"), 1u);
+    ASSERT_EQ(wal.append(RecordType::Swap, "beta"), 2u);
+    ASSERT_EQ(wal.append(RecordType::Ingest, ""), 3u);
+    EXPECT_EQ(wal.appendedLsn(), 3u);
+    EXPECT_EQ(wal.durableLsn(), 3u); // policy None: durable == appended
+
+    SegmentScan scan =
+        scanSegmentFile(dir.path + "/" + segmentFileName(1));
+    ASSERT_EQ(scan.error, "");
+    EXPECT_FALSE(scan.torn);
+    ASSERT_EQ(scan.records.size(), 3u);
+    EXPECT_EQ(scan.records[0].type, RecordType::Ingest);
+    EXPECT_EQ(scan.records[0].lsn, 1u);
+    EXPECT_EQ(scan.records[0].body, "alpha");
+    EXPECT_EQ(scan.records[1].type, RecordType::Swap);
+    EXPECT_EQ(scan.records[1].body, "beta");
+    EXPECT_EQ(scan.records[2].body, "");
+}
+
+TEST(Wal, SegmentRollAndGc)
+{
+    TempDir dir;
+    WalOptions opts;
+    opts.policy = FsyncPolicy::None;
+    opts.segmentBytes = 64; // roll after every record or two
+    Wal wal(dir.path, opts);
+    ASSERT_EQ(wal.create(1), "");
+
+    std::string body(40, 'x');
+    for (int i = 0; i < 10; ++i)
+        ASSERT_NE(wal.append(RecordType::Ingest, body), 0u);
+    std::vector<std::string> segs = wal.liveSegments();
+    ASSERT_GT(segs.size(), 2u);
+
+    // Everything up to LSN 10 is "checkpointed": all but the active
+    // segment becomes garbage.
+    size_t removed = wal.gcCoveredBy(10);
+    EXPECT_EQ(removed, segs.size() - 1);
+    EXPECT_EQ(wal.liveSegments().size(), 1u);
+    // The survivors still scan clean and the WAL still appends.
+    EXPECT_EQ(wal.append(RecordType::Ingest, body), 11u);
+
+    // A target below the second segment's first LSN removes nothing.
+    EXPECT_EQ(wal.gcCoveredBy(0), 0u);
+}
+
+TEST(Wal, TornTailDetectedAtEveryByteOffset)
+{
+    TempDir dir;
+    WalOptions opts;
+    opts.policy = FsyncPolicy::None;
+    Wal wal(dir.path, opts);
+    ASSERT_EQ(wal.create(1), "");
+    ASSERT_EQ(wal.append(RecordType::Ingest, "first record"), 1u);
+    ASSERT_EQ(wal.append(RecordType::Ingest, "second record"), 2u);
+    ASSERT_EQ(wal.append(RecordType::Swap, "final record body"), 3u);
+
+    std::string seg = dir.path + "/" + segmentFileName(1);
+    std::ifstream in(seg, std::ios::binary);
+    std::string full((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
+    in.close();
+    const uint64_t frame3 =
+        kRecordPrefixBytes + 9 + std::string("final record body").size();
+    const uint64_t intact = full.size() - frame3;
+
+    // Kill the write at every byte of the final record: the scan must
+    // land exactly on the end of record 2, flagged torn unless the cut
+    // is at a record boundary.
+    for (uint64_t cut = intact; cut <= full.size(); ++cut) {
+        std::string t = dir.path + "/torn";
+        fs::remove(t);
+        fs::copy_file(seg, t);
+        fs::resize_file(t, cut);
+        SegmentScan scan = scanSegmentFile(t);
+        ASSERT_EQ(scan.error, "") << "cut at " << cut;
+        ASSERT_EQ(scan.validBytes,
+                  cut == full.size() ? full.size() : intact)
+            << "cut at " << cut;
+        EXPECT_EQ(scan.torn, cut != intact && cut != full.size())
+            << "cut at " << cut;
+        ASSERT_EQ(scan.records.size(), cut == full.size() ? 3u : 2u)
+            << "cut at " << cut;
+        if (!scan.records.empty()) {
+            EXPECT_EQ(scan.records[0].body, "first record");
+            EXPECT_EQ(scan.records[1].body, "second record");
+        }
+    }
+}
+
+TEST(Wal, FaultInjectedAppendThenContinueAt)
+{
+    // Crash a real append at every byte offset via the injector, then
+    // recover the segment with continueAt and keep appending.
+    const std::string body = "crash me";
+    const uint64_t frame = kRecordPrefixBytes + 9 + body.size();
+
+    for (uint64_t budget = 0; budget < frame; ++budget) {
+        TempDir dir;
+        WalOptions opts;
+        opts.policy = FsyncPolicy::None;
+        uint64_t intact;
+        {
+            Wal wal(dir.path, opts);
+            ASSERT_EQ(wal.create(1), "");
+            ASSERT_EQ(wal.append(RecordType::Ingest, "survivor"), 1u);
+            SegmentScan pre = scanSegmentFile(
+                dir.path + "/" + segmentFileName(1));
+            intact = pre.validBytes;
+
+            FaultInjector::global().arm(budget);
+            EXPECT_EQ(wal.append(RecordType::Ingest, body), 0u)
+                << "budget " << budget;
+            FaultInjector::global().disarm();
+            EXPECT_TRUE(wal.failed());
+            // A failed WAL refuses everything after (latched).
+            EXPECT_EQ(wal.append(RecordType::Ingest, "no"), 0u);
+        }
+
+        SegmentScan scan =
+            scanSegmentFile(dir.path + "/" + segmentFileName(1));
+        ASSERT_EQ(scan.error, "") << "budget " << budget;
+        ASSERT_EQ(scan.records.size(), 1u) << "budget " << budget;
+        EXPECT_EQ(scan.records[0].body, "survivor");
+        EXPECT_EQ(scan.validBytes, intact);
+        EXPECT_EQ(scan.torn, budget != 0);
+
+        // Recovery path: truncate the torn tail, resume at LSN 2.
+        Wal wal2(dir.path, opts);
+        ASSERT_EQ(wal2.continueAt(segmentFileName(1), scan.validBytes,
+                                  2),
+                  "");
+        ASSERT_EQ(wal2.append(RecordType::Ingest, "after crash"), 2u);
+        SegmentScan post =
+            scanSegmentFile(dir.path + "/" + segmentFileName(1));
+        ASSERT_EQ(post.records.size(), 2u) << "budget " << budget;
+        EXPECT_FALSE(post.torn);
+        EXPECT_EQ(post.records[1].body, "after crash");
+        EXPECT_EQ(post.records[1].lsn, 2u);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Manifest
+// ---------------------------------------------------------------------
+
+TEST(Manifest, RoundTripAndCrcReject)
+{
+    Manifest m;
+    m.seq = 42;
+    m.snapshotFile = "snapshot-00000000000000000007.snap";
+    m.snapshotLsn = 7;
+    m.epoch = 3;
+    m.segments = {"wal-00000000000000000008.seg"};
+
+    std::string bytes = encodeManifest(m);
+    Manifest back;
+    ASSERT_EQ(decodeManifest(bytes, back), "");
+    EXPECT_EQ(back.seq, 42u);
+    EXPECT_EQ(back.snapshotFile, m.snapshotFile);
+    EXPECT_EQ(back.snapshotLsn, 7u);
+    EXPECT_EQ(back.epoch, 3u);
+    EXPECT_EQ(back.segments, m.segments);
+
+    for (size_t i = 0; i < bytes.size(); ++i) {
+        std::string bad = bytes;
+        bad[i] ^= 0x40;
+        Manifest junk;
+        EXPECT_NE(decodeManifest(bad, junk), "") << "flip at " << i;
+    }
+    EXPECT_NE(decodeManifest(bytes.substr(0, bytes.size() - 1), back),
+              "");
+}
+
+TEST(Manifest, AtomicReplaceSurvivesFaultAtEveryByte)
+{
+    TempDir dir;
+    fs::create_directories(dir.path);
+    Manifest oldm;
+    oldm.seq = 1;
+    ASSERT_EQ(storeManifest(dir.path, oldm), "");
+
+    Manifest newm;
+    newm.seq = 2;
+    newm.snapshotFile = "snapshot-00000000000000000009.snap";
+    newm.snapshotLsn = 9;
+    const size_t total = encodeManifest(newm).size();
+
+    // Kill the rewrite at every byte (including the pre-rename gate at
+    // budget == total): the directory must always hold a valid
+    // manifest — the old one until the rename, the new one after.
+    for (size_t budget = 0; budget <= total + 1; ++budget) {
+        FaultInjector::global().arm(budget);
+        std::string err = storeManifest(dir.path, newm);
+        FaultInjector::global().disarm();
+
+        Manifest got;
+        ASSERT_EQ(loadManifest(dir.path, got), "")
+            << "budget " << budget;
+        if (err.empty()) {
+            EXPECT_EQ(got.seq, 2u) << "budget " << budget;
+        } else {
+            EXPECT_EQ(got.seq, 1u) << "budget " << budget;
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Snapshot v2 meta
+// ---------------------------------------------------------------------
+
+TEST(SnapshotMeta, RoundTripThroughV2Image)
+{
+    nobench::Config cfg;
+    cfg.numDocs = 50;
+    cfg.seed = 11;
+    engine::DataSet data = nobench::generateDataSet(cfg);
+
+    persist::SnapshotMeta meta;
+    meta.epoch = 7;
+    meta.baseDocs = 40;
+    meta.walLsn = 123;
+    std::string bytes = persist::serialize(data, nullptr, &meta);
+    persist::LoadResult r = persist::deserialize(bytes);
+    ASSERT_TRUE(r.ok) << r.error;
+    ASSERT_TRUE(r.meta.has_value());
+    EXPECT_EQ(r.meta->epoch, 7u);
+    EXPECT_EQ(r.meta->baseDocs, 40u);
+    EXPECT_EQ(r.meta->walLsn, 123u);
+
+    // baseDocs beyond the document count is structural corruption.
+    meta.baseDocs = 51;
+    r = persist::deserialize(persist::serialize(data, nullptr, &meta));
+    EXPECT_FALSE(r.ok);
+}
+
+// ---------------------------------------------------------------------
+// Manager end to end
+// ---------------------------------------------------------------------
+
+/** A durable engine over a fresh data directory seeded with NoBench. */
+struct DurableWorld
+{
+    TempDir dir;
+    nobench::Config cfg;
+    engine::DataSet data;
+    std::unique_ptr<Manager> mgr;
+    std::unique_ptr<adaptive::AdaptiveEngine> engine;
+
+    explicit DurableWorld(size_t docs, adaptive::Params params,
+                          Config dcfg = {})
+    {
+        cfg.numDocs = docs;
+        cfg.seed = 99;
+        data = nobench::generateDataSet(cfg);
+        dcfg.dir = dir.path;
+        if (dcfg.fsyncPolicy == FsyncPolicy::Always)
+            dcfg.fsyncPolicy = FsyncPolicy::None; // tests: no fsync wait
+        mgr = std::make_unique<Manager>(dcfg);
+        RecoveryInfo info;
+        std::string err = mgr->open(data, info);
+        EXPECT_EQ(err, "");
+        EXPECT_FALSE(info.recovered);
+        engine = std::make_unique<adaptive::AdaptiveEngine>(
+            data, std::vector<engine::Query>{}, params);
+        engine->setDurability(mgr.get());
+        CheckpointResult ck = mgr->checkpointNow();
+        EXPECT_TRUE(ck.ok) << ck.error;
+    }
+};
+
+/** Reopen @p dir and rebuild an engine exactly as dvpd boot does. */
+struct RecoveredWorld
+{
+    engine::DataSet data;
+    RecoveryInfo info;
+    std::unique_ptr<Manager> mgr;
+    std::unique_ptr<adaptive::AdaptiveEngine> engine;
+
+    RecoveredWorld(const std::string &dir, adaptive::Params params)
+    {
+        Config dcfg;
+        dcfg.dir = dir;
+        dcfg.fsyncPolicy = FsyncPolicy::None;
+        mgr = std::make_unique<Manager>(dcfg);
+        std::string err = mgr->open(data, info);
+        EXPECT_EQ(err, "");
+        EXPECT_TRUE(info.recovered);
+        if (info.layout) {
+            adaptive::Restore r;
+            r.layout = *info.layout;
+            r.epoch = info.epoch;
+            r.baseDocs = info.baseDocs;
+            engine = adaptive::AdaptiveEngine::restore(
+                data, std::move(r), params);
+        } else {
+            engine = std::make_unique<adaptive::AdaptiveEngine>(
+                data, std::vector<engine::Query>{}, params);
+        }
+        engine->setDurability(mgr.get());
+    }
+};
+
+TEST(Manager, FreshOpenRefusesStraySegments)
+{
+    TempDir dir;
+    {
+        WalOptions opts;
+        opts.policy = FsyncPolicy::None;
+        Wal wal(dir.path, opts);
+        ASSERT_EQ(wal.create(1), "");
+        ASSERT_EQ(wal.append(RecordType::Ingest, "x"), 1u);
+    }
+    fs::remove(dir.path + "/" + std::string(kManifestFile));
+
+    Config dcfg;
+    dcfg.dir = dir.path;
+    Manager mgr(dcfg);
+    engine::DataSet out;
+    RecoveryInfo info;
+    std::string err = mgr.open(out, info);
+    EXPECT_NE(err.find("no manifest"), std::string::npos) << err;
+}
+
+TEST(Manager, CheckpointRecoverBitIdenticalDigests)
+{
+    adaptive::Params params = quietParams();
+    std::vector<uint64_t> before;
+    uint64_t epoch_before, docs_before;
+    std::string dirpath;
+    nobench::Config ncfg;
+    {
+        DurableWorld w(300, params);
+        dirpath = w.dir.path;
+        ncfg = w.cfg;
+
+        // Acked ingests beyond the checkpoint live only in the WAL.
+        Rng rng(7);
+        std::vector<json::JsonValue> batch;
+        for (int i = 0; i < 20; ++i)
+            batch.push_back(nobench::generateDoc(w.cfg, rng, 300 + i));
+        adaptive::IngestAck ack = w.engine->ingestBatch(batch);
+        ASSERT_EQ(ack.walError, "");
+        ASSERT_EQ(ack.totalDocs, 320u);
+
+        before = elevenDigests(*w.engine, w.data, w.cfg);
+        epoch_before = w.engine->snapshotFull().epoch;
+        docs_before = ack.totalDocs;
+        // Keep the directory alive past the TempDir destructor by
+        // renaming it out from under w before teardown.
+        fs::rename(w.dir.path, w.dir.path + ".keep");
+    }
+    fs::rename(dirpath + ".keep", dirpath);
+
+    RecoveredWorld r(dirpath, params);
+    EXPECT_EQ(r.data.docs.size(), docs_before);
+    EXPECT_EQ(r.info.snapshotDocs, 300u);
+    EXPECT_EQ(r.info.replayedDocs, 20u);
+    EXPECT_EQ(r.engine->snapshotFull().epoch, epoch_before);
+    EXPECT_EQ(elevenDigests(*r.engine, r.data, ncfg), before);
+    fs::remove_all(dirpath);
+}
+
+// A checkpoint cut taken while the delta holds attributes no layout
+// swap has folded yet carries a layout covering a strict subset of
+// the catalog.  That snapshot must round-trip: recovery rebuilds the
+// base from the partial layout and re-deltas the newer docs, and the
+// delta-only attributes stay queryable.  (Regression: deserialize
+// used to reject such images as "uncovered attribute".)
+TEST(Manager, CheckpointWithDeltaOnlyAttributesRecovers)
+{
+    adaptive::Params params = quietParams(); // no fold, no swap
+    std::vector<uint64_t> before;
+    uint64_t tiny_before, epoch_before;
+    std::string dirpath;
+    nobench::Config ncfg;
+
+    auto tinyProject = [](adaptive::AdaptiveEngine &eng,
+                          const engine::DataSet &data) {
+        engine::Query q;
+        q.kind = engine::QueryKind::Project;
+        q.projected = {data.catalog.find("a"), data.catalog.find("s")};
+        q.frequency = 1.0;
+        return eng.execute(q).digest();
+    };
+
+    {
+        DurableWorld w(120, params);
+        dirpath = w.dir.path;
+        ncfg = w.cfg;
+
+        // "a"/"s" exist in no NoBench doc: after these ingests the
+        // catalog is wider than the (never-swapped) layout.
+        for (int i = 0; i < 3; ++i)
+            ASSERT_EQ(w.engine->ingestBatch({tinyDoc(i)}).walError, "");
+        CheckpointResult ck = w.mgr->checkpointNow();
+        ASSERT_TRUE(ck.ok) << ck.error;
+        // One more acked ingest rides the WAL tail past the snapshot.
+        ASSERT_EQ(w.engine->ingestBatch({tinyDoc(3)}).walError, "");
+
+        before = elevenDigests(*w.engine, w.data, w.cfg);
+        tiny_before = tinyProject(*w.engine, w.data);
+        epoch_before = w.engine->snapshotFull().epoch;
+        fs::rename(w.dir.path, w.dir.path + ".keep");
+    }
+    fs::rename(dirpath + ".keep", dirpath);
+
+    RecoveredWorld r(dirpath, params);
+    EXPECT_EQ(r.data.docs.size(), 124u);
+    EXPECT_EQ(r.info.snapshotDocs, 123u);
+    EXPECT_EQ(r.info.replayedDocs, 1u);
+    EXPECT_EQ(r.engine->snapshotFull().epoch, epoch_before);
+    EXPECT_EQ(elevenDigests(*r.engine, r.data, ncfg), before);
+    EXPECT_EQ(tinyProject(*r.engine, r.data), tiny_before);
+    fs::remove_all(dirpath);
+}
+
+TEST(Manager, RecoverAfterLayoutSwapRestoresEpochAndLayout)
+{
+    adaptive::Params params;
+    params.background = false;
+    params.adapt = true;
+    params.deltaFoldRows = 16; // fold (and Swap-log) quickly
+
+    std::vector<uint64_t> before;
+    uint64_t epoch_before, base_before;
+    std::string dirpath;
+    nobench::Config ncfg;
+    {
+        DurableWorld w(200, params);
+        dirpath = w.dir.path;
+        ncfg = w.cfg;
+
+        Rng rng(8);
+        std::vector<json::JsonValue> batch;
+        for (int i = 0; i < 40; ++i)
+            batch.push_back(nobench::generateDoc(w.cfg, rng, 200 + i));
+        adaptive::IngestAck ack = w.engine->ingestBatch(batch);
+        ASSERT_EQ(ack.walError, "");
+
+        // The fold ran synchronously: epoch advanced, delta drained,
+        // and a Swap record hit the WAL.
+        adaptive::Snapshot snap = w.engine->snapshotFull();
+        ASSERT_GT(snap.epoch, 1u);
+        ASSERT_EQ(snap.deltaRows, 0u);
+        epoch_before = snap.epoch;
+        base_before = snap.base->docCount();
+        params.adapt = false; // deterministic digest run
+        before = elevenDigests(*w.engine, w.data, w.cfg);
+        fs::rename(w.dir.path, w.dir.path + ".keep");
+    }
+    fs::rename(dirpath + ".keep", dirpath);
+
+    RecoveredWorld r(dirpath, quietParams());
+    ASSERT_TRUE(r.info.layout.has_value());
+    EXPECT_EQ(r.info.epoch, epoch_before);
+    EXPECT_EQ(r.info.baseDocs, base_before);
+    adaptive::Snapshot snap = r.engine->snapshotFull();
+    EXPECT_EQ(snap.epoch, epoch_before);
+    EXPECT_EQ(snap.base->docCount(), base_before);
+    nobench::Config cfg = ncfg;
+    EXPECT_EQ(elevenDigests(*r.engine, r.data, cfg), before);
+    fs::remove_all(dirpath);
+}
+
+TEST(Manager, CrashInjectionPrefixConsistentAtEveryByte)
+{
+    // Sweep a crash across every byte of an ingest commit: whatever
+    // the budget, recovery must land on a consistent prefix — every
+    // *acked* batch present, digests identical to a never-crashed
+    // reference fed the same prefix.
+    adaptive::Params params = quietParams();
+    nobench::Config ncfg;
+    ncfg.numDocs = 60;
+    ncfg.seed = 99;
+
+    // Frame size of the batch we crash: prefix + type/lsn + body.
+    std::vector<std::vector<json::FlatAttr>> crash_flat{
+        json::flatten(tinyDoc(1000))};
+    const uint64_t frame =
+        kRecordPrefixBytes + 9 +
+        Manager::encodeIngestBody(crash_flat).size();
+
+    for (uint64_t budget = 0; budget <= frame; ++budget) {
+        std::string dirpath;
+        bool acked;
+        {
+            DurableWorld w(60, params);
+            dirpath = w.dir.path;
+            // Two clean batches after the seed checkpoint.
+            for (int64_t b = 0; b < 2; ++b) {
+                adaptive::IngestAck a =
+                    w.engine->ingestBatch({tinyDoc(100 + b)});
+                ASSERT_EQ(a.walError, "");
+            }
+            FaultInjector::global().arm(budget);
+            adaptive::IngestAck a =
+                w.engine->ingestBatch({tinyDoc(1000)});
+            FaultInjector::global().disarm();
+            acked = a.walError.empty();
+            EXPECT_EQ(acked, budget >= frame) << "budget " << budget;
+            fs::rename(w.dir.path, w.dir.path + ".keep");
+        }
+        fs::rename(dirpath + ".keep", dirpath);
+
+        RecoveredWorld r(dirpath, params);
+        size_t expect = 60 + 2 + (acked ? 1 : 0);
+        ASSERT_EQ(r.data.docs.size(), expect) << "budget " << budget;
+
+        // Never-crashed reference over the same prefix.
+        engine::DataSet ref = nobench::generateDataSet(ncfg);
+        for (int64_t b = 0; b < 2; ++b)
+            ref.addFlat(json::flatten(tinyDoc(100 + b)));
+        if (acked)
+            ref.addFlat(json::flatten(tinyDoc(1000)));
+        adaptive::AdaptiveEngine ref_eng(
+            ref, std::vector<engine::Query>{}, params);
+        EXPECT_EQ(elevenDigests(*r.engine, r.data, ncfg),
+                  elevenDigests(ref_eng, ref, ncfg))
+            << "budget " << budget;
+        fs::remove_all(dirpath);
+    }
+}
+
+TEST(Manager, CheckpointConcurrentWithQueriesAndIngest)
+{
+    adaptive::Params params;
+    params.background = true;
+    params.adapt = false;
+    DurableWorld w(300, params);
+
+    std::atomic<bool> stop{false};
+    std::atomic<uint64_t> executed{0};
+    std::vector<std::thread> readers;
+    for (int t = 0; t < 3; ++t)
+        readers.emplace_back([&, t] {
+            nobench::QuerySet qs(w.data, w.cfg);
+            Rng rng(100 + t);
+            while (!stop.load(std::memory_order_relaxed)) {
+                int idx = static_cast<int>(rng.below(11));
+                w.engine->execute(qs.instantiate(idx, rng));
+                executed.fetch_add(1, std::memory_order_relaxed);
+            }
+        });
+    std::thread writer([&] {
+        int64_t oid = 5000;
+        while (!stop.load(std::memory_order_relaxed)) {
+            adaptive::IngestAck a =
+                w.engine->ingestBatch({tinyDoc(oid++)});
+            ASSERT_EQ(a.walError, "");
+        }
+    });
+
+    // Checkpoints run while queries and ingest hammer the engine;
+    // serving never stalls beyond the cut copy.
+    for (int i = 0; i < 5; ++i) {
+        CheckpointResult ck = w.mgr->checkpointNow();
+        ASSERT_TRUE(ck.ok) << ck.error;
+    }
+    stop.store(true);
+    for (auto &th : readers)
+        th.join();
+    writer.join();
+    EXPECT_GT(executed.load(), 0u);
+    EXPECT_GE(w.mgr->stats().checkpoints.load(), 6u); // seed + 5
+}
+
+TEST(Manager, SqlCheckpointStatement)
+{
+    adaptive::Params params = quietParams();
+
+    // Without durability the statement maps to Unsupported.
+    {
+        nobench::Config cfg;
+        cfg.numDocs = 30;
+        engine::DataSet plain = nobench::generateDataSet(cfg);
+        adaptive::AdaptiveEngine eng(
+            plain, std::vector<engine::Query>{}, params);
+        sql::RunResult r = sql::runStatement(eng, "CHECKPOINT");
+        EXPECT_FALSE(r.ok);
+        EXPECT_EQ(r.errorKind, sql::RunResult::Error::Unsupported);
+    }
+
+    DurableWorld w(30, params);
+    sql::RunResult r = sql::runStatement(*w.engine, "CHECKPOINT;");
+    ASSERT_TRUE(r.ok) << r.error;
+    EXPECT_NE(r.message.find("CHECKPOINT (snapshot-"),
+              std::string::npos)
+        << r.message;
+    EXPECT_EQ(w.mgr->stats().checkpoints.load(), 2u);
+}
+
+} // namespace
+} // namespace dvp::durability

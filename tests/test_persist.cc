@@ -9,8 +9,10 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <cstring>
 
 #include "dvp/partitioner.hh"
+#include "net/wire.hh"
 #include "engine/database.hh"
 #include "engine/executor.hh"
 #include "nobench/generator.hh"
@@ -159,12 +161,14 @@ TEST(Snapshot, RejectsEveryTruncation)
 
 TEST(Snapshot, RejectsTrailingGarbage)
 {
+    // Rev-2 images carry a trailing CRC, so appended garbage is an
+    // integrity failure before the decoder ever sees the body.
     PersistWorld &w = world();
     std::string bytes = serialize(w.data);
     bytes += "garbage";
     LoadResult r = deserialize(bytes);
     EXPECT_FALSE(r.ok);
-    EXPECT_NE(r.error.find("trailing"), std::string::npos);
+    EXPECT_NE(r.error.find("CRC"), std::string::npos);
 }
 
 TEST(Snapshot, RejectsCorruptAttributeReference)
@@ -179,9 +183,14 @@ TEST(Snapshot, RejectsCorruptAttributeReference)
 
     // The sole document slot's attr id is a u32 at a fixed offset from
     // the end: ... u64 ndocs | i64 oid | u32 nslots | u32 attr | i64
-    // slot | u32 layout-flag.  Corrupt the attr field.
-    size_t attr_off = bytes.size() - 4 /*flag*/ - 8 /*slot*/ - 4;
+    // slot | u32 layout-flag | u32 crc.  Corrupt the attr field and
+    // re-stamp the trailing CRC so the structural validator (not the
+    // integrity check) is what rejects the image.
+    size_t attr_off =
+        bytes.size() - 4 /*crc*/ - 4 /*flag*/ - 8 /*slot*/ - 4;
     bytes[attr_off] = 0x7f;
+    uint32_t crc = net::crc32(bytes.data(), bytes.size() - 4);
+    std::memcpy(bytes.data() + bytes.size() - 4, &crc, 4);
     LoadResult r = deserialize(bytes);
     EXPECT_FALSE(r.ok);
     EXPECT_NE(r.error.find("unknown attribute"), std::string::npos);
